@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the degridder kernel variants.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use idg::kernels::{
+    degridder_cpu, degridder_reference, gridder_reference, KernelData, SubgridArray,
+};
+use idg::math::Accuracy;
+use idg::telescope::{Dataset, IdentityATerm, Layout, SkyModel};
+use idg::types::{Observation, Visibility};
+use idg_gpusim::{kernels::degridder_gpu, Device};
+use idg_plan::Plan;
+
+fn setup() -> (Dataset, Plan, Vec<f32>, SubgridArray) {
+    let obs = Observation::builder()
+        .stations(6)
+        .timesteps(32)
+        .channels(8, 150e6, 1e6)
+        .grid_size(512)
+        .subgrid_size(24)
+        .kernel_size(9)
+        .aterm_interval(32)
+        .image_size(0.05)
+        .build()
+        .unwrap();
+    let layout = Layout::uniform(6, 1500.0, 7);
+    let sky = SkyModel::random(&obs, 4, 0.5, 9);
+    let ds = Dataset::simulate(obs, &layout, sky, &IdentityATerm);
+    let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+    let taper = idg::math::spheroidal_2d(ds.obs.subgrid_size);
+    let data = KernelData {
+        obs: &ds.obs,
+        uvw: &ds.uvw,
+        visibilities: &ds.visibilities,
+        aterms: &ds.aterms,
+        taper: &taper,
+    };
+    let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+    gridder_reference(&data, &plan.items, &mut subgrids);
+    (ds, plan, taper, subgrids)
+}
+
+fn bench_degridders(c: &mut Criterion) {
+    let (ds, plan, taper, subgrids) = setup();
+    let data = KernelData {
+        obs: &ds.obs,
+        uvw: &ds.uvw,
+        visibilities: &ds.visibilities,
+        aterms: &ds.aterms,
+        taper: &taper,
+    };
+    let pairs =
+        plan.nr_gridded_visibilities() as u64 * (ds.obs.subgrid_size * ds.obs.subgrid_size) as u64;
+
+    let mut group = c.benchmark_group("degridder");
+    group.throughput(Throughput::Elements(pairs));
+    group.sample_size(10);
+
+    group.bench_function("reference_f64", |b| {
+        let mut out = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
+        b.iter(|| degridder_reference(&data, &plan.items, &subgrids, &mut out));
+    });
+    group.bench_function("optimized_cpu_medium", |b| {
+        let mut out = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
+        b.iter(|| degridder_cpu(&data, &plan.items, &subgrids, &mut out, Accuracy::Medium));
+    });
+    group.bench_function("gpu_mapping_pascal", |b| {
+        let device = Device::pascal();
+        let mut out = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
+        b.iter(|| degridder_gpu(&data, &plan.items, &subgrids, &mut out, &device));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_degridders);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks of the FFT substrate: the two transform
+//! shapes IDG actually uses (batched 24² subgrid FFTs, one 2048²-class
+//! grid FFT) plus the planner's radix paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use idg::fft::{Direction, Fft2d, FftPlan};
+use idg::kernels::{fft_subgrids, FftNorm, SubgridArray};
+use idg::types::Cf32;
+
+fn bench_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_1d");
+    for n in [24usize, 64, 101, 2048] {
+        let plan = FftPlan::<f32>::new(n);
+        let mut data: Vec<Cf32> = (0..n)
+            .map(|i| Cf32::new((i as f32 * 0.1).sin(), 0.0))
+            .collect();
+        let mut scratch = vec![Cf32::zero(); plan.scratch_len()];
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| plan.process_with_scratch(&mut data, &mut scratch, Direction::Forward));
+        });
+    }
+    group.finish();
+}
+
+fn bench_subgrid_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_subgrids");
+    group.sample_size(20);
+    for count in [16usize, 128] {
+        let mut subgrids = SubgridArray::new(count, 24);
+        for (i, v) in subgrids.as_mut_slice().iter_mut().enumerate() {
+            *v = Cf32::new((i % 13) as f32, (i % 7) as f32);
+        }
+        group.throughput(Throughput::Elements((count * 4 * 24 * 24) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(count), &count, |b, _| {
+            b.iter(|| fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None));
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_grid");
+    group.sample_size(10);
+    let n = 512usize;
+    let fft = Fft2d::<f32>::new(n);
+    let mut plane: Vec<Cf32> = (0..n * n)
+        .map(|i| Cf32::new((i % 17) as f32, 0.0))
+        .collect();
+    group.throughput(Throughput::Elements((n * n) as u64));
+    group.bench_function("512x512", |b| {
+        b.iter(|| fft.process_grid(&mut plane, Direction::Forward));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_1d, bench_subgrid_batch, bench_grid_fft);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks of the gridder kernel variants.
+//!
+//! Reports per-pair cost (one pair = one visibility × pixel = 17 FMAs +
+//! 1 sincos, the paper's inner-loop unit) for the reference, optimized
+//! CPU and simulated-GPU gridders, plus the sincos accuracy ablation of
+//! the CPU path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use idg::kernels::{gridder_cpu, gridder_reference, KernelData, SubgridArray};
+use idg::math::Accuracy;
+use idg::telescope::{Dataset, IdentityATerm, Layout, SkyModel};
+use idg::types::Observation;
+use idg_gpusim::{kernels::gridder_gpu, Device};
+use idg_plan::Plan;
+
+fn setup() -> (Dataset, Plan, Vec<f32>) {
+    let obs = Observation::builder()
+        .stations(6)
+        .timesteps(32)
+        .channels(8, 150e6, 1e6)
+        .grid_size(512)
+        .subgrid_size(24)
+        .kernel_size(9)
+        .aterm_interval(32)
+        .image_size(0.05)
+        .build()
+        .unwrap();
+    let layout = Layout::uniform(6, 1500.0, 7);
+    let sky = SkyModel::random(&obs, 4, 0.5, 9);
+    let ds = Dataset::simulate(obs, &layout, sky, &IdentityATerm);
+    let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+    let taper = idg::math::spheroidal_2d(ds.obs.subgrid_size);
+    (ds, plan, taper)
+}
+
+fn bench_gridders(c: &mut Criterion) {
+    let (ds, plan, taper) = setup();
+    let data = KernelData {
+        obs: &ds.obs,
+        uvw: &ds.uvw,
+        visibilities: &ds.visibilities,
+        aterms: &ds.aterms,
+        taper: &taper,
+    };
+    let pairs =
+        plan.nr_gridded_visibilities() as u64 * (ds.obs.subgrid_size * ds.obs.subgrid_size) as u64;
+
+    let mut group = c.benchmark_group("gridder");
+    group.throughput(Throughput::Elements(pairs));
+    group.sample_size(10);
+
+    group.bench_function("reference_f64", |b| {
+        let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+        b.iter(|| gridder_reference(&data, &plan.items, &mut subgrids));
+    });
+    for (name, acc) in [
+        ("cpu_medium", Accuracy::Medium),
+        ("cpu_fast", Accuracy::Fast),
+    ] {
+        group.bench_function(BenchmarkId::new("optimized", name), |b| {
+            let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+            b.iter(|| gridder_cpu(&data, &plan.items, &mut subgrids, acc));
+        });
+    }
+    group.bench_function("gpu_mapping_pascal", |b| {
+        let device = Device::pascal();
+        let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+        b.iter(|| gridder_gpu(&data, &plan.items, &mut subgrids, &device));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gridders);
+criterion_main!(benches);

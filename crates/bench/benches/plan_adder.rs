@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the execution-plan generator and the
+//! adder/splitter data movement.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use idg::kernels::{add_subgrids, split_subgrids, SubgridArray};
+use idg::telescope::{Layout, UvwGenerator};
+use idg::types::{Grid, Observation};
+use idg_plan::Plan;
+
+fn setup() -> (Observation, Vec<idg::Uvw>) {
+    let obs = Observation::builder()
+        .stations(12)
+        .timesteps(128)
+        .channels(8, 150e6, 1e6)
+        .grid_size(512)
+        .subgrid_size(24)
+        .kernel_size(9)
+        .aterm_interval(64)
+        .image_size(0.05)
+        .build()
+        .unwrap();
+    let layout = Layout::uniform(12, 2500.0, 3);
+    let uvw = UvwGenerator::representative(&layout, 1.0).generate(&obs);
+    (obs, uvw)
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let (obs, uvw) = setup();
+    let mut group = c.benchmark_group("plan");
+    group.throughput(Throughput::Elements(obs.nr_visibilities() as u64));
+    group.bench_function("greedy_partition", |b| {
+        b.iter(|| Plan::create(&obs, &uvw).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_adder_splitter(c: &mut Criterion) {
+    let (obs, uvw) = setup();
+    let plan = Plan::create(&obs, &uvw).unwrap();
+    let mut subgrids = SubgridArray::new(plan.nr_subgrids(), obs.subgrid_size);
+    for (i, v) in subgrids.as_mut_slice().iter_mut().enumerate() {
+        *v = idg::Cf32::new((i % 11) as f32, (i % 5) as f32);
+    }
+    let pixels = (plan.nr_subgrids() * 4 * obs.subgrid_size * obs.subgrid_size) as u64;
+
+    let mut group = c.benchmark_group("adder_splitter");
+    group.throughput(Throughput::Elements(pixels));
+    group.sample_size(20);
+    group.bench_function("adder_row_parallel", |b| {
+        let mut grid = Grid::<f32>::new(obs.grid_size);
+        b.iter(|| add_subgrids(&mut grid, &plan.items, &subgrids));
+    });
+    group.bench_function("splitter_subgrid_parallel", |b| {
+        let grid = Grid::<f32>::new(obs.grid_size);
+        let mut out = SubgridArray::new(plan.nr_subgrids(), obs.subgrid_size);
+        b.iter(|| split_subgrids(&grid, &plan.items, &mut out));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan, bench_adder_splitter);
+criterion_main!(benches);

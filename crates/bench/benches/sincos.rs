@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the sincos substrate — the "supporting
+//! mathematical software" whose throughput sets the Fig. 11/12 ceilings —
+//! plus the ρ-mix kernel at the paper's sweep points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use idg::math::mix::mix_kernel;
+use idg::math::{sincos_batch, Accuracy};
+
+fn bench_sincos_batch(c: &mut Criterion) {
+    let n = 4096usize;
+    let xs: Vec<f32> = (0..n)
+        .map(|i| (i as f32 * 0.37) % 9000.0 - 4500.0)
+        .collect();
+    let mut s = vec![0.0f32; n];
+    let mut cos = vec![0.0f32; n];
+
+    let mut group = c.benchmark_group("sincos_batch");
+    group.throughput(Throughput::Elements(n as u64));
+    for (name, acc) in [
+        ("high_libm", Accuracy::High),
+        ("medium_svml_analogue", Accuracy::Medium),
+        ("fast_cuda_analogue", Accuracy::Fast),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| sincos_batch(&xs, &mut s, &mut cos, acc));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mix(c: &mut Criterion) {
+    let iterations = 100_000u64;
+    let mut group = c.benchmark_group("fma_sincos_mix");
+    for rho in [0u32, 1, 4, 17, 64] {
+        let ops = (2 * rho as u64 + 2) * iterations;
+        group.throughput(Throughput::Elements(ops));
+        group.bench_with_input(BenchmarkId::from_parameter(rho), &rho, |b, &rho| {
+            b.iter(|| mix_kernel(rho, iterations, Accuracy::Medium));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sincos_batch, bench_mix);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks of the W-projection baseline: kernel
+//! computation cost and gridding throughput vs support size (the
+//! measured side of Fig. 16).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use idg::types::{Cf32, Grid, Visibility};
+use idg_wproj::gridder::{wpg_grid, WKernelCache, WpgSample};
+use idg_wproj::WKernel;
+
+fn samples(n: usize) -> Vec<WpgSample> {
+    let one = Cf32::new(1.0, 0.0);
+    (0..n)
+        .map(|i| {
+            let ang = i as f64 * 0.37;
+            let r = 200.0 + (i % 700) as f64;
+            WpgSample {
+                u: r * ang.cos(),
+                v: r * ang.sin(),
+                w: (i % 5) as f64 * 60.0,
+                vis: Visibility {
+                    pols: [one, Cf32::zero(), Cf32::zero(), one],
+                },
+            }
+        })
+        .collect()
+}
+
+fn bench_wkernel_compute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wkernel_compute");
+    group.sample_size(10);
+    for nw in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(nw), &nw, |b, &nw| {
+            b.iter(|| WKernel::compute(nw, 8, 300.0, 0.05));
+        });
+    }
+    group.finish();
+}
+
+fn bench_wpg_grid(c: &mut Criterion) {
+    let sample_set = samples(5_000);
+    let mut group = c.benchmark_group("wpg_grid");
+    group.throughput(Throughput::Elements(sample_set.len() as u64));
+    group.sample_size(10);
+    for nw in [8usize, 16, 32] {
+        let kernels = WKernelCache::build(nw, 8, 100.0, 300.0, 0.05);
+        group.bench_with_input(BenchmarkId::from_parameter(nw), &nw, |b, _| {
+            let mut grid = Grid::<f32>::new(256);
+            b.iter(|| wpg_grid(&mut grid, &sample_set, &kernels, 0.05));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wkernel_compute, bench_wpg_grid);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Ablation: subgrid size vs number of W-planes (Sec. IV / VI-E).
+//!
+//! "Furthermore, larger subgrids (e.g. up to 64 × 64) can be used in
+//! connection with W-stacking to dramatically limit the number of
+//! required W-planes" — this binary quantifies the trade on a wide-field
+//! configuration:
+//!
+//! * a subgrid of `Ñ` pixels can absorb residual w until the w-term's
+//!   effective support `w·image_size²` (pixels) exhausts the margin
+//!   `Ñ − kernel`, so `w_step(Ñ) ∝ Ñ − kernel`;
+//! * fewer planes mean fewer grid FFTs and less grid memory, but the
+//!   gridder's arithmetic grows with `Ñ²`.
+
+use idg_bench::write_csv;
+use idg_gpusim::{kernel_time, Device};
+use idg_perf::gridder_counts;
+use idg_plan::WorkItem;
+use idg_types::Baseline;
+
+fn main() {
+    // wide-field configuration where w matters
+    let image_size = 0.2f64; // ~11.5°
+    let w_max = 2000.0f64; // wavelengths
+    let kernel = 9usize;
+    let grid_size = 4096usize;
+    let device = Device::pascal();
+
+    println!(
+        "Ablation: subgrid size vs W-planes (image {image_size} rad, |w| <= {w_max} lambda)\n"
+    );
+    println!(
+        "{:>4} {:>12} {:>9} {:>14} {:>14} {:>14} {:>12}",
+        "Ñ", "w_step (λ)", "planes", "gridder ops/vis", "kernel (model)", "plane FFTs", "grid mem"
+    );
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for n in [24usize, 32, 48, 64] {
+        // residual-w budget: half the post-kernel margin, in pixels,
+        // converted back through support ≈ w·image² px
+        let margin_px = (n - kernel) as f64 / 2.0;
+        let w_step = margin_px / (image_size * image_size) * 2.0;
+        let nr_planes = ((2.0 * w_max / w_step).ceil() as usize).max(1);
+
+        // per-visibility gridder cost at this subgrid size
+        let item = WorkItem {
+            baseline_index: 0,
+            baseline: Baseline::new(0, 1),
+            time_offset: 0,
+            nr_timesteps: 128,
+            channel_offset: 0,
+            nr_channels: 16,
+            aterm_index: 0,
+            coord_x: 0,
+            coord_y: 0,
+            w_plane: 0,
+        };
+        let items = vec![item; 64];
+        let counts = gridder_counts(&items, n);
+        let ops_per_vis = counts.total_ops() as f64 / counts.visibilities as f64;
+        let kernel_s = kernel_time(&device, &counts);
+
+        // per-plane overhead: one full-grid FFT each (5·G²·log2 G² flops)
+        let g = grid_size as f64;
+        let fft_flops_per_plane = 2.0 * g * 5.0 * g * g.log2() * 4.0;
+        let plane_fft_s =
+            nr_planes as f64 * fft_flops_per_plane / (device.arch.peak_tops() * 1e12 / 3.0);
+        let grid_mem_gb = nr_planes as f64 * 4.0 * g * g * 8.0 / 1e9;
+
+        println!(
+            "{n:>4} {w_step:>12.0} {nr_planes:>9} {ops_per_vis:>14.0} {kernel_s:>12.2e} s {plane_fft_s:>12.2e} s {grid_mem_gb:>10.1} GB",
+        );
+        rows.push(format!(
+            "{n},{w_step},{nr_planes},{ops_per_vis},{kernel_s},{plane_fft_s},{grid_mem_gb}"
+        ));
+        results.push((n, nr_planes, ops_per_vis, grid_mem_gb));
+    }
+
+    // the paper's trade: larger subgrids dramatically reduce planes…
+    assert!(
+        results[0].1 >= 3 * results[3].1,
+        "24² needs many more planes than 64²"
+    );
+    // …at quadratically growing arithmetic
+    assert!(
+        results[3].2 > 5.0 * results[0].2,
+        "64² costs ≫ 24² per visibility"
+    );
+    // and W-stacking memory shrinks with subgrid size
+    assert!(results[3].3 < results[0].3);
+
+    println!(
+        "\n24² subgrids need {}x more w-planes (and {}x more grid memory) than 64²;",
+        results[0].1 / results[3].1,
+        (results[0].3 / results[3].3).round()
+    );
+    println!(
+        "64² subgrids cost {:.1}x more gridder operations per visibility.",
+        results[3].2 / results[0].2
+    );
+
+    let path = write_csv(
+        "ablation_wstacking.csv",
+        "subgrid,w_step_lambda,nr_planes,ops_per_vis,kernel_s,plane_fft_s,grid_mem_gb",
+        &rows,
+    )
+    .expect("csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,102 @@
+//! Fig. 8: the (u,v)-plane of the benchmark data set.
+//!
+//! Generates the SKA1-low-like uvw tracks and renders the uv-plane
+//! density (the characteristic dense core plus earth-rotation ellipses),
+//! plus coverage statistics. With `IDG_BENCH_SCALE=1` this is the
+//! paper's full 150-station, 8192-time-step configuration (uv samples
+//! are streamed, not stored).
+
+use idg::telescope::{Layout, UvwGenerator};
+use idg::types::{Baseline, Observation, SPEED_OF_LIGHT};
+use idg_bench::{bench_scale, write_csv};
+
+fn main() {
+    let scale = bench_scale();
+    let nr_stations = (150 / scale).max(4);
+    // Keep the paper's full 8192 s of earth rotation (the track shape),
+    // subsampling the time axis by `scale` to bound the sample count.
+    let nr_timesteps = 8192usize;
+    let time_stride = scale.max(1);
+    let obs = Observation::builder()
+        .stations(nr_stations)
+        .timesteps(nr_timesteps)
+        .channels(16, 150e6, 1e6)
+        .grid_size(2048)
+        .subgrid_size(24)
+        .image_size(0.05)
+        .build()
+        .expect("observation");
+    let layout = Layout::ska1_low(nr_stations, 1_000.0, 18_000.0, 42);
+    let generator = UvwGenerator::representative(&layout, obs.integration_time);
+    let baselines = Baseline::all(nr_stations);
+
+    // density histogram over the uv-plane (both hermitian halves)
+    const BINS: usize = 64;
+    let mut density = vec![0u64; BINS * BINS];
+    // scale the histogram to the layout's own extent (the grid allows
+    // more headroom than the 18 km arms use at this band)
+    let max_uv = layout.max_baseline() * obs.frequencies[15] / SPEED_OF_LIGHT * 1.05;
+    let f_mid = 0.5 * (obs.frequencies[0] + obs.frequencies[obs.nr_channels() - 1]);
+    let lambda_scale = f_mid / SPEED_OF_LIGHT;
+    let mut nr_samples = 0u64;
+    let mut max_seen = 0.0f64;
+    for (bl_idx, bl) in baselines.iter().enumerate() {
+        let _ = bl_idx;
+        for t in (0..obs.nr_timesteps).step_by(time_stride) {
+            let uvw = generator.uvw(*bl, t);
+            for (u, v) in [
+                (uvw.u as f64 * lambda_scale, uvw.v as f64 * lambda_scale),
+                (-uvw.u as f64 * lambda_scale, -uvw.v as f64 * lambda_scale),
+            ] {
+                max_seen = max_seen.max(u.abs().max(v.abs()));
+                let bx = ((u / max_uv + 1.0) / 2.0 * BINS as f64) as isize;
+                let by = ((v / max_uv + 1.0) / 2.0 * BINS as f64) as isize;
+                if (0..BINS as isize).contains(&bx) && (0..BINS as isize).contains(&by) {
+                    density[by as usize * BINS + bx as usize] += 1;
+                    nr_samples += 1;
+                }
+            }
+        }
+    }
+
+    println!(
+        "Fig. 8: (u,v)-plane, {} stations, {} time steps, band center {:.0} MHz",
+        nr_stations,
+        nr_timesteps,
+        f_mid / 1e6
+    );
+    println!("max |u|,|v| seen: {max_seen:.0} wavelengths (grid supports ±{max_uv:.0})\n");
+
+    // ASCII density map
+    let max_count = *density.iter().max().unwrap_or(&1) as f64;
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    for y in (0..BINS).rev() {
+        let mut line = String::new();
+        for x in 0..BINS {
+            let c = density[y * BINS + x] as f64;
+            let level = if c == 0.0 {
+                0
+            } else {
+                1 + ((c.ln_1p() / max_count.ln_1p()) * (shades.len() - 2) as f64) as usize
+            };
+            line.push(shades[level.min(shades.len() - 1)]);
+        }
+        println!("|{line}|");
+    }
+
+    let filled = density.iter().filter(|c| **c > 0).count();
+    println!(
+        "\ncoverage: {}/{} histogram cells hit ({:.1} %), {} uv samples",
+        filled,
+        BINS * BINS,
+        100.0 * filled as f64 / (BINS * BINS) as f64,
+        nr_samples
+    );
+
+    let rows: Vec<String> = (0..BINS * BINS)
+        .filter(|i| density[*i] > 0)
+        .map(|i| format!("{},{},{}", i % BINS, i / BINS, density[i]))
+        .collect();
+    let path = write_csv("fig08_uv_coverage.csv", "bin_x,bin_y,count", &rows).expect("csv");
+    println!("wrote {}", path.display());
+}

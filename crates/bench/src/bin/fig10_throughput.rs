@@ -1,0 +1,50 @@
+//! Fig. 10: throughput for gridding and degridding (MVisibilities/s).
+//!
+//! Shape to reproduce: both GPUs an order of magnitude above the
+//! HASWELL model, gridding slightly faster than degridding on PASCAL.
+
+use idg_bench::{bench_scale, benchmark_dataset, full_scale_runs, host_measured_run, write_csv};
+
+fn main() {
+    let scale = bench_scale();
+    let ds = benchmark_dataset(scale);
+    println!("Fig. 10: gridding/degridding throughput, scale {scale}\n");
+    println!(
+        "{:<22} {:>18} {:>18}",
+        "backend", "gridding MVis/s", "degridding MVis/s"
+    );
+
+    let mut runs = vec![host_measured_run(&ds)];
+    runs.extend(full_scale_runs(&ds));
+    let mut rows = Vec::new();
+    let mut haswell = (0.0f64, 0.0f64);
+    let mut pascal = (0.0f64, 0.0f64);
+    for run in &runs {
+        let g = run.gridding.mvis_per_sec();
+        let d = run.degridding.mvis_per_sec();
+        println!("{:<22} {g:>18.2} {d:>18.2}", run.name);
+        rows.push(format!("{},{g},{d}", run.name));
+        if run.name.contains("HASWELL") {
+            haswell = (g, d);
+        }
+        if run.name.contains("PASCAL") {
+            pascal = (g, d);
+        }
+    }
+
+    println!(
+        "\nPASCAL/HASWELL: gridding {:.1}x, degridding {:.1}x (paper: ~an order of magnitude)",
+        pascal.0 / haswell.0,
+        pascal.1 / haswell.1
+    );
+    assert!(pascal.0 / haswell.0 > 4.0);
+    assert!(pascal.1 / haswell.1 > 4.0);
+
+    let path = write_csv(
+        "fig10_throughput.csv",
+        "backend,gridding_mvis_s,degridding_mvis_s",
+        &rows,
+    )
+    .expect("csv");
+    println!("wrote {}", path.display());
+}

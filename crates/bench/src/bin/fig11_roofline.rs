@@ -1,0 +1,111 @@
+//! Fig. 11: the modified roofline analysis.
+//!
+//! One operation is {+, −, ×, sin(), cos()}. For each architecture the
+//! gridder and degridder are placed at their device-memory operational
+//! intensity against (a) the hardware roofline and (b) the dashed
+//! ρ = 17 instruction-mix ceiling of Sec. VI-C. Shape to reproduce:
+//! all kernels compute-bound; PASCAL near the raw peak (74 %/55 % for
+//! gridder/degridder); HASWELL and FIJI far from the raw peak but close
+//! to their mix ceilings.
+
+use idg_bench::{bench_scale, benchmark_dataset, full_scale_runs, write_csv};
+use idg_perf::roofline::MemoryLevel;
+use idg_perf::{Roofline, RooflinePoint};
+
+fn main() {
+    let scale = bench_scale();
+    let ds = benchmark_dataset(scale);
+    println!("Fig. 11: roofline analysis (ops = +,-,*,sin,cos), scale {scale}\n");
+
+    let runs = full_scale_runs(&ds);
+    let mut rows = Vec::new();
+    for run in runs.iter().filter(|r| r.arch.is_some()) {
+        let arch = run.arch.clone().unwrap();
+        let mut roofline = Roofline::new(arch.clone(), MemoryLevel::Dram);
+        let g_point = RooflinePoint::from_counts(
+            "gridder",
+            &run.gridding.counts,
+            run.gridding.kernel_seconds,
+            MemoryLevel::Dram,
+        );
+        let d_point = RooflinePoint::from_counts(
+            "degridder",
+            &run.degridding.counts,
+            run.degridding.kernel_seconds,
+            MemoryLevel::Dram,
+        );
+        roofline.push(g_point.clone());
+        roofline.push(d_point.clone());
+        print!("{}", roofline.render());
+
+        // paper-shape checks
+        for p in [&g_point, &d_point] {
+            assert!(
+                p.intensity > roofline.ridge_intensity(),
+                "{} {} must be compute-bound",
+                arch.nickname,
+                p.name
+            );
+            let mix_eff = roofline.efficiency(p);
+            // Every kernel must be explained by one of the paper's two
+            // ceilings: the rho = 17 mix bound (HASWELL, FIJI) or the
+            // shared-memory bandwidth bound (PASCAL, Sec. VI-C-2 /
+            // Fig. 13 - its SFUs put the mix ceiling at the raw peak,
+            // which the shared-memory traffic prevents reaching).
+            let report = if p.name == "gridder" {
+                &run.gridding
+            } else {
+                &run.degridding
+            };
+            let shared_roof = Roofline::new(arch.clone(), MemoryLevel::Shared);
+            let shared_point = RooflinePoint::from_counts(
+                &p.name,
+                &report.counts,
+                report.kernel_seconds,
+                MemoryLevel::Shared,
+            );
+            let shared_eff = shared_roof.hardware_efficiency(&shared_point);
+            assert!(
+                (mix_eff > 0.55 || shared_eff > 0.85) && mix_eff < 1.15,
+                "{} {} explained by neither ceiling: mix {mix_eff}, shared {shared_eff}",
+                arch.nickname,
+                p.name
+            );
+            rows.push(format!(
+                "{},{},{},{},{},{}",
+                arch.nickname,
+                p.name,
+                p.intensity,
+                p.achieved_tops,
+                roofline.hardware_efficiency(p),
+                mix_eff
+            ));
+        }
+        let g_frac = g_point.achieved_tops / arch.peak_tops();
+        println!(
+            "  peak fractions: gridder {:.1} %, degridder {:.1} %\n",
+            100.0 * g_frac,
+            100.0 * d_point.achieved_tops / arch.peak_tops()
+        );
+        if arch.nickname == "PASCAL" {
+            assert!(
+                g_frac > 0.6,
+                "PASCAL gridder should be near peak (paper: 74 %), got {g_frac}"
+            );
+        }
+        if arch.nickname == "HASWELL" {
+            assert!(
+                g_frac < 0.4,
+                "HASWELL should sit well below the raw peak, got {g_frac}"
+            );
+        }
+    }
+
+    let path = write_csv(
+        "fig11_roofline.csv",
+        "arch,kernel,intensity_ops_per_byte,achieved_tops,hw_efficiency,mix_efficiency",
+        &rows,
+    )
+    .expect("csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,90 @@
+//! Fig. 12: operation throughput for various FMA/sincos mixes.
+//!
+//! For ρ = #FMAs/#sincos from 0 to 256: the analytic curves of the three
+//! Table I architectures (the basis of the Fig. 11 dashed ceilings) plus
+//! a *measured* curve on the host CPU using the `idg-math` mix
+//! microkernel. Shape to reproduce: PASCAL stays near peak as ρ drops
+//! (hardware SFUs); FIJI and HASWELL degrade sharply.
+
+use idg_bench::{series_table, write_csv};
+use idg_perf::mix::{measure_host_mix, standard_rhos};
+use idg_perf::{attainable_ops_per_sec, Architecture, IDG_RHO};
+
+fn main() {
+    let rhos = standard_rhos();
+    let archs = Architecture::all();
+
+    let mut series = Vec::new();
+    for arch in &archs {
+        let curve: Vec<(f64, f64)> = rhos
+            .iter()
+            .map(|&r| (r, attainable_ops_per_sec(arch, r) / 1e12))
+            .collect();
+        series.push((format!("{} TOps/s", arch.nickname), curve));
+    }
+
+    // measured host curve (wall-clock, single core)
+    let iterations = 3_000_000u64;
+    let host: Vec<(f64, f64)> = rhos
+        .iter()
+        .map(|&r| {
+            let rate = measure_host_mix(r.round() as u32, iterations);
+            (r, rate / 1e12)
+        })
+        .collect();
+    series.push(("host 1-core TOps/s".into(), host.clone()));
+
+    println!(
+        "{}",
+        series_table("Fig. 12: throughput vs rho = #FMA/#sincos", "rho", &series)
+    );
+
+    // paper-shape checks at ρ = 1 vs ρ = 256
+    let frac = |arch: &Architecture, rho: f64| {
+        attainable_ops_per_sec(arch, rho) / (arch.peak_tops() * 1e12)
+    };
+    let pascal = &archs[2];
+    let fiji = &archs[1];
+    let haswell = &archs[0];
+    println!(
+        "fractions of peak at rho=4:  PASCAL {:.2}  FIJI {:.2}  HASWELL {:.2}",
+        frac(pascal, 4.0),
+        frac(fiji, 4.0),
+        frac(haswell, 4.0)
+    );
+    println!(
+        "fractions of peak at rho=17: PASCAL {:.2}  FIJI {:.2}  HASWELL {:.2}",
+        frac(pascal, IDG_RHO),
+        frac(fiji, IDG_RHO),
+        frac(haswell, IDG_RHO)
+    );
+    assert!(frac(pascal, 4.0) > 0.6, "PASCAL stays high at low rho");
+    assert!(frac(fiji, 4.0) < 0.5, "FIJI degrades at low rho");
+    assert!(frac(haswell, 4.0) < 0.3, "HASWELL degrades at low rho");
+
+    // the measured host curve must also *rise* with ρ (software sincos)
+    let host_low = host.iter().find(|(r, _)| *r == 1.0).unwrap().1;
+    let host_high = host.iter().find(|(r, _)| *r == 256.0).unwrap().1;
+    assert!(
+        host_high > 1.5 * host_low,
+        "host curve should rise with rho: {host_low} -> {host_high}"
+    );
+
+    let rows: Vec<String> = rhos
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            format!(
+                "{r},{},{},{},{}",
+                series[0].1[i].1, series[1].1[i].1, series[2].1[i].1, series[3].1[i].1
+            )
+        })
+        .collect();
+    let path = write_csv(
+        "fig12_sincos_mix.csv",
+        "rho,haswell_tops,fiji_tops,pascal_tops,host_measured_tops",
+        &rows,
+    )
+    .expect("csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,79 @@
+//! Fig. 13: roofline with respect to shared memory.
+//!
+//! Re-plots the GPU kernels against the shared-memory bandwidth instead
+//! of device memory. Shape to reproduce: both GPU kernels sit close to
+//! the shared-memory bandwidth bound (which explains PASCAL's sub-peak
+//! gridder in Fig. 11), with the degridder at lower intensity than the
+//! gridder (it stages pixels + geometry rather than visibilities).
+
+use idg_bench::{bench_scale, benchmark_dataset, full_scale_runs, write_csv};
+use idg_perf::roofline::MemoryLevel;
+use idg_perf::{Roofline, RooflinePoint};
+
+fn main() {
+    let scale = bench_scale();
+    let ds = benchmark_dataset(scale);
+    println!("Fig. 13: shared-memory roofline, scale {scale}\n");
+
+    let runs = full_scale_runs(&ds);
+    let mut rows = Vec::new();
+    for run in runs.iter().filter(|r| {
+        r.arch
+            .as_ref()
+            .map(|a| a.kind == idg_perf::ArchKind::Gpu)
+            .unwrap_or(false)
+    }) {
+        let arch = run.arch.clone().unwrap();
+        let mut roofline = Roofline::new(arch.clone(), MemoryLevel::Shared);
+        let g = RooflinePoint::from_counts(
+            "gridder",
+            &run.gridding.counts,
+            run.gridding.kernel_seconds,
+            MemoryLevel::Shared,
+        );
+        let d = RooflinePoint::from_counts(
+            "degridder",
+            &run.degridding.counts,
+            run.degridding.kernel_seconds,
+            MemoryLevel::Shared,
+        );
+        roofline.push(g.clone());
+        roofline.push(d.clone());
+        print!("{}", roofline.render());
+
+        // shape checks: intensity of order 1, close to the shared bound
+        for p in [&g, &d] {
+            assert!(
+                (0.3..2.0).contains(&p.intensity),
+                "{} {} shared intensity {}",
+                arch.nickname,
+                p.name,
+                p.intensity
+            );
+            let bound_fraction = p.achieved_tops / roofline.hardware_ceiling(p.intensity);
+            assert!(
+                bound_fraction > 0.5,
+                "{} {} should be close to the shared-memory bound: {bound_fraction}",
+                arch.nickname,
+                p.name
+            );
+            rows.push(format!(
+                "{},{},{},{},{}",
+                arch.nickname, p.name, p.intensity, p.achieved_tops, bound_fraction
+            ));
+        }
+        assert!(
+            d.intensity < g.intensity,
+            "degridder stages more shared bytes per op than the gridder"
+        );
+        println!();
+    }
+
+    let path = write_csv(
+        "fig13_shared_memory_roofline.csv",
+        "arch,kernel,shared_intensity,achieved_tops,shared_bound_fraction",
+        &rows,
+    )
+    .expect("csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,82 @@
+//! Fig. 14: distribution of energy consumption for one imaging cycle.
+//!
+//! Shape to reproduce: energy concentrates in the gridder/degridder
+//! kernels (they dominate runtime), and the GPUs beat the CPU by an
+//! order of magnitude in total energy — "even true when the power
+//! consumption of the host is taken into account".
+
+use idg_bench::{ascii_stacked_bars, bench_scale, benchmark_dataset, full_scale_runs, write_csv};
+use idg_perf::EnergyModel;
+
+fn main() {
+    let scale = bench_scale();
+    let ds = benchmark_dataset(scale);
+    println!("Fig. 14: energy distribution for one imaging cycle, scale {scale}\n");
+
+    let runs = full_scale_runs(&ds);
+    let mut bars = Vec::new();
+    let mut rows = Vec::new();
+    let mut haswell_total = 0.0f64;
+    let mut pascal_total = 0.0f64;
+    for run in runs.iter().filter(|r| r.arch.is_some()) {
+        let arch = run.arch.clone().unwrap();
+        let energy = EnergyModel::new(arch.clone());
+        let g = &run.gridding;
+        let d = &run.degridding;
+
+        // split device energy over stages proportionally to their time
+        let split = |r: &idg::ExecutionReport| {
+            let device = r
+                .device_energy_j
+                .unwrap_or_else(|| energy.device_energy(r.total_seconds, 1.0));
+            let host = r.host_energy_j.unwrap_or(0.0);
+            let serial = r.serial_seconds().max(1e-12);
+            (
+                device * r.kernel_seconds / serial,
+                device * (r.fft_seconds + r.adder_seconds + r.transfer_seconds) / serial,
+                host,
+            )
+        };
+        let (g_kernel, g_rest, g_host) = split(g);
+        let (d_kernel, d_rest, d_host) = split(d);
+        let segments = vec![
+            ("gridder", g_kernel),
+            ("degridder", d_kernel),
+            ("other", g_rest + d_rest),
+            ("host", g_host + d_host),
+        ];
+        let total: f64 = segments.iter().map(|(_, v)| v).sum();
+        rows.push(format!(
+            "{},{},{},{},{},{}",
+            arch.nickname,
+            g_kernel,
+            d_kernel,
+            g_rest + d_rest,
+            g_host + d_host,
+            total
+        ));
+        if arch.nickname == "HASWELL" {
+            haswell_total = total;
+        }
+        if arch.nickname == "PASCAL" {
+            pascal_total = total;
+        }
+        bars.push((run.name.clone(), segments));
+    }
+    println!("{}", ascii_stacked_bars(&bars, "J"));
+
+    let ratio = haswell_total / pascal_total;
+    println!(
+        "total energy HASWELL/PASCAL: {ratio:.1}x (paper: GPUs win by an order of magnitude,\n\
+         including host power)"
+    );
+    assert!(ratio > 4.0, "GPU cycle should use far less energy");
+
+    let path = write_csv(
+        "fig14_energy_distribution.csv",
+        "arch,gridder_j,degridder_j,other_j,host_j,total_j",
+        &rows,
+    )
+    .expect("csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,66 @@
+//! Fig. 15: energy efficiency of the gridder and degridder kernels.
+//!
+//! Numbers to reproduce (GFlops/W, flops exclude sin/cos): PASCAL ≈ 32
+//! (gridder) / 23 (degridder); FIJI ≈ 13; HASWELL ≈ 1.5. Absolute values
+//! depend on the power model; the ordering and the order-of-magnitude
+//! CPU↔GPU gap are the asserted shape.
+
+use idg_bench::{bench_scale, benchmark_dataset, full_scale_runs, within_factor, write_csv};
+use idg_perf::EnergyModel;
+
+fn main() {
+    let scale = bench_scale();
+    let ds = benchmark_dataset(scale);
+    println!("Fig. 15: energy efficiency (GFlops/W), scale {scale}\n");
+    println!("{:<22} {:>14} {:>14}", "backend", "gridder", "degridder");
+
+    let runs = full_scale_runs(&ds);
+    let mut rows = Vec::new();
+    let mut results = std::collections::HashMap::new();
+    for run in runs.iter().filter(|r| r.arch.is_some()) {
+        let arch = run.arch.clone().unwrap();
+        let energy = EnergyModel::new(arch.clone());
+        let g_eff = energy.gflops_per_watt(&run.gridding.counts, run.gridding.kernel_seconds, 1.0);
+        let d_eff =
+            energy.gflops_per_watt(&run.degridding.counts, run.degridding.kernel_seconds, 1.0);
+        println!("{:<22} {g_eff:>14.1} {d_eff:>14.1}", run.name);
+        rows.push(format!("{},{g_eff},{d_eff}", arch.nickname));
+        results.insert(arch.nickname, (g_eff, d_eff));
+    }
+
+    let (p_g, p_d) = results["PASCAL"];
+    let (f_g, _) = results["FIJI"];
+    let (h_g, _) = results["HASWELL"];
+    println!(
+        "\npaper: PASCAL 32/23, FIJI ~13, HASWELL ~1.5 GFlops/W\n\
+         model: PASCAL {p_g:.1}/{p_d:.1}, FIJI {f_g:.1}, HASWELL {h_g:.1}"
+    );
+
+    // shape checks: ordering and rough magnitudes
+    assert!(p_g > f_g && f_g > h_g, "ordering PASCAL > FIJI > HASWELL");
+    assert!(p_g > p_d, "gridder more efficient than degridder on PASCAL");
+    assert!(
+        within_factor(p_g, 32.0, 0.5, 2.0),
+        "PASCAL gridder {p_g} vs paper 32"
+    );
+    assert!(
+        within_factor(f_g, 13.0, 0.5, 2.0),
+        "FIJI gridder {f_g} vs paper 13"
+    );
+    assert!(
+        within_factor(h_g, 1.5, 0.5, 2.5),
+        "HASWELL gridder {h_g} vs paper 1.5"
+    );
+    assert!(
+        p_g / h_g > 8.0,
+        "order-of-magnitude CPU->GPU efficiency gap"
+    );
+
+    let path = write_csv(
+        "fig15_energy_efficiency.csv",
+        "arch,gridder_gflops_per_watt,degridder_gflops_per_watt",
+        &rows,
+    )
+    .expect("csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,53 @@
+//! Table I: the three architectures used in the comparison.
+//!
+//! Prints the paper's hardware table from the `idg-perf` descriptors and
+//! the derived quantities the analysis uses (FMA rate, machine balance,
+//! ρ = 17 ceiling).
+
+use idg_bench::write_csv;
+use idg_perf::{attainable_ops_per_sec, Architecture, IDG_RHO};
+
+fn main() {
+    println!("TABLE I: The three architectures used in this comparison");
+    println!(
+        "{:<22} {:<4} {:<11} {:>5}  {:<17} {:>5}  {:>5}  {:>6}  {:>4}",
+        "model", "type", "arch", "GHz", "core config=#FPUs", "TF/s", "mem", "GB/s", "TDP"
+    );
+    let mut rows = Vec::new();
+    for arch in Architecture::all() {
+        println!("{}", arch.table_row());
+        let ceiling = attainable_ops_per_sec(&arch, IDG_RHO) / 1e12;
+        rows.push(format!(
+            "{},{},{},{},{},{},{},{},{:.3}",
+            arch.nickname,
+            arch.model,
+            arch.clock_ghz,
+            arch.total_fpus(),
+            arch.peak_tflops,
+            arch.mem_bw_gbps,
+            arch.shared_bw_gbps,
+            arch.tdp_w,
+            ceiling
+        ));
+    }
+
+    println!("\nderived (Sec. VI-C):");
+    for arch in Architecture::all() {
+        let ceiling = attainable_ops_per_sec(&arch, IDG_RHO) / 1e12;
+        println!(
+            "  {:<8} machine balance {:>6.1} ops/B   rho=17 ceiling {:>5.2} TOps/s ({:>4.1}% of peak)",
+            arch.nickname,
+            arch.peak_tops() * 1e12 / (arch.mem_bw_gbps * 1e9),
+            ceiling,
+            100.0 * ceiling / arch.peak_tops()
+        );
+    }
+
+    let path = write_csv(
+        "table1_architectures.csv",
+        "nickname,model,clock_ghz,fpus,peak_tflops,mem_bw_gbps,shared_bw_gbps,tdp_w,rho17_ceiling_tops",
+        &rows,
+    )
+    .expect("write csv");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,406 @@
+//! The proxy: one entry point per back-end.
+//!
+//! Mirrors the proxy layer of the reference IDG library: the application
+//! hands over observation parameters once, then issues `grid`/`degrid`
+//! calls against whichever back-end was selected. CPU back-ends execute
+//! and *measure*; GPU back-ends execute the device model and *model*
+//! their times (see DESIGN.md, substitutions).
+
+use crate::report::ExecutionReport;
+use idg_fft::Direction;
+use idg_gpusim::{Device, GpuExecutor};
+use idg_kernels::{
+    add_subgrids, degridder_cpu, degridder_reference, fft_subgrids, gridder_cpu, gridder_reference,
+    split_subgrids, FftNorm, KernelData, SubgridArray,
+};
+use idg_math::Accuracy;
+use idg_perf::{degridder_counts, gridder_counts};
+use idg_plan::Plan;
+use idg_telescope::ATerms;
+use idg_types::{Grid, IdgError, Observation, Uvw, Visibility};
+use std::time::Instant;
+
+/// Which implementation executes the kernels.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Scalar double-precision reference kernels (gold standard).
+    CpuReference,
+    /// Optimized CPU kernels of Sec. V-B (measured).
+    CpuOptimized,
+    /// GTX 1080 device model running the Sec. V-C mapping (modeled).
+    GpuPascal,
+    /// Fury X device model running the Sec. V-C mapping (modeled).
+    GpuFiji,
+}
+
+impl Backend {
+    /// Human-readable label used in reports and figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::CpuReference => "cpu-reference",
+            Backend::CpuOptimized => "cpu-optimized",
+            Backend::GpuPascal => "gpu-pascal",
+            Backend::GpuFiji => "gpu-fiji",
+        }
+    }
+
+    /// All back-ends, CPU first.
+    pub fn all() -> [Backend; 4] {
+        [
+            Backend::CpuReference,
+            Backend::CpuOptimized,
+            Backend::GpuPascal,
+            Backend::GpuFiji,
+        ]
+    }
+}
+
+/// A configured IDG instance for one observation.
+pub struct Proxy {
+    backend: Backend,
+    obs: Observation,
+    taper: Vec<f32>,
+    /// Work items per (modeled) kernel launch on GPU back-ends.
+    pub work_group_size: usize,
+}
+
+impl Proxy {
+    /// Create a proxy; precomputes the prolate-spheroidal taper.
+    pub fn new(backend: Backend, obs: Observation) -> Result<Self, IdgError> {
+        obs.validate()?;
+        let taper = idg_math::spheroidal_2d(obs.subgrid_size);
+        Ok(Self {
+            backend,
+            obs,
+            taper,
+            work_group_size: 256,
+        })
+    }
+
+    /// The observation this proxy was configured for.
+    pub fn observation(&self) -> &Observation {
+        &self.obs
+    }
+
+    /// The back-end in use.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The image-domain taper applied per subgrid (`subgrid_size²`).
+    pub fn taper(&self) -> &[f32] {
+        &self.taper
+    }
+
+    /// Build the execution plan for a uvw buffer
+    /// (`[baseline][timestep]`, meters).
+    pub fn plan(&self, uvw: &[Uvw]) -> Result<Plan, IdgError> {
+        Plan::create(&self.obs, uvw)
+    }
+
+    fn device(&self) -> Device {
+        match self.backend {
+            Backend::GpuPascal => Device::pascal(),
+            Backend::GpuFiji => Device::fiji(),
+            _ => unreachable!("device() is only called for GPU back-ends"),
+        }
+    }
+
+    /// Grid visibilities onto a new grid.
+    pub fn grid(
+        &self,
+        plan: &Plan,
+        uvw: &[Uvw],
+        visibilities: &[Visibility<f32>],
+        aterms: &ATerms,
+    ) -> Result<(Grid<f32>, ExecutionReport), IdgError> {
+        let data = KernelData {
+            obs: &self.obs,
+            uvw,
+            visibilities,
+            aterms,
+            taper: &self.taper,
+        };
+        data.validate()?;
+
+        match self.backend {
+            Backend::CpuReference | Backend::CpuOptimized => {
+                let mut subgrids = SubgridArray::new(plan.nr_subgrids(), self.obs.subgrid_size);
+                let t0 = Instant::now();
+                match self.backend {
+                    Backend::CpuReference => gridder_reference(&data, &plan.items, &mut subgrids),
+                    _ => gridder_cpu(&data, &plan.items, &mut subgrids, Accuracy::Medium),
+                }
+                let t1 = Instant::now();
+                fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
+                let t2 = Instant::now();
+                let mut grid = Grid::<f32>::new(self.obs.grid_size);
+                add_subgrids(&mut grid, &plan.items, &subgrids);
+                let t3 = Instant::now();
+
+                let counts = gridder_counts(&plan.items, self.obs.subgrid_size);
+                Ok((
+                    grid,
+                    ExecutionReport {
+                        backend: self.backend.label().into(),
+                        pass: "gridding",
+                        modeled: false,
+                        kernel_seconds: (t1 - t0).as_secs_f64(),
+                        fft_seconds: (t2 - t1).as_secs_f64(),
+                        adder_seconds: (t3 - t2).as_secs_f64(),
+                        transfer_seconds: 0.0,
+                        total_seconds: (t3 - t0).as_secs_f64(),
+                        counts,
+                        device_energy_j: None,
+                        host_energy_j: None,
+                    },
+                ))
+            }
+            Backend::GpuPascal | Backend::GpuFiji => {
+                let executor = GpuExecutor::new(self.device(), self.work_group_size);
+                let (grid, report) = executor.grid(&data, plan)?;
+                Ok((
+                    grid,
+                    ExecutionReport {
+                        backend: self.backend.label().into(),
+                        pass: "gridding",
+                        modeled: true,
+                        kernel_seconds: report.kernel_seconds,
+                        fft_seconds: report.fft_seconds,
+                        adder_seconds: report.adder_seconds,
+                        transfer_seconds: report.htod_seconds + report.dtoh_seconds,
+                        total_seconds: report.makespan,
+                        counts: report.counts,
+                        device_energy_j: Some(report.device_energy_j),
+                        host_energy_j: Some(report.host_energy_j),
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Predict visibilities from a model grid.
+    ///
+    /// The `visibilities` input only supplies the buffer shape (the
+    /// degridder overwrites covered slots); pass the observed data or a
+    /// zero buffer.
+    pub fn degrid(
+        &self,
+        plan: &Plan,
+        grid: &Grid<f32>,
+        uvw: &[Uvw],
+        aterms: &ATerms,
+    ) -> Result<(Vec<Visibility<f32>>, ExecutionReport), IdgError> {
+        let zeros = vec![Visibility::<f32>::zero(); self.obs.nr_visibilities()];
+        let data = KernelData {
+            obs: &self.obs,
+            uvw,
+            visibilities: &zeros,
+            aterms,
+            taper: &self.taper,
+        };
+        data.validate()?;
+        if grid.size() != self.obs.grid_size {
+            return Err(IdgError::ShapeMismatch {
+                what: "grid",
+                expected: self.obs.grid_size,
+                actual: grid.size(),
+            });
+        }
+
+        match self.backend {
+            Backend::CpuReference | Backend::CpuOptimized => {
+                let mut subgrids = SubgridArray::new(plan.nr_subgrids(), self.obs.subgrid_size);
+                let t0 = Instant::now();
+                split_subgrids(grid, &plan.items, &mut subgrids);
+                let t1 = Instant::now();
+                fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
+                let t2 = Instant::now();
+                let mut vis = vec![Visibility::<f32>::zero(); self.obs.nr_visibilities()];
+                match self.backend {
+                    Backend::CpuReference => {
+                        degridder_reference(&data, &plan.items, &subgrids, &mut vis)
+                    }
+                    _ => degridder_cpu(&data, &plan.items, &subgrids, &mut vis, Accuracy::Medium),
+                }
+                let t3 = Instant::now();
+
+                let counts = degridder_counts(&plan.items, self.obs.subgrid_size);
+                Ok((
+                    vis,
+                    ExecutionReport {
+                        backend: self.backend.label().into(),
+                        pass: "degridding",
+                        modeled: false,
+                        kernel_seconds: (t3 - t2).as_secs_f64(),
+                        fft_seconds: (t2 - t1).as_secs_f64(),
+                        adder_seconds: (t1 - t0).as_secs_f64(),
+                        transfer_seconds: 0.0,
+                        total_seconds: (t3 - t0).as_secs_f64(),
+                        counts,
+                        device_energy_j: None,
+                        host_energy_j: None,
+                    },
+                ))
+            }
+            Backend::GpuPascal | Backend::GpuFiji => {
+                let executor = GpuExecutor::new(self.device(), self.work_group_size);
+                let (vis, report) = executor.degrid(&data, plan, grid)?;
+                Ok((
+                    vis,
+                    ExecutionReport {
+                        backend: self.backend.label().into(),
+                        pass: "degridding",
+                        modeled: true,
+                        kernel_seconds: report.kernel_seconds,
+                        fft_seconds: report.fft_seconds,
+                        adder_seconds: report.adder_seconds,
+                        transfer_seconds: report.htod_seconds + report.dtoh_seconds,
+                        total_seconds: report.makespan,
+                        counts: report.counts,
+                        device_energy_j: Some(report.device_energy_j),
+                        host_energy_j: Some(report.host_energy_j),
+                    },
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idg_telescope::{Dataset, GaussianBeam, Layout, SkyModel};
+
+    fn dataset() -> Dataset {
+        let obs = Observation::builder()
+            .stations(6)
+            .timesteps(32)
+            .channels(4, 150e6, 2e6)
+            .grid_size(256)
+            .subgrid_size(16)
+            .kernel_size(5)
+            .aterm_interval(16)
+            .image_size(0.05)
+            .build()
+            .unwrap();
+        let layout = Layout::uniform(6, 900.0, 71);
+        let sky = SkyModel::random(&obs, 4, 0.6, 73);
+        let beam = GaussianBeam::new(&obs, 0.8, 79);
+        Dataset::simulate(obs, &layout, sky, &beam)
+    }
+
+    #[test]
+    fn all_backends_produce_equivalent_grids() {
+        let ds = dataset();
+        let mut grids = Vec::new();
+        for backend in Backend::all() {
+            let proxy = Proxy::new(backend, ds.obs.clone()).unwrap();
+            let plan = proxy.plan(&ds.uvw).unwrap();
+            let (grid, report) = proxy
+                .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+                .unwrap();
+            assert!(grid.power() > 0.0, "{backend:?}");
+            assert_eq!(report.pass, "gridding");
+            assert_eq!(
+                report.modeled,
+                matches!(backend, Backend::GpuPascal | Backend::GpuFiji)
+            );
+            grids.push(grid);
+        }
+        let reference = &grids[0];
+        let scale = reference
+            .as_slice()
+            .iter()
+            .map(|c| c.abs())
+            .fold(1e-9f32, f32::max);
+        for grid in &grids[1..] {
+            for (a, b) in grid.as_slice().iter().zip(reference.as_slice()) {
+                assert!((*a - *b).abs() / scale < 3e-3, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_backends_produce_equivalent_predictions() {
+        let ds = dataset();
+        // model grid: grid the data once
+        let proxy0 = Proxy::new(Backend::CpuReference, ds.obs.clone()).unwrap();
+        let plan = proxy0.plan(&ds.uvw).unwrap();
+        let (grid, _) = proxy0
+            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+
+        let mut results = Vec::new();
+        for backend in Backend::all() {
+            let proxy = Proxy::new(backend, ds.obs.clone()).unwrap();
+            let (vis, report) = proxy.degrid(&plan, &grid, &ds.uvw, &ds.aterms).unwrap();
+            assert_eq!(report.pass, "degridding");
+            assert!(report.counts.visibilities > 0);
+            results.push(vis);
+        }
+        let reference = &results[0];
+        let scale = reference
+            .iter()
+            .flat_map(|v| v.pols.iter())
+            .map(|c| c.abs())
+            .fold(1e-9f32, f32::max);
+        for vis in &results[1..] {
+            for (a, b) in vis.iter().zip(reference.iter()) {
+                for p in 0..4 {
+                    assert!((a.pols[p] - b.pols[p]).abs() / scale < 3e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_reports_contain_energy_and_pipeline_metrics() {
+        let ds = dataset();
+        let proxy = Proxy::new(Backend::GpuPascal, ds.obs.clone()).unwrap();
+        let plan = proxy.plan(&ds.uvw).unwrap();
+        let (_, report) = proxy
+            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        assert!(report.device_energy_j.unwrap() > 0.0);
+        assert!(report.host_energy_j.unwrap() > 0.0);
+        assert!(report.mvis_per_sec() > 0.0);
+        assert!(report.kernel_tops() > 0.0);
+    }
+
+    #[test]
+    fn cpu_reports_are_measured() {
+        let ds = dataset();
+        let proxy = Proxy::new(Backend::CpuOptimized, ds.obs.clone()).unwrap();
+        let plan = proxy.plan(&ds.uvw).unwrap();
+        let (_, report) = proxy
+            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        assert!(!report.modeled);
+        assert!(report.total_seconds > 0.0);
+        assert!(report.device_energy_j.is_none());
+        let text = report.to_string();
+        assert!(text.contains("cpu-optimized"));
+    }
+
+    #[test]
+    fn degrid_rejects_wrong_grid_size() {
+        let ds = dataset();
+        let proxy = Proxy::new(Backend::CpuOptimized, ds.obs.clone()).unwrap();
+        let plan = proxy.plan(&ds.uvw).unwrap();
+        let wrong = Grid::<f32>::new(64);
+        assert!(matches!(
+            proxy.degrid(&plan, &wrong, &ds.uvw, &ds.aterms),
+            Err(IdgError::ShapeMismatch { what: "grid", .. })
+        ));
+    }
+
+    #[test]
+    fn proxy_validates_observation() {
+        let bad = Observation {
+            nr_stations: 1,
+            ..dataset().obs
+        };
+        assert!(Proxy::new(Backend::CpuOptimized, bad).is_err());
+    }
+}

@@ -1,0 +1,495 @@
+//! 1-D FFT plans: Stockham autosort mixed-radix with Bluestein fallback.
+//!
+//! The Stockham autosort formulation is used instead of the textbook
+//! bit-reversal Cooley-Tukey because it (a) handles mixed radices
+//! uniformly — the subgrid size 24 = 4·3·2 of the paper's benchmark is
+//! not a power of two — and (b) accesses both buffers with unit stride in
+//! the inner loop, which is what lets LLVM vectorize the butterflies.
+//!
+//! A plan is immutable after construction (`Send + Sync`), so one plan is
+//! shared by all worker threads of the batched subgrid FFTs.
+
+use crate::bluestein::BluesteinPlan;
+use idg_types::{Complex, Float};
+
+/// Transform direction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// `X[k] = Σ x[n]·e^{−2πi nk/N}` (unscaled).
+    Forward,
+    /// Conjugate transform scaled by `1/N`; exact inverse of `Forward`.
+    Inverse,
+}
+
+/// One Stockham stage: butterfly radix plus its twiddle table.
+struct Stage<T> {
+    radix: usize,
+    /// `n_cur / radix` for the stage's current length.
+    m: usize,
+    /// Twiddles `ω_{n_cur}^{p·j}` stored as `tw[p·radix + j]`,
+    /// `p ∈ [0, m)`, `j ∈ [0, radix)`.
+    twiddles: Vec<Complex<T>>,
+}
+
+enum Backend<T> {
+    /// Sizes whose factors are all in {2, 3, 5} (with 4 = 2·2 grouped).
+    Stockham(Vec<Stage<T>>),
+    /// Everything else (sizes with prime factors > 5).
+    Bluestein(Box<BluesteinPlan<T>>),
+    /// N = 1.
+    Identity,
+}
+
+/// An immutable FFT plan for one transform length.
+pub struct FftPlan<T> {
+    n: usize,
+    backend: Backend<T>,
+    /// DFT matrices ω_r^{jk} for the radices in use, indexed by radix.
+    butterfly_tables: Vec<(usize, Vec<Complex<T>>)>,
+}
+
+/// Factor `n` into the radix sequence used by the Stockham pipeline:
+/// radix-4 first (fewest stages), then 2, 3, 5. Returns `None` when a
+/// factor > 5 remains.
+fn factorize(mut n: usize) -> Option<Vec<usize>> {
+    let mut out = Vec::new();
+    while n.is_multiple_of(4) {
+        out.push(4);
+        n /= 4;
+    }
+    for r in [2usize, 3, 5] {
+        while n.is_multiple_of(r) {
+            out.push(r);
+            n /= r;
+        }
+    }
+    (n == 1).then_some(out)
+}
+
+fn twiddle<T: Float>(num: i64, den: i64) -> Complex<T> {
+    // ω = e^{−2πi·num/den}, computed in f64 for accuracy.
+    let theta = -2.0 * std::f64::consts::PI * (num as f64) / (den as f64);
+    Complex::new(T::from_f64(theta.cos()), T::from_f64(theta.sin()))
+}
+
+impl<T: Float> FftPlan<T> {
+    /// Build a plan for length `n` (any `n ≥ 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "FFT length must be at least 1");
+        if n == 1 {
+            return Self {
+                n,
+                backend: Backend::Identity,
+                butterfly_tables: Vec::new(),
+            };
+        }
+        match factorize(n) {
+            Some(factors) => {
+                let mut stages = Vec::with_capacity(factors.len());
+                let mut n_cur = n;
+                for &radix in &factors {
+                    let m = n_cur / radix;
+                    let mut tw = Vec::with_capacity(m * radix);
+                    for p in 0..m {
+                        for j in 0..radix {
+                            tw.push(twiddle((p * j) as i64, n_cur as i64));
+                        }
+                    }
+                    stages.push(Stage {
+                        radix,
+                        m,
+                        twiddles: tw,
+                    });
+                    n_cur = m;
+                }
+                let mut tables = Vec::new();
+                for r in [2usize, 3, 4, 5] {
+                    if factors.contains(&r) {
+                        let mut t = Vec::with_capacity(r * r);
+                        for j in 0..r {
+                            for k in 0..r {
+                                t.push(twiddle((j * k) as i64, r as i64));
+                            }
+                        }
+                        tables.push((r, t));
+                    }
+                }
+                Self {
+                    n,
+                    backend: Backend::Stockham(stages),
+                    butterfly_tables: tables,
+                }
+            }
+            None => Self {
+                n,
+                backend: Backend::Bluestein(Box::new(BluesteinPlan::new(n))),
+                butterfly_tables: Vec::new(),
+            },
+        }
+    }
+
+    /// Transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when `n == 1` (the identity transform).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 1
+    }
+
+    /// True when this plan uses the Bluestein fallback.
+    pub fn is_bluestein(&self) -> bool {
+        matches!(self.backend, Backend::Bluestein(_))
+    }
+
+    /// Scratch length required by [`Self::process_with_scratch`].
+    pub fn scratch_len(&self) -> usize {
+        match &self.backend {
+            Backend::Identity => 0,
+            Backend::Stockham(_) => self.n,
+            Backend::Bluestein(b) => b.scratch_len(),
+        }
+    }
+
+    /// In-place transform using caller-provided scratch (hot path:
+    /// lets the batched subgrid FFTs reuse one scratch per worker).
+    pub fn process_with_scratch(
+        &self,
+        data: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+        dir: Direction,
+    ) {
+        assert_eq!(data.len(), self.n, "data length must equal plan length");
+        assert!(scratch.len() >= self.scratch_len(), "scratch too short");
+        match dir {
+            Direction::Forward => self.forward_inner(data, scratch),
+            Direction::Inverse => {
+                // inverse(x) = conj(forward(conj(x))) / n
+                for v in data.iter_mut() {
+                    *v = v.conj();
+                }
+                self.forward_inner(data, scratch);
+                let scale = T::ONE / T::from_usize(self.n);
+                for v in data.iter_mut() {
+                    *v = v.conj().scale(scale);
+                }
+            }
+        }
+    }
+
+    /// In-place transform, allocating scratch internally.
+    pub fn process(&self, data: &mut [Complex<T>], dir: Direction) {
+        let mut scratch = vec![Complex::zero(); self.scratch_len()];
+        self.process_with_scratch(data, &mut scratch, dir);
+    }
+
+    /// Convenience forward transform.
+    pub fn forward(&self, data: &mut [Complex<T>]) {
+        self.process(data, Direction::Forward);
+    }
+
+    /// Convenience inverse transform.
+    pub fn inverse(&self, data: &mut [Complex<T>]) {
+        self.process(data, Direction::Inverse);
+    }
+
+    fn butterfly_table(&self, radix: usize) -> &[Complex<T>] {
+        &self
+            .butterfly_tables
+            .iter()
+            .find(|(r, _)| *r == radix)
+            .expect("butterfly table present for every factor")
+            .1
+    }
+
+    fn forward_inner(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
+        match &self.backend {
+            Backend::Identity => {}
+            Backend::Bluestein(b) => b.forward(data, scratch),
+            Backend::Stockham(stages) => {
+                let mut s = 1usize; // stride (number of completed sub-transforms)
+                let mut in_data = true; // current source buffer is `data`
+                for stage in stages {
+                    {
+                        let (src, dst): (&[Complex<T>], &mut [Complex<T>]) = if in_data {
+                            (&*data, &mut *scratch)
+                        } else {
+                            (&*scratch, &mut *data)
+                        };
+                        match stage.radix {
+                            2 => stage_radix2(src, dst, stage, s),
+                            4 => stage_radix4(src, dst, stage, s),
+                            r => stage_generic(src, dst, stage, s, self.butterfly_table(r)),
+                        }
+                    }
+                    s *= stage.radix;
+                    in_data = !in_data;
+                }
+                if !in_data {
+                    data.copy_from_slice(scratch);
+                }
+            }
+        }
+    }
+}
+
+/// Radix-2 Stockham stage: `dst[q + s(2p+j)] = (a ± b)·ω^{pj}`.
+fn stage_radix2<T: Float>(src: &[Complex<T>], dst: &mut [Complex<T>], st: &Stage<T>, s: usize) {
+    let m = st.m;
+    for p in 0..m {
+        let w = st.twiddles[p * 2 + 1]; // ω^{p·1}; j=0 twiddle is 1
+        let src_a = &src[s * p..s * p + s];
+        let src_b = &src[s * (p + m)..s * (p + m) + s];
+        let (d0, d1) = dst[s * 2 * p..s * (2 * p + 2)].split_at_mut(s);
+        for q in 0..s {
+            let a = src_a[q];
+            let b = src_b[q];
+            d0[q] = a + b;
+            d1[q] = (a - b) * w;
+        }
+    }
+}
+
+/// Radix-4 Stockham stage with the hardcoded 4-point butterfly
+/// (multiplications by ±i are free rotations).
+fn stage_radix4<T: Float>(src: &[Complex<T>], dst: &mut [Complex<T>], st: &Stage<T>, s: usize) {
+    let m = st.m;
+    for p in 0..m {
+        let w1 = st.twiddles[p * 4 + 1];
+        let w2 = st.twiddles[p * 4 + 2];
+        let w3 = st.twiddles[p * 4 + 3];
+        for q in 0..s {
+            let a = src[q + s * p];
+            let b = src[q + s * (p + m)];
+            let c = src[q + s * (p + 2 * m)];
+            let d = src[q + s * (p + 3 * m)];
+            let apc = a + c;
+            let amc = a - c;
+            let bpd = b + d;
+            let jbmd = (b - d).mul_i(); // i·(b−d)
+                                        // forward DFT-4: X1 uses −i, X3 uses +i
+            dst[q + s * (4 * p)] = apc + bpd;
+            dst[q + s * (4 * p + 1)] = (amc - jbmd) * w1;
+            dst[q + s * (4 * p + 2)] = (apc - bpd) * w2;
+            dst[q + s * (4 * p + 3)] = (amc + jbmd) * w3;
+        }
+    }
+}
+
+/// Table-driven stage for radices 3 and 5.
+fn stage_generic<T: Float>(
+    src: &[Complex<T>],
+    dst: &mut [Complex<T>],
+    st: &Stage<T>,
+    s: usize,
+    table: &[Complex<T>],
+) {
+    let r = st.radix;
+    let m = st.m;
+    for p in 0..m {
+        for j in 0..r {
+            let w = st.twiddles[p * r + j];
+            for q in 0..s {
+                let mut acc = Complex::zero();
+                for k in 0..r {
+                    acc.mul_acc(src[q + s * (p + k * m)], table[j * r + k]);
+                }
+                dst[q + s * (r * p + j)] = acc * w;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+    use idg_types::Cf64;
+
+    fn test_signal(n: usize) -> Vec<Cf64> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64;
+                Cf64::new((0.3 * x).sin() + 0.1 * x, (0.7 * x).cos() - 0.05 * x)
+            })
+            .collect()
+    }
+
+    fn max_err(a: &[Cf64], b: &[Cf64]) -> f64 {
+        let scale = b.iter().map(|c| c.abs()).fold(1.0, f64::max);
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
+            / scale
+    }
+
+    #[test]
+    fn factorization() {
+        assert_eq!(factorize(24), Some(vec![4, 2, 3]));
+        assert_eq!(factorize(2048), Some(vec![4, 4, 4, 4, 4, 2]));
+        assert_eq!(factorize(15), Some(vec![3, 5]));
+        assert_eq!(factorize(7), None);
+        assert_eq!(factorize(1), Some(vec![]));
+    }
+
+    #[test]
+    fn matches_dft_all_smooth_sizes() {
+        for n in [
+            2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 20, 24, 25, 27, 30, 32, 48, 60, 64, 120,
+        ] {
+            let plan = FftPlan::<f64>::new(n);
+            assert!(!plan.is_bluestein(), "size {n} should be smooth");
+            let mut data = test_signal(n);
+            let expect = dft(&data, Direction::Forward);
+            plan.forward(&mut data);
+            assert!(max_err(&data, &expect) < 1e-12, "forward mismatch at n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_dft_bluestein_sizes() {
+        for n in [7, 11, 13, 17, 23, 31, 97, 101] {
+            let plan = FftPlan::<f64>::new(n);
+            assert!(plan.is_bluestein(), "size {n} should use Bluestein");
+            let mut data = test_signal(n);
+            let expect = dft(&data, Direction::Forward);
+            plan.forward(&mut data);
+            assert!(
+                max_err(&data, &expect) < 1e-10,
+                "bluestein mismatch at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_inverse() {
+        for n in [1, 2, 5, 7, 24, 64, 100, 101, 2048] {
+            let plan = FftPlan::<f64>::new(n);
+            let orig = test_signal(n);
+            let mut data = orig.clone();
+            plan.forward(&mut data);
+            plan.inverse(&mut data);
+            assert!(max_err(&data, &orig) < 1e-11, "round trip failed at n={n}");
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let n = 24;
+        let plan = FftPlan::<f64>::new(n);
+        let mut data = vec![Cf64::zero(); n];
+        data[0] = Cf64::new(1.0, 0.0);
+        plan.forward(&mut data);
+        for v in &data {
+            assert!((v.re - 1.0).abs() < 1e-13 && v.im.abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let n = 20;
+        let plan = FftPlan::<f64>::new(n);
+        let mut data = vec![Cf64::new(1.0, 0.0); n];
+        plan.forward(&mut data);
+        assert!((data[0].re - n as f64).abs() < 1e-12);
+        for v in &data[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_right_bin() {
+        let n = 48;
+        let k0 = 7;
+        let plan = FftPlan::<f64>::new(n);
+        let mut data: Vec<Cf64> = (0..n)
+            .map(|i| Cf64::from_phase(2.0 * std::f64::consts::PI * (k0 * i) as f64 / n as f64))
+            .collect();
+        plan.forward(&mut data);
+        for (k, v) in data.iter().enumerate() {
+            if k == k0 {
+                assert!((v.re - n as f64).abs() < 1e-10);
+            } else {
+                assert!(v.abs() < 1e-10, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 120;
+        let plan = FftPlan::<f64>::new(n);
+        let orig = test_signal(n);
+        let mut data = orig.clone();
+        plan.forward(&mut data);
+        let e_time: f64 = orig.iter().map(|c| c.norm_sqr()).sum();
+        let e_freq: f64 = data.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((e_time - e_freq).abs() < 1e-9 * e_time);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 24;
+        let plan = FftPlan::<f64>::new(n);
+        let a = test_signal(n);
+        let b: Vec<Cf64> = test_signal(n).iter().map(|c| c.mul_i()).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fab: Vec<Cf64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        plan.forward(&mut fab);
+        let sum: Vec<Cf64> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert!(max_err(&fab, &sum) < 1e-12);
+    }
+
+    #[test]
+    fn f32_plan_matches_f64_reference() {
+        let n = 24;
+        let plan32 = FftPlan::<f32>::new(n);
+        let plan64 = FftPlan::<f64>::new(n);
+        let sig = test_signal(n);
+        let mut d32: Vec<Complex<f32>> = sig.iter().map(|c| c.cast()).collect();
+        let mut d64 = sig;
+        plan32.forward(&mut d32);
+        plan64.forward(&mut d64);
+        let scale = d64.iter().map(|c| c.abs()).fold(1.0, f64::max);
+        for (a, b) in d32.iter().zip(&d64) {
+            assert!((a.cast::<f64>() - *b).abs() / scale < 1e-5);
+        }
+    }
+
+    #[test]
+    fn process_with_scratch_reuses_buffer() {
+        let n = 24;
+        let plan = FftPlan::<f64>::new(n);
+        let mut scratch = vec![Cf64::zero(); plan.scratch_len()];
+        let mut a = test_signal(n);
+        let mut b = test_signal(n);
+        plan.process_with_scratch(&mut a, &mut scratch, Direction::Forward);
+        plan.process_with_scratch(&mut b, &mut scratch, Direction::Forward);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identity_plan() {
+        let plan = FftPlan::<f64>::new(1);
+        let mut data = vec![Cf64::new(3.0, 4.0)];
+        plan.forward(&mut data);
+        assert_eq!(data[0], Cf64::new(3.0, 4.0));
+        plan.inverse(&mut data);
+        assert_eq!(data[0], Cf64::new(3.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "data length must equal plan length")]
+    fn wrong_length_panics() {
+        let plan = FftPlan::<f64>::new(8);
+        let mut data = vec![Cf64::zero(); 4];
+        plan.forward(&mut data);
+    }
+}

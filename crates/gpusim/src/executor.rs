@@ -1,0 +1,471 @@
+//! The GPU executor: whole gridding/degridding passes on the device
+//! model, with triple-buffered transfer/compute overlap and an
+//! execution/energy report.
+//!
+//! Results are *real* (computed by the simulated kernels and verified
+//! against the CPU reference); times and energies are *modeled* from the
+//! Table I machine parameters — the substitution documented in
+//! DESIGN.md.
+
+use crate::device::Device;
+use crate::kernels::{degridder_gpu, gridder_gpu};
+use crate::stream::{PipelineSim, TraceEntry};
+use crate::timing::{adder_time, kernel_time, subgrid_fft_time, transfer_time};
+use idg_fft::Direction;
+use idg_kernels::{add_subgrids, fft_subgrids, split_subgrids, FftNorm, KernelData, SubgridArray};
+use idg_perf::{EnergyModel, OpCounts};
+use idg_plan::Plan;
+use idg_types::{Grid, IdgError, Visibility};
+
+/// Outcome of one executor pass.
+#[derive(Clone, Debug)]
+pub struct GpuRunReport {
+    /// "gridding" or "degridding".
+    pub pass: &'static str,
+    /// Aggregate gridder/degridder operation counters.
+    pub counts: OpCounts,
+    /// Modeled main-kernel busy time, s.
+    pub kernel_seconds: f64,
+    /// Modeled subgrid-FFT time, s.
+    pub fft_seconds: f64,
+    /// Modeled adder/splitter time, s.
+    pub adder_seconds: f64,
+    /// Modeled host-to-device transfer time, s.
+    pub htod_seconds: f64,
+    /// Modeled device-to-host transfer time, s.
+    pub dtoh_seconds: f64,
+    /// Pipeline makespan with triple buffering, s.
+    pub makespan: f64,
+    /// The per-operation timeline (Fig. 7 material).
+    pub timeline: Vec<TraceEntry>,
+    /// Modeled device energy over the makespan, J.
+    pub device_energy_j: f64,
+    /// Modeled host (package + DRAM) energy over the makespan, J.
+    pub host_energy_j: f64,
+}
+
+impl GpuRunReport {
+    /// Achieved operation rate over kernel busy time, TOps/s — the
+    /// quantity plotted in Fig. 11.
+    pub fn kernel_tops(&self) -> f64 {
+        self.counts.total_ops() as f64 / self.kernel_seconds / 1e12
+    }
+
+    /// Visibility throughput over the whole pass, MVisibilities/s — the
+    /// Fig. 10 metric.
+    pub fn mvis_per_sec(&self) -> f64 {
+        self.counts.visibilities as f64 / self.makespan / 1e6
+    }
+
+    /// Energy efficiency of the main kernel, GFlops/W (Fig. 15).
+    pub fn gflops_per_watt(&self, model: &EnergyModel) -> f64 {
+        model.gflops_per_watt(&self.counts, self.kernel_seconds, 1.0)
+    }
+}
+
+/// Drives gridding / degridding passes on a modeled device.
+pub struct GpuExecutor {
+    /// The device model.
+    pub device: Device,
+    /// Work items per work group (kernel launch).
+    pub work_group_size: usize,
+}
+
+impl GpuExecutor {
+    /// Create an executor with the given work-group granularity.
+    pub fn new(device: Device, work_group_size: usize) -> Self {
+        assert!(work_group_size > 0);
+        Self {
+            device,
+            work_group_size,
+        }
+    }
+
+    /// Model the device-resident allocations of a pass. Preferred: grid +
+    /// three buffer sets resident on the device. When the grid alone no
+    /// longer fits ("when dealing with large images that no longer fit
+    /// into GPU device memory", Sec. V-C e), fall back to the paper's
+    /// option (2): keep only the buffers on the device, copy subgrids to
+    /// the host and run the adder there. Returns
+    /// `(reserved_bytes, host_adder)`; errors only when even the buffer
+    /// sets do not fit.
+    fn reserve_memory(&self, device: &mut Device, plan: &Plan) -> Result<(u64, bool), IdgError> {
+        let n = plan.subgrid_size();
+        let grid_bytes = (4 * plan.grid_size() * plan.grid_size() * 8) as u64;
+        let subgrid_bytes = (self.work_group_size * 4 * n * n * 8) as u64;
+        let io_bytes = (self.work_group_size * 512 * 44) as u64; // vis+uvw staging
+        let buffers = 3 * (subgrid_bytes + io_bytes);
+        if device.allocate(grid_bytes + buffers).is_ok() {
+            return Ok((grid_bytes + buffers, false));
+        }
+        device.allocate(buffers)?;
+        Ok((buffers, true))
+    }
+
+    /// Run a full gridding pass: visibilities → grid.
+    pub fn grid(
+        &self,
+        data: &KernelData<'_>,
+        plan: &Plan,
+    ) -> Result<(Grid<f32>, GpuRunReport), IdgError> {
+        let mut device = self.device.clone();
+        let (reserved, host_adder) = self.reserve_memory(&mut device, plan)?;
+        // host-side adder: subgrids stream back over PCI-e and the host
+        // memory system (~40 GB/s effective) performs the row-parallel add
+        let host_adder_bw = 40e9;
+
+        let n = plan.subgrid_size();
+        let nr_chan = data.obs.nr_channels();
+        let mut grid = Grid::<f32>::new(plan.grid_size());
+        let mut pipeline = PipelineSim::new(3);
+        let mut counts = OpCounts::default();
+        let mut kernel_seconds = 0.0;
+        let mut fft_seconds = 0.0;
+        let mut adder_seconds = 0.0;
+        let mut htod_seconds = 0.0;
+        let mut dtoh_seconds = 0.0;
+
+        for group in plan.work_groups(self.work_group_size) {
+            let mut subgrids = SubgridArray::new(group.len(), n);
+            let group_counts = gridder_gpu(data, group, &mut subgrids, &device);
+            fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
+            add_subgrids(&mut grid, group, &subgrids);
+
+            // modeled schedule
+            let in_bytes = group
+                .iter()
+                .map(|i| (i.nr_timesteps * (nr_chan * 32 + 12)) as u64)
+                .sum::<u64>();
+            let t_in = transfer_time(&device, in_bytes);
+            let t_kernel = kernel_time(&device, &group_counts);
+            let t_fft = subgrid_fft_time(&device, group.len(), n);
+            let subgrid_bytes = (group.len() * 4 * n * n * 8) as u64;
+            if host_adder {
+                // option (2): subgrids stream to the host (DtoH engine)
+                // and the host adds them while the GPU computes on
+                let t_out = transfer_time(&device, subgrid_bytes);
+                let t_add = 2.0 * subgrid_bytes as f64 / host_adder_bw;
+                pipeline.submit(t_in, t_kernel + t_fft, t_out);
+                adder_seconds += t_add;
+                dtoh_seconds += t_out;
+            } else {
+                // option (1): atomic adder on the device
+                let t_add = adder_time(&device, group.len(), n);
+                pipeline.submit(t_in, t_kernel + t_fft + t_add, 0.0);
+                adder_seconds += t_add;
+            }
+
+            counts.add(&group_counts);
+            kernel_seconds += t_kernel;
+            fft_seconds += t_fft;
+            htod_seconds += t_in;
+        }
+
+        device.free(reserved);
+        let makespan = pipeline.makespan();
+        let energy = EnergyModel::new(device.arch.clone());
+        let busy = pipeline.compute_busy();
+        let device_energy_j =
+            energy.device_energy(busy, 1.0) + energy.device_energy(makespan - busy, 0.0);
+        let host_energy_j = energy.host_energy(makespan);
+
+        Ok((
+            grid,
+            GpuRunReport {
+                pass: "gridding",
+                counts,
+                kernel_seconds,
+                fft_seconds,
+                adder_seconds,
+                htod_seconds,
+                dtoh_seconds,
+                makespan,
+                timeline: pipeline.timeline,
+                device_energy_j,
+                host_energy_j,
+            },
+        ))
+    }
+
+    /// Run a full degridding pass: grid → predicted visibilities.
+    pub fn degrid(
+        &self,
+        data: &KernelData<'_>,
+        plan: &Plan,
+        grid: &Grid<f32>,
+    ) -> Result<(Vec<Visibility<f32>>, GpuRunReport), IdgError> {
+        let mut device = self.device.clone();
+        let (reserved, host_splitter) = self.reserve_memory(&mut device, plan)?;
+        let _ = host_splitter; // splitter reads are modeled identically
+
+        let n = plan.subgrid_size();
+        let nr_chan = data.obs.nr_channels();
+        let mut vis_out = vec![Visibility::<f32>::zero(); data.obs.nr_visibilities()];
+        let mut pipeline = PipelineSim::new(3);
+        let mut counts = OpCounts::default();
+        let mut kernel_seconds = 0.0;
+        let mut fft_seconds = 0.0;
+        let mut adder_seconds = 0.0;
+        let mut dtoh_seconds = 0.0;
+
+        for group in plan.work_groups(self.work_group_size) {
+            let mut subgrids = SubgridArray::new(group.len(), n);
+            split_subgrids(grid, group, &mut subgrids);
+            fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
+            let group_counts = degridder_gpu(data, group, &subgrids, &mut vis_out, &device);
+
+            let uvw_bytes = group
+                .iter()
+                .map(|i| (i.nr_timesteps * 12) as u64)
+                .sum::<u64>();
+            let out_bytes = group
+                .iter()
+                .map(|i| (i.nr_timesteps * nr_chan * 32) as u64)
+                .sum::<u64>();
+            let t_in = transfer_time(&device, uvw_bytes);
+            let t_split = adder_time(&device, group.len(), n);
+            let t_fft = subgrid_fft_time(&device, group.len(), n);
+            let t_kernel = kernel_time(&device, &group_counts);
+            let t_out = transfer_time(&device, out_bytes);
+            pipeline.submit(t_in, t_split + t_fft + t_kernel, t_out);
+
+            counts.add(&group_counts);
+            kernel_seconds += t_kernel;
+            fft_seconds += t_fft;
+            adder_seconds += t_split;
+            dtoh_seconds += t_out;
+        }
+
+        device.free(reserved);
+        let makespan = pipeline.makespan();
+        let energy = EnergyModel::new(device.arch.clone());
+        let busy = pipeline.compute_busy();
+        let device_energy_j =
+            energy.device_energy(busy, 1.0) + energy.device_energy(makespan - busy, 0.0);
+        let host_energy_j = energy.host_energy(makespan);
+
+        Ok((
+            vis_out,
+            GpuRunReport {
+                pass: "degridding",
+                counts,
+                kernel_seconds,
+                fft_seconds,
+                adder_seconds,
+                htod_seconds: 0.0,
+                dtoh_seconds,
+                makespan,
+                timeline: pipeline.timeline,
+                device_energy_j,
+                host_energy_j,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idg_plan::Plan;
+    use idg_telescope::{Dataset, IdentityATerm, Layout, SkyModel};
+    use idg_types::Observation;
+
+    fn dataset() -> Dataset {
+        // Realistic per-item occupancy (many timesteps × channels per
+        // subgrid) so the kernels are compute/shared-bound as in the
+        // paper's configuration, not dominated by per-item A-term I/O.
+        let obs = Observation::builder()
+            .stations(6)
+            .timesteps(64)
+            .channels(8, 150e6, 1e6)
+            .grid_size(256)
+            .subgrid_size(16)
+            .kernel_size(5)
+            .aterm_interval(64)
+            .image_size(0.05)
+            .build()
+            .unwrap();
+        let layout = Layout::uniform(6, 900.0, 51);
+        let sky = SkyModel::random(&obs, 4, 0.6, 53);
+        Dataset::simulate(obs, &layout, sky, &IdentityATerm)
+    }
+
+    #[test]
+    fn full_gridding_pass_produces_grid_and_report() {
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
+        let data = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper: &taper,
+        };
+        let exec = GpuExecutor::new(Device::pascal(), 8);
+        let (grid, report) = exec.grid(&data, &plan).unwrap();
+        assert!(grid.power() > 0.0, "grid received energy");
+        assert!(report.makespan > 0.0);
+        assert!(report.kernel_seconds > 0.0);
+        assert_eq!(
+            report.counts.visibilities as usize,
+            plan.nr_gridded_visibilities()
+        );
+        // kernel dominates the modeled runtime (Fig. 9 shape)
+        assert!(report.kernel_seconds > 5.0 * (report.fft_seconds + report.adder_seconds));
+        // throughput metric is finite and positive
+        assert!(report.mvis_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn gpu_grid_matches_cpu_grid() {
+        // The executor's grid must equal the pure-CPU pipeline's grid.
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
+        let data = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper: &taper,
+        };
+
+        let exec = GpuExecutor::new(Device::pascal(), 4);
+        let (gpu_grid, _) = exec.grid(&data, &plan).unwrap();
+
+        let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+        idg_kernels::gridder_reference(&data, &plan.items, &mut subgrids);
+        fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
+        let mut cpu_grid = Grid::<f32>::new(ds.obs.grid_size);
+        add_subgrids(&mut cpu_grid, &plan.items, &subgrids);
+
+        let scale = cpu_grid
+            .as_slice()
+            .iter()
+            .map(|c| c.abs())
+            .fold(1e-9f32, f32::max);
+        for (a, b) in gpu_grid.as_slice().iter().zip(cpu_grid.as_slice()) {
+            assert!((*a - *b).abs() / scale < 2e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gpu_degrid_pass_matches_cpu_pipeline() {
+        // The executor's degridding pass must equal the pure-CPU
+        // pipeline (splitter → inverse FFT → reference degridder) on the
+        // same model grid.
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
+        let data = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper: &taper,
+        };
+        // build a model grid by gridding the data first
+        let exec = GpuExecutor::new(Device::fiji(), 4);
+        let (grid, _) = exec.grid(&data, &plan).unwrap();
+        let (pred, report) = exec.degrid(&data, &plan, &grid).unwrap();
+        assert_eq!(report.pass, "degridding");
+        assert!(report.dtoh_seconds > 0.0);
+
+        let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+        split_subgrids(&grid, &plan.items, &mut subgrids);
+        fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
+        let mut gold = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
+        idg_kernels::degridder_reference(&data, &plan.items, &subgrids, &mut gold);
+
+        let scale = gold
+            .iter()
+            .flat_map(|v| v.pols.iter())
+            .map(|c| c.abs())
+            .fold(1e-9f32, f32::max);
+        for (i, (a, b)) in pred.iter().zip(&gold).enumerate() {
+            for p in 0..4 {
+                assert!(
+                    (a.pols[p] - b.pols[p]).abs() / scale < 2e-3,
+                    "vis {i} pol {p}: {} vs {}",
+                    a.pols[p],
+                    b.pols[p]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_grid_falls_back_to_host_adder() {
+        // Sec. V-C e option (2): when the grid no longer fits in device
+        // memory, subgrids are copied to the host and added there. The
+        // result must be identical; the report shows DtoH traffic.
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
+        let data = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper: &taper,
+        };
+        // the grid (4·256²·8 B = 2 MB) doesn't fit, the buffers do
+        let mut device = Device::fiji();
+        device.arch.mem_size_gb = Some(0.001); // 1 MB device
+        let exec_small = GpuExecutor::new(device, 8);
+        let (grid_fallback, report) = exec_small.grid(&data, &plan).unwrap();
+        assert!(report.dtoh_seconds > 0.0, "subgrids streamed to the host");
+
+        let exec_full = GpuExecutor::new(Device::fiji(), 8);
+        let (grid_resident, _) = exec_full.grid(&data, &plan).unwrap();
+        assert_eq!(grid_fallback.as_slice(), grid_resident.as_slice());
+    }
+
+    #[test]
+    fn out_of_memory_is_reported_when_even_buffers_do_not_fit() {
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
+        let data = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper: &taper,
+        };
+        let mut device = Device::fiji();
+        device.arch.mem_size_gb = Some(0.0001); // 100 kB device
+        let exec = GpuExecutor::new(device, 8);
+        assert!(matches!(
+            exec.grid(&data, &plan),
+            Err(IdgError::DeviceOutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn pascal_is_modeled_faster_than_fiji() {
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
+        let data = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper: &taper,
+        };
+        let (_, rp) = GpuExecutor::new(Device::pascal(), 8)
+            .grid(&data, &plan)
+            .unwrap();
+        let (_, rf) = GpuExecutor::new(Device::fiji(), 8)
+            .grid(&data, &plan)
+            .unwrap();
+        assert!(
+            rp.kernel_seconds < rf.kernel_seconds,
+            "pascal {} vs fiji {}",
+            rp.kernel_seconds,
+            rf.kernel_seconds
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! CUDA-stream pipeline simulation — the triple-buffering of Fig. 7.
+//!
+//! The paper overlaps PCI-e transfers with kernel execution using three
+//! host threads, three buffer sets and three CUDA streams (one per
+//! engine: host-to-device copies, kernel execution, device-to-host
+//! copies). This module reproduces that schedule as a discrete-event
+//! simulation: each engine serializes its own operations, operations of
+//! one job are chained HtoD → kernel → DtoH, and a job may only start
+//! its HtoD once its buffer set (job index mod #buffers) has been
+//! released by the previous occupant — exactly the dashed-arrow
+//! constraint in Fig. 7.
+
+/// The three hardware engines of the pipeline.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Host-to-device copy engine.
+    HtoD,
+    /// Kernel execution engine.
+    Compute,
+    /// Device-to-host copy engine.
+    DtoH,
+}
+
+/// One scheduled operation in the timeline.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TraceEntry {
+    /// Which engine executed the operation.
+    pub engine: Engine,
+    /// Job (work group) index.
+    pub job: usize,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+}
+
+/// The pipeline simulator.
+#[derive(Clone, Debug)]
+pub struct PipelineSim {
+    nr_buffers: usize,
+    htod_free: f64,
+    compute_free: f64,
+    dtoh_free: f64,
+    /// When each buffer set becomes reusable.
+    buffer_free: Vec<f64>,
+    /// Completed operations.
+    pub timeline: Vec<TraceEntry>,
+    next_job: usize,
+}
+
+impl PipelineSim {
+    /// Create a pipeline with `nr_buffers` buffer sets (3 in the paper).
+    pub fn new(nr_buffers: usize) -> Self {
+        assert!(nr_buffers >= 1);
+        Self {
+            nr_buffers,
+            htod_free: 0.0,
+            compute_free: 0.0,
+            dtoh_free: 0.0,
+            buffer_free: vec![0.0; nr_buffers],
+            timeline: Vec::new(),
+            next_job: 0,
+        }
+    }
+
+    /// Submit one job (work group) with the given phase durations;
+    /// returns the job's completion time. Zero-duration phases are
+    /// scheduled but keep their engines free.
+    pub fn submit(&mut self, t_htod: f64, t_kernel: f64, t_dtoh: f64) -> f64 {
+        let job = self.next_job;
+        self.next_job += 1;
+        let buffer = job % self.nr_buffers;
+
+        // HtoD may start when the copy engine AND the buffer are free.
+        let h_start = self.htod_free.max(self.buffer_free[buffer]);
+        let h_end = h_start + t_htod;
+        self.htod_free = h_end;
+        self.timeline.push(TraceEntry {
+            engine: Engine::HtoD,
+            job,
+            start: h_start,
+            end: h_end,
+        });
+
+        // Kernel waits for its input and the compute engine.
+        let k_start = self.compute_free.max(h_end);
+        let k_end = k_start + t_kernel;
+        self.compute_free = k_end;
+        self.timeline.push(TraceEntry {
+            engine: Engine::Compute,
+            job,
+            start: k_start,
+            end: k_end,
+        });
+
+        // DtoH waits for the kernel and the copy-back engine.
+        let d_start = self.dtoh_free.max(k_end);
+        let d_end = d_start + t_dtoh;
+        self.dtoh_free = d_end;
+        self.timeline.push(TraceEntry {
+            engine: Engine::DtoH,
+            job,
+            start: d_start,
+            end: d_end,
+        });
+
+        // Buffer is reusable once the results left the device.
+        self.buffer_free[buffer] = d_end;
+        d_end
+    }
+
+    /// Total makespan so far.
+    pub fn makespan(&self) -> f64 {
+        self.timeline.iter().map(|t| t.end).fold(0.0, f64::max)
+    }
+
+    /// Sum of kernel (compute-engine) busy time.
+    pub fn compute_busy(&self) -> f64 {
+        self.timeline
+            .iter()
+            .filter(|t| t.engine == Engine::Compute)
+            .map(|t| t.end - t.start)
+            .sum()
+    }
+
+    /// The time everything would take without any overlap (serial sum).
+    pub fn serial_time(&self) -> f64 {
+        self.timeline.iter().map(|t| t.end - t.start).sum()
+    }
+
+    /// Render the Fig. 7-style timeline as ASCII (one row per engine).
+    pub fn render(&self, width: usize) -> String {
+        let makespan = self.makespan().max(1e-12);
+        let mut rows = [vec![b'.'; width], vec![b'.'; width], vec![b'.'; width]];
+        for t in &self.timeline {
+            let row = match t.engine {
+                Engine::HtoD => 0,
+                Engine::Compute => 1,
+                Engine::DtoH => 2,
+            };
+            let a = ((t.start / makespan) * width as f64) as usize;
+            let b = (((t.end / makespan) * width as f64) as usize).min(width);
+            let glyph = b"0123456789"[t.job % 10];
+            for cell in rows[row][a..b].iter_mut() {
+                *cell = glyph;
+            }
+        }
+        format!(
+            "HtoD    |{}|\ncompute |{}|\nDtoH    |{}|",
+            String::from_utf8_lossy(&rows[0]),
+            String::from_utf8_lossy(&rows[1]),
+            String::from_utf8_lossy(&rows[2]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_job_is_serial() {
+        let mut sim = PipelineSim::new(3);
+        let end = sim.submit(1.0, 2.0, 0.5);
+        assert!((end - 3.5).abs() < 1e-12);
+        assert!((sim.makespan() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_state_hides_transfers_behind_kernels() {
+        // With kernels longer than transfers, the pipeline throughput is
+        // kernel-bound: N jobs ≈ first HtoD + N kernels + last DtoH.
+        let mut sim = PipelineSim::new(3);
+        let n = 20;
+        for _ in 0..n {
+            sim.submit(0.3, 1.0, 0.3);
+        }
+        let expect = 0.3 + n as f64 * 1.0 + 0.3;
+        assert!(
+            (sim.makespan() - expect).abs() < 1e-9,
+            "makespan {} vs {}",
+            sim.makespan(),
+            expect
+        );
+        // significant overlap achieved versus serial execution
+        assert!(sim.makespan() < 0.7 * sim.serial_time());
+    }
+
+    #[test]
+    fn transfer_bound_pipeline() {
+        // When transfers dominate, the copy engine is the bottleneck.
+        let mut sim = PipelineSim::new(3);
+        for _ in 0..10 {
+            sim.submit(2.0, 0.5, 0.1);
+        }
+        assert!((sim.makespan() - (10.0 * 2.0 + 0.5 + 0.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_buffer_forces_serialization() {
+        // One buffer set = no overlap at all between consecutive jobs.
+        let mut sim = PipelineSim::new(1);
+        for _ in 0..5 {
+            sim.submit(1.0, 1.0, 1.0);
+        }
+        assert!((sim.makespan() - 15.0).abs() < 1e-9);
+        // three buffers overlap the same workload
+        let mut sim3 = PipelineSim::new(3);
+        for _ in 0..5 {
+            sim3.submit(1.0, 1.0, 1.0);
+        }
+        assert!(
+            sim3.makespan() < 8.0,
+            "triple buffering helps: {}",
+            sim3.makespan()
+        );
+    }
+
+    #[test]
+    fn engines_never_overlap_themselves() {
+        let mut sim = PipelineSim::new(3);
+        for i in 0..8 {
+            sim.submit(0.5 + 0.1 * i as f64, 1.0, 0.4);
+        }
+        for engine in [Engine::HtoD, Engine::Compute, Engine::DtoH] {
+            let mut spans: Vec<(f64, f64)> = sim
+                .timeline
+                .iter()
+                .filter(|t| t.engine == engine)
+                .map(|t| (t.start, t.end))
+                .collect();
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                assert!(w[0].1 <= w[1].0 + 1e-12, "{engine:?} overlaps itself");
+            }
+        }
+    }
+
+    #[test]
+    fn job_phases_are_ordered() {
+        let mut sim = PipelineSim::new(3);
+        for _ in 0..6 {
+            sim.submit(0.2, 0.7, 0.3);
+        }
+        for job in 0..6 {
+            let ops: Vec<&TraceEntry> = sim.timeline.iter().filter(|t| t.job == job).collect();
+            assert_eq!(ops.len(), 3);
+            assert!(ops[0].end <= ops[1].start + 1e-12);
+            assert!(ops[1].end <= ops[2].start + 1e-12);
+        }
+    }
+
+    #[test]
+    fn render_produces_three_rows() {
+        let mut sim = PipelineSim::new(3);
+        sim.submit(1.0, 1.0, 1.0);
+        sim.submit(1.0, 1.0, 1.0);
+        let text = sim.render(60);
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("compute"));
+        assert!(text.contains('0') && text.contains('1'));
+    }
+}

@@ -1,0 +1,312 @@
+//! Högbom CLEAN minor cycles.
+//!
+//! After imaging, "one or more bright sources, which mask the more
+//! interesting weak sources, are extracted using a variant of the CLEAN
+//! algorithm and added to the sky model" (Sec. II). This is the classic
+//! Högbom variant: repeatedly find the residual peak, subtract a
+//! `gain`-scaled shifted copy of the PSF, and record the component.
+
+use crate::image::Image;
+
+/// Minor-cycle parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct CleanParams {
+    /// Loop gain (fraction of the peak removed per iteration).
+    pub gain: f32,
+    /// Maximum number of minor-cycle iterations.
+    pub max_iterations: usize,
+    /// Stop when the absolute residual peak drops below this.
+    pub threshold: f32,
+    /// Fraction of the image edge excluded from peak search (the CLEAN
+    /// window): near the taper edge the IDG image is noise-amplified,
+    /// so components are only sought in the inner region, like the
+    /// clean boxes / padding of production imagers.
+    pub search_border: f32,
+}
+
+impl Default for CleanParams {
+    fn default() -> Self {
+        Self {
+            gain: 0.1,
+            max_iterations: 200,
+            threshold: 0.0,
+            search_border: 0.25,
+        }
+    }
+}
+
+/// Find the absolute-maximum pixel within the clean window.
+fn peak_within(image: &Image, border: usize) -> (usize, usize, f32) {
+    let size = image.size();
+    let mut best = (border, border, 0.0f32);
+    for y in border..size - border {
+        for x in border..size - border {
+            let v = image.at(y, x);
+            if v.abs() > best.2.abs() {
+                best = (x, y, v);
+            }
+        }
+    }
+    best
+}
+
+/// One extracted CLEAN component.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CleanComponent {
+    /// Pixel x.
+    pub x: usize,
+    /// Pixel y.
+    pub y: usize,
+    /// Component flux (image units).
+    pub flux: f32,
+}
+
+/// Run Högbom CLEAN on `residual` in place; returns the component list.
+///
+/// `psf` must be the same size as `residual`, peaking at its center
+/// pixel with value ≈ 1 (see [`crate::image::psf_image`]).
+pub fn hogbom_clean(
+    residual: &mut Image,
+    psf: &Image,
+    params: &CleanParams,
+) -> Vec<CleanComponent> {
+    assert_eq!(residual.size(), psf.size(), "psf/residual size mismatch");
+    let size = residual.size();
+    let center = size / 2;
+    let border = ((size as f32 * params.search_border) as usize).min(size / 2 - 1);
+    let mut components = Vec::new();
+
+    for _ in 0..params.max_iterations {
+        let (px, py, peak) = peak_within(residual, border);
+        if peak.abs() <= params.threshold || peak == 0.0 {
+            break;
+        }
+        let flux = params.gain * peak;
+
+        // subtract flux × PSF shifted to (px, py)
+        for y in 0..size {
+            let psf_y = y as i64 - py as i64 + center as i64;
+            if !(0..size as i64).contains(&psf_y) {
+                continue;
+            }
+            for x in 0..size {
+                let psf_x = x as i64 - px as i64 + center as i64;
+                if !(0..size as i64).contains(&psf_x) {
+                    continue;
+                }
+                *residual.at_mut(y, x) -= flux * psf.at(psf_y as usize, psf_x as usize);
+            }
+        }
+
+        // merge with an existing component at the same pixel
+        if let Some(existing) = components
+            .iter_mut()
+            .find(|c: &&mut CleanComponent| c.x == px && c.y == py)
+        {
+            existing.flux += flux;
+        } else {
+            components.push(CleanComponent { x: px, y: py, flux });
+        }
+    }
+    components
+}
+
+/// Total flux of a component list.
+pub fn total_component_flux(components: &[CleanComponent]) -> f64 {
+    components.iter().map(|c| c.flux as f64).sum()
+}
+
+/// Render components into a model image.
+pub fn components_to_image(components: &[CleanComponent], size: usize) -> Image {
+    let mut image = Image::new(size);
+    for c in components {
+        *image.at_mut(c.y, c.x) += c.flux;
+    }
+    image
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic PSF: unit peak with small symmetric sidelobes.
+    fn synthetic_psf(size: usize) -> Image {
+        let mut psf = Image::new(size);
+        let c = size / 2;
+        for y in 0..size {
+            for x in 0..size {
+                let dy = y as f64 - c as f64;
+                let dx = x as f64 - c as f64;
+                let r2 = dx * dx + dy * dy;
+                let main = (-r2 / 2.0).exp();
+                let sidelobe = 0.05 * (-r2 / 200.0).exp() * (0.5 * (r2).sqrt()).cos();
+                *psf.at_mut(y, x) = (main + sidelobe) as f32;
+            }
+        }
+        *psf.at_mut(c, c) = 1.0;
+        psf
+    }
+
+    /// Convolve a delta at (x, y) with the PSF into `img`.
+    fn add_source(img: &mut Image, psf: &Image, x: usize, y: usize, flux: f32) {
+        let size = img.size();
+        let c = size / 2;
+        for iy in 0..size {
+            let py = iy as i64 - y as i64 + c as i64;
+            if !(0..size as i64).contains(&py) {
+                continue;
+            }
+            for ix in 0..size {
+                let px = ix as i64 - x as i64 + c as i64;
+                if !(0..size as i64).contains(&px) {
+                    continue;
+                }
+                *img.at_mut(iy, ix) += flux * psf.at(py as usize, px as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_recovers_a_single_source() {
+        let psf = synthetic_psf(64);
+        let mut dirty = Image::new(64);
+        add_source(&mut dirty, &psf, 20, 40, 3.0);
+
+        let params = CleanParams {
+            gain: 0.2,
+            max_iterations: 500,
+            threshold: 0.01,
+            search_border: 0.05,
+        };
+        let comps = hogbom_clean(&mut dirty, &psf, &params);
+
+        assert!(!comps.is_empty());
+        // dominant component at the source pixel
+        let main = comps
+            .iter()
+            .max_by(|a, b| a.flux.total_cmp(&b.flux))
+            .unwrap();
+        assert_eq!((main.x, main.y), (20, 40));
+        let flux = total_component_flux(&comps);
+        assert!((flux - 3.0).abs() < 0.15, "recovered {flux}");
+        // residual cleaned below threshold
+        assert!(dirty.peak().2.abs() <= 0.011);
+    }
+
+    #[test]
+    fn clean_separates_two_sources() {
+        let psf = synthetic_psf(64);
+        let mut dirty = Image::new(64);
+        add_source(&mut dirty, &psf, 16, 16, 2.0);
+        add_source(&mut dirty, &psf, 48, 50, 1.0);
+
+        let params = CleanParams {
+            gain: 0.2,
+            max_iterations: 1000,
+            threshold: 0.02,
+            search_border: 0.05,
+        };
+        let comps = hogbom_clean(&mut dirty, &psf, &params);
+        let near = |cx: usize, cy: usize| {
+            comps
+                .iter()
+                .filter(|c| c.x.abs_diff(cx) <= 1 && c.y.abs_diff(cy) <= 1)
+                .map(|c| c.flux as f64)
+                .sum::<f64>()
+        };
+        assert!(
+            (near(16, 16) - 2.0).abs() < 0.25,
+            "source A {}",
+            near(16, 16)
+        );
+        assert!(
+            (near(48, 50) - 1.0).abs() < 0.25,
+            "source B {}",
+            near(48, 50)
+        );
+    }
+
+    #[test]
+    fn threshold_stops_early() {
+        let psf = synthetic_psf(32);
+        let mut dirty = Image::new(32);
+        add_source(&mut dirty, &psf, 10, 10, 1.0);
+        let params = CleanParams {
+            gain: 0.5,
+            max_iterations: 1000,
+            threshold: 0.5,
+            search_border: 0.05,
+        };
+        let comps = hogbom_clean(&mut dirty, &psf, &params);
+        assert!(comps.len() <= 2, "stops once peak < threshold");
+        assert!(dirty.peak().2.abs() <= 0.5);
+    }
+
+    #[test]
+    fn max_iterations_bounds_work() {
+        let psf = synthetic_psf(32);
+        let mut dirty = Image::new(32);
+        add_source(&mut dirty, &psf, 10, 10, 1.0);
+        let params = CleanParams {
+            gain: 0.01,
+            max_iterations: 7,
+            threshold: 0.0,
+            search_border: 0.05,
+        };
+        let before = dirty.peak().2;
+        let comps = hogbom_clean(&mut dirty, &psf, &params);
+        // components merge per pixel, so count ≤ iterations
+        assert!(total_component_flux(&comps) > 0.0);
+        assert!(comps.len() <= 7);
+        assert!(dirty.peak().2 < before);
+    }
+
+    #[test]
+    fn negative_peaks_are_cleaned_too() {
+        let psf = synthetic_psf(32);
+        let mut dirty = Image::new(32);
+        add_source(&mut dirty, &psf, 12, 20, -2.0);
+        let params = CleanParams {
+            gain: 0.2,
+            max_iterations: 300,
+            threshold: 0.05,
+            search_border: 0.05,
+        };
+        let comps = hogbom_clean(&mut dirty, &psf, &params);
+        let flux = total_component_flux(&comps);
+        assert!((flux + 2.0).abs() < 0.2, "negative flux recovered: {flux}");
+    }
+
+    #[test]
+    fn empty_image_yields_no_components() {
+        let psf = synthetic_psf(16);
+        let mut dirty = Image::new(16);
+        let comps = hogbom_clean(&mut dirty, &psf, &CleanParams::default());
+        assert!(comps.is_empty());
+    }
+
+    #[test]
+    fn components_to_image_round_trip() {
+        let comps = vec![
+            CleanComponent {
+                x: 3,
+                y: 4,
+                flux: 1.5,
+            },
+            CleanComponent {
+                x: 3,
+                y: 4,
+                flux: 0.5,
+            },
+            CleanComponent {
+                x: 7,
+                y: 1,
+                flux: -1.0,
+            },
+        ];
+        let img = components_to_image(&comps, 16);
+        assert_eq!(img.at(4, 3), 2.0);
+        assert_eq!(img.at(1, 7), -1.0);
+        assert_eq!(img.at(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,614 @@
+//! Optimized CPU gridder and degridder (Sec. V-B of the paper).
+//!
+//! The optimizations mirror the paper's, translated to Rust idiom:
+//!
+//! 1. **Staging / transposition** — per work item, visibilities are
+//!    loaded into structure-of-arrays buffers with real and imaginary
+//!    parts separated, so the reduction loops stride contiguously
+//!    (the paper's "load and transpose … into memory-aligned arrays").
+//! 2. **Batched phasors** — all `T̃·C̃` phases of a pixel are computed
+//!    first, then evaluated with one `sincos_batch` call (`idg-math`'s
+//!    SVML/VML analogue, medium accuracy).
+//! 3. **Vectorized reductions** — the gridder reduces over channels
+//!    (Listing 1: 16 FMAs per iteration across 8 accumulators), the
+//!    degridder over pixels; both loops are written as straight-line
+//!    mul_adds over slices so LLVM emits packed FMA code.
+//! 4. **Thread-level parallelism** — work items are distributed over
+//!    cores with rayon (the OpenMP `parallel for` analogue). Gridder
+//!    threads own disjoint subgrids; degridder threads own disjoint
+//!    visibility blocks, reassembled after the parallel section.
+
+use crate::buffers::SubgridArray;
+use crate::geometry::KernelGeometry;
+use crate::KernelData;
+use idg_math::{sincos_batch, Accuracy};
+use idg_plan::WorkItem;
+use idg_types::{Jones, Visibility};
+use rayon::prelude::*;
+
+/// Per-worker scratch buffers, reused across work items.
+struct Scratch {
+    /// Phases, then sin/cos planes, each `max(T̃·C̃, Ñ²)` long.
+    phases: Vec<f32>,
+    /// Per-channel phase staging of the degridder.
+    chan_phases: Vec<f32>,
+    sin: Vec<f32>,
+    cos: Vec<f32>,
+    /// SoA staging: 4 pols × re/im.
+    re: [Vec<f32>; 4],
+    im: [Vec<f32>; 4],
+    /// Per-element geometry caches.
+    a: Vec<f32>,
+    b: Vec<f32>,
+    c: Vec<f32>,
+    d: Vec<f32>,
+}
+
+impl Scratch {
+    fn new() -> Self {
+        Self {
+            phases: Vec::new(),
+            chan_phases: Vec::new(),
+            sin: Vec::new(),
+            cos: Vec::new(),
+            re: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            im: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            a: Vec::new(),
+            b: Vec::new(),
+            c: Vec::new(),
+            d: Vec::new(),
+        }
+    }
+
+    fn resize(&mut self, len: usize) {
+        self.phases.resize(len, 0.0);
+        self.chan_phases.resize(len, 0.0);
+        self.sin.resize(len, 0.0);
+        self.cos.resize(len, 0.0);
+        for p in 0..4 {
+            self.re[p].resize(len, 0.0);
+            self.im[p].resize(len, 0.0);
+        }
+        self.a.resize(len, 0.0);
+        self.b.resize(len, 0.0);
+        self.c.resize(len, 0.0);
+        self.d.resize(len, 0.0);
+    }
+}
+
+/// Visibility-batch size (elements of T̃·C̃) staged per sincos/reduction
+/// round — the `T_B × C_B` platform parameter of Sec. V-B: large enough
+/// to amortize call overheads, small enough that the 11 staging arrays
+/// (phases, sin, cos, 8 SoA planes) stay L1-resident.
+const VIS_BATCH: usize = 512;
+
+/// [`reduce_4pol`] over `soa[offset..offset+len]` paired with
+/// `sin/cos[..len]` (the trig planes are batch-local, the visibility SoA
+/// planes are item-global).
+#[inline]
+fn reduce_4pol_offset(
+    sin: &[f32],
+    cos: &[f32],
+    re: &[Vec<f32>; 4],
+    im: &[Vec<f32>; 4],
+    offset: usize,
+    len: usize,
+) -> [(f32, f32); 4] {
+    let re_slices = [
+        &re[0][offset..],
+        &re[1][offset..],
+        &re[2][offset..],
+        &re[3][offset..],
+    ];
+    let im_slices = [
+        &im[0][offset..],
+        &im[1][offset..],
+        &im[2][offset..],
+        &im[3][offset..],
+    ];
+    reduce_4pol_slices(sin, cos, &re_slices, &im_slices, len)
+}
+
+/// The channel-reduction of Listing 1, generalized to reduce over any
+/// contiguous index range: 16 FMAs per element across 8 accumulators.
+///
+/// Strict-FP reductions cannot be auto-vectorized (the compiler may not
+/// reassociate float adds), so the accumulators are split into `LANES`
+/// independent partial sums — each maps onto one SIMD lane and the loop
+/// compiles to packed FMAs, the effect of Listing 1\'s
+/// `#pragma omp simd reduction`.
+#[inline]
+fn reduce_4pol(
+    sin: &[f32],
+    cos: &[f32],
+    re: &[Vec<f32>; 4],
+    im: &[Vec<f32>; 4],
+    len: usize,
+) -> [(f32, f32); 4] {
+    let re_slices = [
+        re[0].as_slice(),
+        re[1].as_slice(),
+        re[2].as_slice(),
+        re[3].as_slice(),
+    ];
+    let im_slices = [
+        im[0].as_slice(),
+        im[1].as_slice(),
+        im[2].as_slice(),
+        im[3].as_slice(),
+    ];
+    reduce_4pol_slices(sin, cos, &re_slices, &im_slices, len)
+}
+
+#[inline]
+fn reduce_4pol_slices(
+    sin: &[f32],
+    cos: &[f32],
+    re: &[&[f32]; 4],
+    im: &[&[f32]; 4],
+    len: usize,
+) -> [(f32, f32); 4] {
+    const LANES: usize = 16;
+    let mut acc = [(0.0f32, 0.0f32); 4];
+    let full = len - len % LANES;
+
+    for p in 0..4 {
+        let (vr, vi) = (&re[p][..len], &im[p][..len]);
+        let (s, c) = (&sin[..len], &cos[..len]);
+
+        let mut ar = [0.0f32; LANES];
+        let mut ai = [0.0f32; LANES];
+        let mut k = 0;
+        while k < full {
+            for lane in 0..LANES {
+                let (vr_k, vi_k) = (vr[k + lane], vi[k + lane]);
+                let (s_k, c_k) = (s[k + lane], c[k + lane]);
+                // pixel += vis * (cos + i*sin):
+                ar[lane] = vr_k.mul_add(c_k, ar[lane]);
+                ar[lane] = (-vi_k).mul_add(s_k, ar[lane]);
+                ai[lane] = vr_k.mul_add(s_k, ai[lane]);
+                ai[lane] = vi_k.mul_add(c_k, ai[lane]);
+            }
+            k += LANES;
+        }
+        let mut ar_sum: f32 = ar.iter().sum();
+        let mut ai_sum: f32 = ai.iter().sum();
+        for k in full..len {
+            ar_sum = vr[k].mul_add(c[k], ar_sum);
+            ar_sum = (-vi[k]).mul_add(s[k], ar_sum);
+            ai_sum = vr[k].mul_add(s[k], ai_sum);
+            ai_sum = vi[k].mul_add(c[k], ai_sum);
+        }
+        acc[p] = (ar_sum, ai_sum);
+    }
+    acc
+}
+
+/// Optimized gridder: Algorithm 1 over all work items, parallelized with
+/// rayon; numerically validated against [`crate::gridder_reference`].
+pub fn gridder_cpu(
+    data: &KernelData<'_>,
+    items: &[WorkItem],
+    subgrids: &mut SubgridArray,
+    accuracy: Accuracy,
+) {
+    assert_eq!(subgrids.count(), items.len(), "one subgrid per work item");
+    assert_eq!(subgrids.size(), data.obs.subgrid_size);
+    data.validate().expect("kernel inputs must be consistent");
+
+    let geom = KernelGeometry::new(data.obs);
+    let n = geom.subgrid_size;
+    let n2 = n * n;
+    let nr_time = data.obs.nr_timesteps;
+    let nr_chan = data.obs.nr_channels();
+    // per-channel phase scale 2π·ν/c as f32 (phases stay < ~10⁴ rad)
+    let scales: Vec<f32> = data
+        .obs
+        .frequencies
+        .iter()
+        .map(|f| KernelGeometry::phase_scale(*f) as f32)
+        .collect();
+
+    items
+        .par_iter()
+        .zip(subgrids.as_mut_slice().par_chunks_exact_mut(4 * n2))
+        .for_each_init(Scratch::new, |scr, (item, subgrid)| {
+            let item_chan = item.nr_channels;
+            let tc = item.nr_timesteps * item_chan;
+            scr.resize(tc.max(n2));
+
+            // stage this item's channel group (SoA, re/im separated)
+            let base = item.baseline_index * nr_time + item.time_offset;
+            for dt in 0..item.nr_timesteps {
+                let row_start = (base + dt) * nr_chan + item.channel_offset;
+                let row = &data.visibilities[row_start..row_start + item_chan];
+                for (ci, v) in row.iter().enumerate() {
+                    let k = dt * item_chan + ci;
+                    for p in 0..4 {
+                        scr.re[p][k] = v.pols[p].re;
+                        scr.im[p][k] = v.pols[p].im;
+                    }
+                }
+            }
+
+            let (u0, v0, w0) = geom.subgrid_center_uvw(item);
+            let uvw = &data.uvw[base..base + item.nr_timesteps];
+            let ap_plane = data.aterms.plane(item.aterm_index, item.baseline.station1);
+            let aq_plane = data.aterms.plane(item.aterm_index, item.baseline.station2);
+            let identity_aterms = data.aterms.is_identity();
+
+            // Per-pixel geometry, computed once (l, m, n, φ₀ in the
+            // a/b/c/d scratch planes).
+            for y in 0..n {
+                let m = geom.pixel_to_lm(y);
+                for x in 0..n {
+                    let i = y * n + x;
+                    let l = geom.pixel_to_lm(x);
+                    let n_term = KernelGeometry::compute_n(l, m);
+                    scr.a[i] = l as f32;
+                    scr.b[i] = m as f32;
+                    scr.c[i] = n_term as f32;
+                    scr.d[i] =
+                        (2.0 * std::f64::consts::PI * (u0 * l + v0 * m + w0 * n_term)) as f32;
+                }
+            }
+
+            // Batch-outer / pixel-inner, the paper\'s Sec. V-B
+            // optimization 1 (T_B × C_B batching): one batch\'s SoA
+            // planes (≤ VIS_BATCH elements) and the trig staging stay
+            // L1-resident while *every* pixel consumes them; the pixel
+            // accumulators persist across batches like the GPU kernel\'s
+            // registers.
+            let mut pix_acc = vec![[(0.0f32, 0.0f32); 4]; n2];
+            let batch_t = (VIS_BATCH / item_chan).max(1);
+            let mut t0 = 0usize;
+            while t0 < item.nr_timesteps {
+                let t1 = (t0 + batch_t).min(item.nr_timesteps);
+                let len = (t1 - t0) * item_chan;
+                let off = t0 * item_chan;
+
+                for (i, acc) in pix_acc.iter_mut().enumerate() {
+                    let (lf, mf, nf, phase_offset) = (scr.a[i], scr.b[i], scr.c[i], scr.d[i]);
+                    for (bt, uvw_m) in uvw[t0..t1].iter().enumerate() {
+                        let phase_index = uvw_m.u.mul_add(lf, uvw_m.v.mul_add(mf, uvw_m.w * nf));
+                        let row = &mut scr.phases[bt * item_chan..(bt + 1) * item_chan];
+                        for (ci, ph) in row.iter_mut().enumerate() {
+                            *ph = scales[item.channel_offset + ci]
+                                .mul_add(phase_index, -phase_offset);
+                        }
+                    }
+                    // one batched sincos call per (pixel, batch) — the
+                    // SVML analogue
+                    sincos_batch(&scr.phases[..len], &mut scr.sin, &mut scr.cos, accuracy);
+
+                    // Listing 1: vectorized 4-pol reduction over the batch
+                    let partial =
+                        reduce_4pol_offset(&scr.sin, &scr.cos, &scr.re, &scr.im, off, len);
+                    for p in 0..4 {
+                        acc[p].0 += partial[p].0;
+                        acc[p].1 += partial[p].1;
+                    }
+                }
+                t0 = t1;
+            }
+
+            // Epilogue: A-term (adjoint) + taper, then store.
+            for y in 0..n {
+                for x in 0..n {
+                    let i = y * n + x;
+                    let acc = pix_acc[i];
+                    let taper = data.taper[i];
+                    let store = |subgrid: &mut [idg_types::Cf32], vals: [(f32, f32); 4]| {
+                        for (p, (vr, vi)) in vals.into_iter().enumerate() {
+                            subgrid[(p * n + y) * n + x] =
+                                idg_types::Cf32::new(vr * taper, vi * taper);
+                        }
+                    };
+                    if identity_aterms {
+                        store(subgrid, acc);
+                    } else {
+                        let pix = Jones::from_pols([
+                            idg_types::Cf32::new(acc[0].0, acc[0].1),
+                            idg_types::Cf32::new(acc[1].0, acc[1].1),
+                            idg_types::Cf32::new(acc[2].0, acc[2].1),
+                            idg_types::Cf32::new(acc[3].0, acc[3].1),
+                        ]);
+                        let ap = ap_plane[i];
+                        let aq = aq_plane[i];
+                        let corrected = ap.hermitian().mul(pix).mul(aq).to_pols();
+                        store(
+                            subgrid,
+                            [
+                                (corrected[0].re, corrected[0].im),
+                                (corrected[1].re, corrected[1].im),
+                                (corrected[2].re, corrected[2].im),
+                                (corrected[3].re, corrected[3].im),
+                            ],
+                        );
+                    }
+                }
+            }
+        });
+}
+
+/// Optimized degridder: Algorithm 2 over all work items.
+///
+/// Parallel over work items; each worker predicts its own visibility
+/// block which is then scattered into `vis_out` (blocks are disjoint by
+/// construction of the plan).
+pub fn degridder_cpu(
+    data: &KernelData<'_>,
+    items: &[WorkItem],
+    subgrids: &SubgridArray,
+    vis_out: &mut [Visibility<f32>],
+    accuracy: Accuracy,
+) {
+    assert_eq!(subgrids.count(), items.len(), "one subgrid per work item");
+    assert_eq!(subgrids.size(), data.obs.subgrid_size);
+    assert_eq!(vis_out.len(), data.obs.nr_visibilities());
+    data.validate().expect("kernel inputs must be consistent");
+
+    let geom = KernelGeometry::new(data.obs);
+    let n = geom.subgrid_size;
+    let n2 = n * n;
+    let nr_time = data.obs.nr_timesteps;
+    let nr_chan = data.obs.nr_channels();
+    let scales: Vec<f32> = data
+        .obs
+        .frequencies
+        .iter()
+        .map(|f| KernelGeometry::phase_scale(*f) as f32)
+        .collect();
+
+    let results: Vec<(&WorkItem, Vec<Visibility<f32>>)> = items
+        .par_iter()
+        .enumerate()
+        .map_init(Scratch::new, |scr, (s_idx, item)| {
+            scr.resize(n2);
+            let subgrid = subgrids.subgrid(s_idx);
+            let ap_plane = data.aterms.plane(item.aterm_index, item.baseline.station1);
+            let aq_plane = data.aterms.plane(item.aterm_index, item.baseline.station2);
+            let (u0, v0, w0) = geom.subgrid_center_uvw(item);
+
+            // Lines 2–3 of Algorithm 2: forward A-term sandwich + taper,
+            // staged SoA, together with per-pixel geometry (l, m, n, φ₀).
+            for y in 0..n {
+                let m = geom.pixel_to_lm(y);
+                for x in 0..n {
+                    let i = y * n + x;
+                    let l = geom.pixel_to_lm(x);
+                    let n_term = KernelGeometry::compute_n(l, m);
+                    scr.a[i] = l as f32;
+                    scr.b[i] = m as f32;
+                    scr.c[i] = n_term as f32;
+                    scr.d[i] =
+                        (2.0 * std::f64::consts::PI * (u0 * l + v0 * m + w0 * n_term)) as f32;
+
+                    let raw = Jones::from_pols([
+                        subgrid[(y) * n + x],
+                        subgrid[(n + y) * n + x],
+                        subgrid[(2 * n + y) * n + x],
+                        subgrid[(3 * n + y) * n + x],
+                    ]);
+                    let taper = data.taper[i];
+                    let px = ap_plane[i]
+                        .sandwich(raw, aq_plane[i])
+                        .scale(taper)
+                        .to_pols();
+                    for p in 0..4 {
+                        scr.re[p][i] = px[p].re;
+                        scr.im[p][i] = px[p].im;
+                    }
+                }
+            }
+
+            let base = item.baseline_index * nr_time + item.time_offset;
+            let uvw = &data.uvw[base..base + item.nr_timesteps];
+            let item_chan = item.nr_channels;
+            let mut out = vec![Visibility::<f32>::zero(); item.nr_timesteps * item_chan];
+
+            for (dt, uvw_m) in uvw.iter().enumerate() {
+                // per-pixel meter-valued phase index (3 FMAs each)
+                for i in 0..n2 {
+                    scr.phases[i] = uvw_m
+                        .u
+                        .mul_add(scr.a[i], uvw_m.v.mul_add(scr.b[i], uvw_m.w * scr.c[i]));
+                }
+                for ci in 0..item_chan {
+                    // degridding phase = −(scale·index − offset)
+                    let scale = scales[item.channel_offset + ci];
+                    for i in 0..n2 {
+                        scr.chan_phases[i] = (-scale).mul_add(scr.phases[i], scr.d[i]);
+                    }
+                    sincos_batch(&scr.chan_phases[..n2], &mut scr.sin, &mut scr.cos, accuracy);
+                    let acc = reduce_4pol(&scr.sin, &scr.cos, &scr.re, &scr.im, n2);
+                    out[dt * item_chan + ci] = Visibility {
+                        pols: [
+                            idg_types::Cf32::new(acc[0].0, acc[0].1),
+                            idg_types::Cf32::new(acc[1].0, acc[1].1),
+                            idg_types::Cf32::new(acc[2].0, acc[2].1),
+                            idg_types::Cf32::new(acc[3].0, acc[3].1),
+                        ],
+                    };
+                }
+            }
+            (item, out)
+        })
+        .collect();
+
+    // scatter: blocks are disjoint — the plan partitions
+    // (baseline, time, channel-group)
+    for (item, block) in results {
+        let base = item.baseline_index * nr_time + item.time_offset;
+        let item_chan = item.nr_channels;
+        for dt in 0..item.nr_timesteps {
+            let dst = (base + dt) * nr_chan + item.channel_offset;
+            vis_out[dst..dst + item_chan]
+                .copy_from_slice(&block[dt * item_chan..(dt + 1) * item_chan]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{degridder_reference, gridder_reference};
+    use idg_plan::Plan;
+    use idg_telescope::{Dataset, GaussianBeam, IdentityATerm, Layout, SkyModel};
+    use idg_types::Observation;
+
+    fn dataset(aterm_kind: u8) -> Dataset {
+        let obs = Observation::builder()
+            .stations(6)
+            .timesteps(24)
+            .channels(5, 150e6, 2e6) // odd channel count: exercises remainders
+            .grid_size(256)
+            .subgrid_size(16)
+            .kernel_size(5)
+            .aterm_interval(8)
+            .image_size(0.05)
+            .build()
+            .unwrap();
+        let layout = Layout::uniform(6, 900.0, 17);
+        let sky = SkyModel::random(&obs, 5, 0.6, 23);
+        match aterm_kind {
+            0 => Dataset::simulate(obs, &layout, sky, &IdentityATerm),
+            _ => {
+                let beam = GaussianBeam::new(&obs, 0.8, 31);
+                Dataset::simulate(obs, &layout, sky, &beam)
+            }
+        }
+    }
+
+    fn taper(n: usize) -> Vec<f32> {
+        idg_math::spheroidal_2d(n)
+    }
+
+    fn assert_subgrids_close(a: &SubgridArray, b: &SubgridArray, tol: f32) {
+        let scale = b.as_slice().iter().map(|c| c.abs()).fold(1.0f32, f32::max);
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert!(
+                (*x - *y).abs() / scale < tol,
+                "pixel {i}: {x} vs {y} (scale {scale})"
+            );
+        }
+    }
+
+    #[test]
+    fn gridder_matches_reference_identity_aterms() {
+        let ds = dataset(0);
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let tp = taper(ds.obs.subgrid_size);
+        let data = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper: &tp,
+        };
+        let mut fast = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+        let mut gold = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+        gridder_cpu(&data, &plan.items, &mut fast, Accuracy::Medium);
+        gridder_reference(&data, &plan.items, &mut gold);
+        assert_subgrids_close(&fast, &gold, 2e-4);
+    }
+
+    #[test]
+    fn gridder_matches_reference_beam_aterms() {
+        let ds = dataset(1);
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let tp = taper(ds.obs.subgrid_size);
+        let data = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper: &tp,
+        };
+        let mut fast = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+        let mut gold = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+        gridder_cpu(&data, &plan.items, &mut fast, Accuracy::Medium);
+        gridder_reference(&data, &plan.items, &mut gold);
+        assert_subgrids_close(&fast, &gold, 2e-4);
+    }
+
+    #[test]
+    fn degridder_matches_reference() {
+        let ds = dataset(1);
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let tp = taper(ds.obs.subgrid_size);
+        let data = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper: &tp,
+        };
+        // grid something non-trivial first, then degrid it both ways
+        let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+        gridder_reference(&data, &plan.items, &mut subgrids);
+
+        let mut fast = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
+        let mut gold = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
+        degridder_cpu(&data, &plan.items, &subgrids, &mut fast, Accuracy::Medium);
+        degridder_reference(&data, &plan.items, &subgrids, &mut gold);
+
+        let scale = gold
+            .iter()
+            .flat_map(|v| v.pols.iter())
+            .map(|c| c.abs())
+            .fold(1.0f32, f32::max);
+        for (i, (a, b)) in fast.iter().zip(&gold).enumerate() {
+            for p in 0..4 {
+                assert!(
+                    (a.pols[p] - b.pols[p]).abs() / scale < 3e-4,
+                    "vis {i} pol {p}: {} vs {}",
+                    a.pols[p],
+                    b.pols[p]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_accuracy_stays_close_to_medium() {
+        let ds = dataset(0);
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let tp = taper(ds.obs.subgrid_size);
+        let data = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper: &tp,
+        };
+        let mut med = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+        let mut fast = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+        gridder_cpu(&data, &plan.items, &mut med, Accuracy::Medium);
+        gridder_cpu(&data, &plan.items, &mut fast, Accuracy::Fast);
+        assert_subgrids_close(&fast, &med, 1e-3);
+    }
+
+    #[test]
+    fn parallel_execution_is_deterministic() {
+        let ds = dataset(0);
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let tp = taper(ds.obs.subgrid_size);
+        let data = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper: &tp,
+        };
+        let mut a = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+        let mut b = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+        gridder_cpu(&data, &plan.items, &mut a, Accuracy::Medium);
+        gridder_cpu(&data, &plan.items, &mut b, Accuracy::Medium);
+        assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "per-item accumulation order is fixed"
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Shared kernel geometry: pixel → direction mapping and phase terms.
+//!
+//! Both Algorithm 1 and Algorithm 2 evaluate the same
+//! `α = f(x,y)·g(u,v,w)` phase structure; this module centralizes it so
+//! reference, optimized-CPU and simulated-GPU kernels cannot drift apart.
+
+use idg_plan::WorkItem;
+use idg_types::{Observation, SPEED_OF_LIGHT};
+
+/// Precomputed per-observation geometry constants.
+#[derive(Copy, Clone, Debug)]
+pub struct KernelGeometry {
+    /// Subgrid edge length, pixels.
+    pub subgrid_size: usize,
+    /// Grid edge length, pixels.
+    pub grid_size: usize,
+    /// Field of view, radians.
+    pub image_size: f64,
+    /// W-stacking step, wavelengths.
+    pub w_step: f64,
+}
+
+impl KernelGeometry {
+    /// Extract the geometry of `obs`.
+    pub fn new(obs: &Observation) -> Self {
+        Self {
+            subgrid_size: obs.subgrid_size,
+            grid_size: obs.grid_size,
+            image_size: obs.image_size,
+            w_step: obs.w_step,
+        }
+    }
+
+    /// Image-domain coordinate of pixel index `i` (x or y axis):
+    /// `l = (i + 0.5 − Ñ/2)·image_size/Ñ`.
+    #[inline(always)]
+    pub fn pixel_to_lm(&self, i: usize) -> f64 {
+        (i as f64 + 0.5 - self.subgrid_size as f64 / 2.0) * self.image_size
+            / self.subgrid_size as f64
+    }
+
+    /// Numerically stable `n(l,m) = 1 − √(1−l²−m²)`.
+    #[inline(always)]
+    pub fn compute_n(l: f64, m: f64) -> f64 {
+        let r2 = l * l + m * m;
+        debug_assert!(r2 < 1.0, "direction cosines outside the celestial sphere");
+        r2 / (1.0 + (1.0 - r2).sqrt())
+    }
+
+    /// The uv-coordinate (wavelengths) of the *center* of `item`'s
+    /// subgrid: `u₀ = (coord + Ñ/2 − grid/2)/image_size`.
+    #[inline]
+    pub fn subgrid_center_uvw(&self, item: &WorkItem) -> (f64, f64, f64) {
+        let half_grid = self.grid_size as f64 / 2.0;
+        let half_sub = self.subgrid_size as f64 / 2.0;
+        let u0 = (item.coord_x as f64 + half_sub - half_grid) / self.image_size;
+        let v0 = (item.coord_y as f64 + half_sub - half_grid) / self.image_size;
+        let w0 = item.w_plane as f64 * self.w_step;
+        (u0, v0, w0)
+    }
+
+    /// `2π·ν/c` — converts a meter-valued `u·l+v·m+w·n` inner product to
+    /// the phase contribution at frequency `freq`.
+    #[inline(always)]
+    pub fn phase_scale(freq: f64) -> f64 {
+        2.0 * std::f64::consts::PI * freq / SPEED_OF_LIGHT
+    }
+
+    /// The *gridding* phase of one (pixel, sample, channel) triple:
+    /// `φ = 2π[(u−u₀)l + (v−v₀)m + (w−w₀)n]`, inputs in meters except
+    /// `(u₀,v₀,w₀)` in wavelengths. Degridding uses `−φ`.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn gridding_phase(
+        phase_index_m: f64, // u·l + v·m + w·n, meters
+        phase_offset: f64,  // 2π·(u₀·l + v₀·m + w₀·n), radians
+        freq: f64,
+    ) -> f64 {
+        Self::phase_scale(freq) * phase_index_m - phase_offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idg_types::Baseline;
+
+    fn obs() -> Observation {
+        Observation::builder()
+            .stations(4)
+            .timesteps(8)
+            .grid_size(256)
+            .subgrid_size(16)
+            .image_size(0.08)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lm_is_symmetric_around_center() {
+        let g = KernelGeometry::new(&obs());
+        // pixels 7 and 8 straddle the center of a 16-pixel axis
+        assert!((g.pixel_to_lm(7) + g.pixel_to_lm(8)).abs() < 1e-15);
+        // spacing is image_size / N
+        let spacing = g.pixel_to_lm(1) - g.pixel_to_lm(0);
+        assert!((spacing - 0.08 / 16.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn n_matches_exact_formula() {
+        for (l, m) in [(0.0, 0.0), (0.01, 0.02), (-0.3, 0.4), (0.6, -0.5)] {
+            let exact = 1.0 - (1.0f64 - l * l - m * m).sqrt();
+            assert!((KernelGeometry::compute_n(l, m) - exact).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn center_subgrid_has_zero_offset() {
+        let o = obs();
+        let g = KernelGeometry::new(&o);
+        // subgrid centered on the grid: coord = grid/2 − sub/2
+        let item = WorkItem {
+            baseline_index: 0,
+            baseline: Baseline::new(0, 1),
+            time_offset: 0,
+            nr_timesteps: 1,
+            channel_offset: 0,
+            nr_channels: 16,
+            aterm_index: 0,
+            coord_x: 128 - 8,
+            coord_y: 128 - 8,
+            w_plane: 0,
+        };
+        let (u0, v0, w0) = g.subgrid_center_uvw(&item);
+        assert_eq!(u0, 0.0);
+        assert_eq!(v0, 0.0);
+        assert_eq!(w0, 0.0);
+    }
+
+    #[test]
+    fn offset_subgrid_maps_back_through_uv_to_pixel() {
+        let o = obs();
+        let g = KernelGeometry::new(&o);
+        let item = WorkItem {
+            baseline_index: 0,
+            baseline: Baseline::new(0, 1),
+            time_offset: 0,
+            nr_timesteps: 1,
+            channel_offset: 0,
+            nr_channels: 16,
+            aterm_index: 0,
+            coord_x: 40,
+            coord_y: 200,
+            w_plane: 0,
+        };
+        let (u0, v0, _) = g.subgrid_center_uvw(&item);
+        assert!((o.uv_to_pixel(u0) - (40.0 + 8.0)).abs() < 1e-9);
+        assert!((o.uv_to_pixel(v0) - (200.0 + 8.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_scale_is_2pi_over_lambda() {
+        let freq = 150e6;
+        let lambda = SPEED_OF_LIGHT / freq;
+        assert!(
+            (KernelGeometry::phase_scale(freq) - 2.0 * std::f64::consts::PI / lambda).abs() < 1e-12
+        );
+    }
+}

@@ -1,0 +1,440 @@
+//! Reference gridder and degridder — scalar, double precision.
+//!
+//! Direct transliterations of Algorithm 1 and Algorithm 2 of the paper,
+//! kept deliberately unoptimized: accumulation in `f64`, libm
+//! trigonometry, one pixel (gridder) or one visibility (degridder) at a
+//! time. Every optimized path in the workspace is validated against these
+//! functions.
+
+use crate::buffers::{pixel_index, SubgridArray};
+use crate::geometry::KernelGeometry;
+use crate::KernelData;
+use idg_plan::WorkItem;
+use idg_types::{Cf64, Jones, Visibility};
+
+/// Convert a sampled f32 Jones matrix to f64.
+fn jones64(j: Jones<f32>) -> Jones<f64> {
+    Jones {
+        xx: j.xx.cast(),
+        xy: j.xy.cast(),
+        yx: j.yx.cast(),
+        yy: j.yy.cast(),
+    }
+}
+
+/// Algorithm 1 for every work item: accumulate phase-shifted visibilities
+/// into image-domain subgrid pixels, then apply the adjoint A-term
+/// sandwich and the taper.
+///
+/// `subgrids` must hold `items.len()` subgrids of `obs.subgrid_size`.
+pub fn gridder_reference(data: &KernelData<'_>, items: &[WorkItem], subgrids: &mut SubgridArray) {
+    assert_eq!(subgrids.count(), items.len(), "one subgrid per work item");
+    assert_eq!(subgrids.size(), data.obs.subgrid_size);
+    data.validate().expect("kernel inputs must be consistent");
+
+    let geom = KernelGeometry::new(data.obs);
+    let n = geom.subgrid_size;
+    let nr_time = data.obs.nr_timesteps;
+    let nr_chan = data.obs.nr_channels();
+
+    for (item, subgrid) in items.iter().zip(subgrids.subgrids_mut()) {
+        let (u0, v0, w0) = geom.subgrid_center_uvw(item);
+        let ap_plane = data.aterms.plane(item.aterm_index, item.baseline.station1);
+        let aq_plane = data.aterms.plane(item.aterm_index, item.baseline.station2);
+
+        for y in 0..n {
+            let m = geom.pixel_to_lm(y);
+            for x in 0..n {
+                let l = geom.pixel_to_lm(x);
+                let n_term = KernelGeometry::compute_n(l, m);
+                let phase_offset = 2.0 * std::f64::consts::PI * (u0 * l + v0 * m + w0 * n_term);
+
+                let mut pix = [Cf64::zero(); 4];
+                for dt in 0..item.nr_timesteps {
+                    let t = item.time_offset + dt;
+                    let uvw_m = data.uvw[item.baseline_index * nr_time + t];
+                    let phase_index =
+                        uvw_m.u as f64 * l + uvw_m.v as f64 * m + uvw_m.w as f64 * n_term;
+                    // only this work item's channel group (Sec. V-A)
+                    for ci in 0..item.nr_channels {
+                        let c = item.channel_offset + ci;
+                        let freq = data.obs.frequencies[c];
+                        let phase = KernelGeometry::gridding_phase(phase_index, phase_offset, freq);
+                        let phasor = Cf64::from_phase(phase);
+                        let vis =
+                            data.visibilities[(item.baseline_index * nr_time + t) * nr_chan + c];
+                        for (p, v) in vis.pols.iter().enumerate() {
+                            pix[p].mul_acc(phasor, v.cast());
+                        }
+                    }
+                }
+
+                // adjoint A-term sandwich A_pᴴ · pix · A_q, then taper
+                let ap = jones64(ap_plane[y * n + x]);
+                let aq = jones64(aq_plane[y * n + x]);
+                let corrected = ap.hermitian().mul(Jones::from_pols(pix)).mul(aq);
+                let taper = data.taper[y * n + x] as f64;
+                let tapered = corrected.scale(taper).to_pols();
+                for (p, v) in tapered.iter().enumerate() {
+                    subgrid[pixel_index(n, p, y, x)] = v.cast();
+                }
+            }
+        }
+    }
+}
+
+/// Algorithm 2 for every work item: apply the forward A-term sandwich and
+/// taper to the (image-domain) subgrid pixels, then predict each
+/// visibility as the phase-weighted pixel sum.
+///
+/// Results are written into `vis_out`, which uses the same
+/// `[baseline][timestep][channel]` layout as the input buffers; only the
+/// slots covered by `items` are written.
+pub fn degridder_reference(
+    data: &KernelData<'_>,
+    items: &[WorkItem],
+    subgrids: &SubgridArray,
+    vis_out: &mut [Visibility<f32>],
+) {
+    assert_eq!(subgrids.count(), items.len(), "one subgrid per work item");
+    assert_eq!(subgrids.size(), data.obs.subgrid_size);
+    assert_eq!(vis_out.len(), data.obs.nr_visibilities());
+    data.validate().expect("kernel inputs must be consistent");
+
+    let geom = KernelGeometry::new(data.obs);
+    let n = geom.subgrid_size;
+    let nr_time = data.obs.nr_timesteps;
+    let nr_chan = data.obs.nr_channels();
+
+    for (item, subgrid) in items.iter().zip(subgrids.subgrids()) {
+        let (u0, v0, w0) = geom.subgrid_center_uvw(item);
+        let ap_plane = data.aterms.plane(item.aterm_index, item.baseline.station1);
+        let aq_plane = data.aterms.plane(item.aterm_index, item.baseline.station2);
+
+        // Lines 2–3 of Algorithm 2: taper and forward A-term sandwich,
+        // plus the per-pixel geometry, staged once per work item.
+        let mut pixels = vec![[Cf64::zero(); 4]; n * n];
+        let mut geom_cache = vec![(0.0f64, 0.0f64, 0.0f64, 0.0f64); n * n]; // l, m, n, φ_offset
+        for y in 0..n {
+            let m = geom.pixel_to_lm(y);
+            for x in 0..n {
+                let l = geom.pixel_to_lm(x);
+                let n_term = KernelGeometry::compute_n(l, m);
+                let phase_offset = 2.0 * std::f64::consts::PI * (u0 * l + v0 * m + w0 * n_term);
+                geom_cache[y * n + x] = (l, m, n_term, phase_offset);
+
+                let raw = Jones::from_pols([
+                    subgrid[pixel_index(n, 0, y, x)].cast(),
+                    subgrid[pixel_index(n, 1, y, x)].cast(),
+                    subgrid[pixel_index(n, 2, y, x)].cast(),
+                    subgrid[pixel_index(n, 3, y, x)].cast(),
+                ]);
+                let ap = jones64(ap_plane[y * n + x]);
+                let aq = jones64(aq_plane[y * n + x]);
+                let taper = data.taper[y * n + x] as f64;
+                pixels[y * n + x] = ap.sandwich(raw, aq).scale(taper).to_pols();
+            }
+        }
+
+        for dt in 0..item.nr_timesteps {
+            let t = item.time_offset + dt;
+            let uvw_m = data.uvw[item.baseline_index * nr_time + t];
+            for ci in 0..item.nr_channels {
+                let c = item.channel_offset + ci;
+                let freq = data.obs.frequencies[c];
+                let mut acc = [Cf64::zero(); 4];
+                for i in 0..n * n {
+                    let (l, m, n_term, phase_offset) = geom_cache[i];
+                    let phase_index =
+                        uvw_m.u as f64 * l + uvw_m.v as f64 * m + uvw_m.w as f64 * n_term;
+                    // degridding phase = −(gridding phase)
+                    let phase = -KernelGeometry::gridding_phase(phase_index, phase_offset, freq);
+                    let phasor = Cf64::from_phase(phase);
+                    for p in 0..4 {
+                        acc[p].mul_acc(phasor, pixels[i][p]);
+                    }
+                }
+                vis_out[(item.baseline_index * nr_time + t) * nr_chan + c] = Visibility {
+                    pols: [acc[0].cast(), acc[1].cast(), acc[2].cast(), acc[3].cast()],
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idg_plan::Plan;
+    use idg_telescope::{ATerms, Dataset, IdentityATerm, Layout, SkyModel, StationGains};
+    use idg_types::{Complex, Observation};
+
+    pub(crate) fn flat_taper(n: usize) -> Vec<f32> {
+        vec![1.0; n * n]
+    }
+
+    fn small_dataset() -> Dataset {
+        let obs = Observation::builder()
+            .stations(5)
+            .timesteps(16)
+            .channels(3, 150e6, 2e6)
+            .grid_size(256)
+            .subgrid_size(16)
+            .kernel_size(5)
+            .aterm_interval(8)
+            .image_size(0.05)
+            .build()
+            .unwrap();
+        let layout = Layout::uniform(5, 800.0, 11);
+        let sky = SkyModel::random(&obs, 4, 0.5, 13);
+        Dataset::simulate(obs, &layout, sky, &IdentityATerm)
+    }
+
+    #[test]
+    fn grid_then_degrid_round_trip_single_visibility_items() {
+        // For a work item holding exactly ONE visibility, the phase sums
+        // of gridder and degridder telescope into Σ_x |e^{iφ}|² = Ñ², so
+        // degrid(grid(V)) = Ñ²·V *exactly* (identity A-terms, flat
+        // taper). This pins the phase-conjugation convention of the
+        // kernel pair. (With multiple visibilities per subgrid the
+        // composition is a local convolution, not identity — that path
+        // is validated end-to-end through the FFT/adder in idg-core.)
+        let obs = Observation::builder()
+            .stations(5)
+            .timesteps(12)
+            .channels(1, 150e6, 2e6)
+            .grid_size(256)
+            .subgrid_size(16)
+            .kernel_size(5)
+            .aterm_interval(4)
+            .max_timesteps_per_subgrid(1)
+            .image_size(0.05)
+            .build()
+            .unwrap();
+        let layout = Layout::uniform(5, 800.0, 11);
+        let sky = SkyModel::random(&obs, 4, 0.5, 13);
+        let ds = Dataset::simulate(obs, &layout, sky, &IdentityATerm);
+
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        assert!(plan.nr_subgrids() > 0);
+        assert!(plan.items.iter().all(|i| i.nr_timesteps == 1));
+        let taper = flat_taper(ds.obs.subgrid_size);
+        let data = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper: &taper,
+        };
+
+        let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+        gridder_reference(&data, &plan.items, &mut subgrids);
+
+        let n2 = (ds.obs.subgrid_size * ds.obs.subgrid_size) as f32;
+        let mut out = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
+        degridder_reference(&data, &plan.items, &subgrids, &mut out);
+
+        let mut checked = 0usize;
+        for item in &plan.items {
+            let idx = item.baseline_index * ds.obs.nr_timesteps + item.time_offset;
+            let got = out[idx].scale(1.0 / n2);
+            let expect = ds.visibilities[idx];
+            for p in 0..4 {
+                let err = (got.pols[p] - expect.pols[p]).abs();
+                let mag = expect.pols[p].abs().max(1.0);
+                assert!(
+                    err / mag < 2e-3,
+                    "pol {p} at idx {idx}: {} vs {} (err {err})",
+                    got.pols[p],
+                    expect.pols[p]
+                );
+            }
+            checked += 1;
+        }
+        assert!(checked > 20);
+    }
+
+    #[test]
+    fn gridder_zero_visibilities_gives_zero_subgrids() {
+        let ds = small_dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let zeros = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
+        let taper = flat_taper(ds.obs.subgrid_size);
+        let data = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &zeros,
+            aterms: &ds.aterms,
+            taper: &taper,
+        };
+        let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+        gridder_reference(&data, &plan.items, &mut subgrids);
+        assert_eq!(subgrids.power(), 0.0);
+    }
+
+    #[test]
+    fn gridder_is_linear_in_visibilities() {
+        let ds = small_dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = flat_taper(ds.obs.subgrid_size);
+        let items = &plan.items[..plan.items.len().min(4)];
+
+        let doubled: Vec<_> = ds.visibilities.iter().map(|v| v.scale(2.0)).collect();
+
+        let mut sub1 = SubgridArray::new(items.len(), ds.obs.subgrid_size);
+        let data1 = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper: &taper,
+        };
+        gridder_reference(&data1, items, &mut sub1);
+
+        let mut sub2 = SubgridArray::new(items.len(), ds.obs.subgrid_size);
+        let data2 = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &doubled,
+            aterms: &ds.aterms,
+            taper: &taper,
+        };
+        gridder_reference(&data2, items, &mut sub2);
+
+        for (a, b) in sub1.as_slice().iter().zip(sub2.as_slice()) {
+            assert!((b.scale(0.5) - *a).abs() < 1e-4 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn taper_scales_pixels_pointwise() {
+        let ds = small_dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let items = &plan.items[..1];
+        let n = ds.obs.subgrid_size;
+
+        let flat = flat_taper(n);
+        let mut graded: Vec<f32> = Vec::with_capacity(n * n);
+        for i in 0..n * n {
+            graded.push(0.5 + (i % 7) as f32 * 0.1);
+        }
+
+        let mk = |taper: &[f32]| {
+            let data = KernelData {
+                obs: &ds.obs,
+                uvw: &ds.uvw,
+                visibilities: &ds.visibilities,
+                aterms: &ds.aterms,
+                taper,
+            };
+            let mut sub = SubgridArray::new(1, n);
+            gridder_reference(&data, items, &mut sub);
+            sub
+        };
+        let s_flat = mk(&flat);
+        let s_grad = mk(&graded);
+        for pol in 0..4 {
+            for y in 0..n {
+                for x in 0..n {
+                    let expect = s_flat.at(0, pol, y, x).scale(graded[y * n + x]);
+                    let got = s_grad.at(0, pol, y, x);
+                    assert!((got - expect).abs() < 1e-4 * (1.0 + expect.abs()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unitary_aterms_cancel_in_round_trip() {
+        // Diagonal pure-phase gains are unitary, so the adjoint sandwich
+        // (gridding) inverts the forward sandwich (measurement), and the
+        // round trip against identity-A-term gridding of *gain-corrupted*
+        // visibilities matches plain gridding of clean visibilities.
+        let obs = Observation::builder()
+            .stations(4)
+            .timesteps(8)
+            .channels(2, 150e6, 2e6)
+            .grid_size(256)
+            .subgrid_size(16)
+            .aterm_interval(8)
+            .image_size(0.05)
+            .build()
+            .unwrap();
+        let layout = Layout::uniform(4, 600.0, 5);
+        let sky = SkyModel::random(&obs, 3, 0.5, 6);
+
+        // Unitary gains: amplitude exactly 1.
+        struct UnitPhases(StationGains);
+        impl idg_telescope::aterm::ATermModel for UnitPhases {
+            fn evaluate(&self, i: usize, s: usize, l: f64, m: f64) -> Jones<f64> {
+                let j = self.0.evaluate(i, s, l, m);
+                let norm = |c: Complex<f64>| {
+                    let a = c.abs();
+                    if a > 0.0 {
+                        c.scale(1.0 / a)
+                    } else {
+                        Complex::one()
+                    }
+                };
+                Jones::diagonal(norm(j.xx), norm(j.yy))
+            }
+        }
+        let gains = UnitPhases(StationGains::random(4, obs.nr_aterm_intervals(), 17));
+
+        let corrupted = Dataset::simulate(obs.clone(), &layout, sky.clone(), &gains);
+        let clean = Dataset::simulate(obs.clone(), &layout, sky, &IdentityATerm);
+
+        let plan = Plan::create(&obs, &clean.uvw).unwrap();
+        let taper = flat_taper(obs.subgrid_size);
+
+        let mut sub_corr = SubgridArray::new(plan.nr_subgrids(), obs.subgrid_size);
+        let data_corr = KernelData {
+            obs: &obs,
+            uvw: &corrupted.uvw,
+            visibilities: &corrupted.visibilities,
+            aterms: &corrupted.aterms, // sampled unitary gains
+            taper: &taper,
+        };
+        gridder_reference(&data_corr, &plan.items, &mut sub_corr);
+
+        let mut sub_clean = SubgridArray::new(plan.nr_subgrids(), obs.subgrid_size);
+        let ident = ATerms::identity(&obs);
+        let data_clean = KernelData {
+            obs: &obs,
+            uvw: &clean.uvw,
+            visibilities: &clean.visibilities,
+            aterms: &ident,
+            taper: &taper,
+        };
+        gridder_reference(&data_clean, &plan.items, &mut sub_clean);
+
+        // The gains are direction-independent so the correction is exact.
+        let mut max_rel = 0.0f64;
+        for (a, b) in sub_corr.as_slice().iter().zip(sub_clean.as_slice()) {
+            let err = (*a - *b).abs() as f64;
+            let mag = b.abs().max(1e-3) as f64;
+            max_rel = max_rel.max(err / mag);
+        }
+        assert!(
+            max_rel < 5e-2,
+            "unitary A-term correction residual {max_rel}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one subgrid per work item")]
+    fn mismatched_subgrid_count_panics() {
+        let ds = small_dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = flat_taper(ds.obs.subgrid_size);
+        let data = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper: &taper,
+        };
+        let mut subgrids = SubgridArray::new(plan.nr_subgrids() + 1, ds.obs.subgrid_size);
+        gridder_reference(&data, &plan.items, &mut subgrids);
+    }
+}

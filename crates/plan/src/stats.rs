@@ -1,0 +1,130 @@
+//! Plan statistics.
+//!
+//! Performance of IDG "is data dependent (the uvw-coordinates determine
+//! the subgrid configuration and, hence, the computational intensity
+//! within the gridder and degridder kernels …)" — Sec. VI-A. These
+//! statistics quantify that configuration: they feed the operation
+//! counters of `idg-perf` and the workload summaries printed by the
+//! benchmark harness.
+
+use crate::Plan;
+
+/// Aggregate statistics of an execution plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanStats {
+    /// Total number of subgrids.
+    pub nr_subgrids: usize,
+    /// Total visibilities covered.
+    pub nr_visibilities: usize,
+    /// Visibilities dropped as unrepresentable.
+    pub skipped_visibilities: usize,
+    /// Mean time steps per subgrid.
+    pub mean_timesteps_per_subgrid: f64,
+    /// Minimum time steps in any subgrid.
+    pub min_timesteps: usize,
+    /// Maximum time steps in any subgrid.
+    pub max_timesteps: usize,
+    /// Mean visibilities per subgrid.
+    pub mean_visibilities_per_subgrid: f64,
+    /// Number of distinct W-planes in use.
+    pub nr_w_planes: usize,
+}
+
+impl PlanStats {
+    /// Compute the statistics of `plan`.
+    pub fn from_plan(plan: &Plan) -> Self {
+        let n = plan.items.len();
+        if n == 0 {
+            return Self {
+                nr_subgrids: 0,
+                nr_visibilities: 0,
+                skipped_visibilities: plan.skipped_visibilities,
+                mean_timesteps_per_subgrid: 0.0,
+                min_timesteps: 0,
+                max_timesteps: 0,
+                mean_visibilities_per_subgrid: 0.0,
+                nr_w_planes: 0,
+            };
+        }
+        let total_t: usize = plan.items.iter().map(|i| i.nr_timesteps).sum();
+        let min_t = plan.items.iter().map(|i| i.nr_timesteps).min().unwrap();
+        let max_t = plan.items.iter().map(|i| i.nr_timesteps).max().unwrap();
+        let nr_vis = plan.nr_gridded_visibilities();
+        let planes: std::collections::HashSet<i32> = plan.items.iter().map(|i| i.w_plane).collect();
+        Self {
+            nr_subgrids: n,
+            nr_visibilities: nr_vis,
+            skipped_visibilities: plan.skipped_visibilities,
+            mean_timesteps_per_subgrid: total_t as f64 / n as f64,
+            min_timesteps: min_t,
+            max_timesteps: max_t,
+            mean_visibilities_per_subgrid: nr_vis as f64 / n as f64,
+            nr_w_planes: planes.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for PlanStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "subgrids:                {}", self.nr_subgrids)?;
+        writeln!(f, "visibilities (gridded):  {}", self.nr_visibilities)?;
+        writeln!(f, "visibilities (skipped):  {}", self.skipped_visibilities)?;
+        writeln!(
+            f,
+            "timesteps per subgrid:   mean {:.1}, min {}, max {}",
+            self.mean_timesteps_per_subgrid, self.min_timesteps, self.max_timesteps
+        )?;
+        writeln!(
+            f,
+            "visibilities per subgrid: mean {:.1}",
+            self.mean_visibilities_per_subgrid
+        )?;
+        write!(f, "w-planes in use:         {}", self.nr_w_planes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idg_telescope::{Layout, UvwGenerator};
+    use idg_types::Observation;
+
+    #[test]
+    fn stats_are_consistent() {
+        let obs = Observation::builder()
+            .stations(8)
+            .timesteps(64)
+            .channels(4, 150e6, 2e6)
+            .grid_size(512)
+            .subgrid_size(24)
+            .build()
+            .unwrap();
+        let layout = Layout::uniform(8, 2000.0, 1);
+        let uvw = UvwGenerator::representative(&layout, 1.0).generate(&obs);
+        let plan = Plan::create(&obs, &uvw).unwrap();
+        let stats = plan.stats();
+        assert_eq!(stats.nr_subgrids, plan.nr_subgrids());
+        assert_eq!(stats.nr_visibilities, plan.nr_gridded_visibilities());
+        assert!(stats.min_timesteps >= 1);
+        assert!(stats.max_timesteps <= obs.max_timesteps_per_subgrid);
+        assert!(stats.mean_timesteps_per_subgrid >= stats.min_timesteps as f64);
+        assert!(stats.mean_timesteps_per_subgrid <= stats.max_timesteps as f64);
+        assert_eq!(stats.nr_w_planes, 1, "w-stacking disabled → single plane");
+        let text = stats.to_string();
+        assert!(text.contains("subgrids"));
+    }
+
+    #[test]
+    fn empty_plan_stats() {
+        let plan = Plan {
+            items: vec![],
+            skipped_visibilities: 42,
+            subgrid_size: 24,
+            grid_size: 512,
+        };
+        let stats = plan.stats();
+        assert_eq!(stats.nr_subgrids, 0);
+        assert_eq!(stats.skipped_visibilities, 42);
+        assert_eq!(stats.mean_visibilities_per_subgrid, 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Thermal-noise model.
+//!
+//! Real visibilities carry radiometer noise. Per the radiometer
+//! equation, a single-polarization visibility from stations with system
+//! equivalent flux density `SEFD` integrates down to
+//!
+//! `σ = SEFD / √(2·Δν·τ)`
+//!
+//! per real/imaginary component (Δν channel width, τ integration time).
+//! The simulator adds i.i.d. Gaussian noise of that σ to every
+//! polarization; imaging then averages it down by √N_vis — the
+//! sensitivity relation the integration test checks.
+
+use idg_types::{Cf32, Observation, Visibility};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Noise parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct NoiseModel {
+    /// System equivalent flux density, Jy (LOFAR-ish: ~2000–4000 Jy per
+    /// station at 150 MHz; SKA1-low stations are far more sensitive).
+    pub sefd_jy: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl NoiseModel {
+    /// Per-component noise σ (Jy) for one visibility sample of `obs`.
+    pub fn sigma(&self, obs: &Observation) -> f64 {
+        let delta_nu = if obs.nr_channels() > 1 {
+            obs.frequencies[1] - obs.frequencies[0]
+        } else {
+            1e6
+        };
+        self.sefd_jy / (2.0 * delta_nu * obs.integration_time).sqrt()
+    }
+
+    /// Add noise to a visibility buffer in place; returns the σ used.
+    pub fn corrupt(&self, obs: &Observation, visibilities: &mut [Visibility<f32>]) -> f64 {
+        let sigma = self.sigma(obs) as f32;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Box-Muller from uniform samples (keeps the dependency surface
+        // to `rand`'s core API).
+        let mut gauss = move || {
+            let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.random::<f32>();
+            (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+        };
+        for vis in visibilities.iter_mut() {
+            for pol in vis.pols.iter_mut() {
+                *pol += Cf32::new(sigma * gauss(), sigma * gauss());
+            }
+        }
+        sigma as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idg_types::Visibility;
+
+    fn obs() -> Observation {
+        Observation::builder()
+            .stations(4)
+            .timesteps(8)
+            .channels(4, 150e6, 1e6)
+            .grid_size(128)
+            .subgrid_size(16)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sigma_follows_radiometer_equation() {
+        let o = obs();
+        let m = NoiseModel {
+            sefd_jy: 4000.0,
+            seed: 1,
+        };
+        // Δν = 1 MHz, τ = 1 s → σ = 4000/√(2e6) ≈ 2.83 Jy
+        assert!((m.sigma(&o) - 4000.0 / (2e6f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_statistics_match_sigma() {
+        let o = obs();
+        let m = NoiseModel {
+            sefd_jy: 4000.0,
+            seed: 2,
+        };
+        let mut vis = vec![Visibility::<f32>::zero(); o.nr_visibilities()];
+        let sigma = m.corrupt(&o, &mut vis);
+
+        let samples: Vec<f32> = vis
+            .iter()
+            .flat_map(|v| v.pols.iter())
+            .flat_map(|c| [c.re, c.im])
+            .collect();
+        let n = samples.len() as f64;
+        let mean: f64 = samples.iter().map(|s| *s as f64).sum::<f64>() / n;
+        let var: f64 = samples
+            .iter()
+            .map(|s| (*s as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        assert!(mean.abs() < 0.1 * sigma, "zero-mean: {mean}");
+        assert!(
+            (var.sqrt() - sigma).abs() < 0.05 * sigma,
+            "std {} vs sigma {sigma}",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn corruption_is_seeded() {
+        let o = obs();
+        let m = NoiseModel {
+            sefd_jy: 1000.0,
+            seed: 3,
+        };
+        let mut a = vec![Visibility::<f32>::zero(); o.nr_visibilities()];
+        let mut b = vec![Visibility::<f32>::zero(); o.nr_visibilities()];
+        m.corrupt(&o, &mut a);
+        m.corrupt(&o, &mut b);
+        assert_eq!(a[5].pols, b[5].pols);
+        let m2 = NoiseModel {
+            sefd_jy: 1000.0,
+            seed: 4,
+        };
+        let mut c = vec![Visibility::<f32>::zero(); o.nr_visibilities()];
+        m2.corrupt(&o, &mut c);
+        assert_ne!(a[5].pols, c[5].pols);
+    }
+
+    #[test]
+    fn noise_adds_on_top_of_signal() {
+        let o = obs();
+        let m = NoiseModel {
+            sefd_jy: 100.0,
+            seed: 5,
+        };
+        let signal = Visibility::<f32>::unpolarized(10.0, 0.0);
+        let mut vis = vec![signal; o.nr_visibilities()];
+        m.corrupt(&o, &mut vis);
+        let mean_re: f64 = vis.iter().map(|v| v.pols[0].re as f64).sum::<f64>() / vis.len() as f64;
+        assert!((mean_re - 10.0).abs() < 0.1, "signal preserved: {mean_re}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Point-source sky models.
+//!
+//! The imaging cycle (Fig. 2 of the paper) iterates between a *sky model*
+//! — the bright sources found so far — and the residual visibilities.
+//! This module provides the model container plus seeded random sky
+//! generators for tests and benchmarks.
+
+use idg_types::Observation;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// An unpolarized point source at image-domain direction cosines `(l, m)`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct PointSource {
+    /// Direction cosine along x (radians for small angles).
+    pub l: f64,
+    /// Direction cosine along y.
+    pub m: f64,
+    /// Flux density (Jy, arbitrary scale).
+    pub flux: f64,
+}
+
+impl PointSource {
+    /// The third direction cosine term `n − 1 = −(l²+m²)/(1+√(1−l²−m²))`,
+    /// computed in the numerically stable form used across the workspace.
+    /// (The paper's Eq. (1) uses `n = 1 − √(1−l²−m²)` with the sign folded
+    /// into the exponent; we return that `n`.)
+    #[inline]
+    pub fn n_term(&self) -> f64 {
+        let r2 = self.l * self.l + self.m * self.m;
+        r2 / (1.0 + (1.0 - r2).sqrt())
+    }
+}
+
+/// A collection of point sources.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SkyModel {
+    /// The sources.
+    pub sources: Vec<PointSource>,
+}
+
+impl SkyModel {
+    /// An empty model.
+    pub fn empty() -> Self {
+        Self {
+            sources: Vec::new(),
+        }
+    }
+
+    /// A single unit source at the phase center — the simplest
+    /// end-to-end validation case (flat visibilities).
+    pub fn single_center(flux: f64) -> Self {
+        Self {
+            sources: vec![PointSource {
+                l: 0.0,
+                m: 0.0,
+                flux,
+            }],
+        }
+    }
+
+    /// `n` random sources within the inner `fraction` of the field of
+    /// view of `obs`, with fluxes log-uniform in `[0.1, 10]`.
+    pub fn random(obs: &Observation, n: usize, fraction: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let half_fov = obs.image_size / 2.0 * fraction;
+        let sources = (0..n)
+            .map(|_| PointSource {
+                l: rng.random_range(-half_fov..half_fov),
+                m: rng.random_range(-half_fov..half_fov),
+                flux: 10f64.powf(rng.random_range(-1.0..1.0)),
+            })
+            .collect();
+        Self { sources }
+    }
+
+    /// Total flux of the model.
+    pub fn total_flux(&self) -> f64 {
+        self.sources.iter().map(|s| s.flux).sum()
+    }
+
+    /// Add a source (used by CLEAN when it extracts a component).
+    pub fn add(&mut self, source: PointSource) {
+        self.sources.push(source);
+    }
+
+    /// The brightest source, if any.
+    pub fn brightest(&self) -> Option<&PointSource> {
+        self.sources.iter().max_by(|a, b| a.flux.total_cmp(&b.flux))
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True when the model has no sources.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n_term_small_angle() {
+        let s = PointSource {
+            l: 1e-3,
+            m: 2e-3,
+            flux: 1.0,
+        };
+        // n ≈ (l² + m²)/2 for small angles (to O(r⁴))
+        let expect = (1e-6 + 4e-6) / 2.0;
+        assert!((s.n_term() - expect).abs() < 1e-11);
+        // exact identity: n = 1 − sqrt(1 − l² − m²)
+        let exact = 1.0 - (1.0 - 1e-6 - 4e-6f64).sqrt();
+        assert!((s.n_term() - exact).abs() < 1e-15);
+    }
+
+    #[test]
+    fn n_term_zero_at_center() {
+        assert_eq!(
+            PointSource {
+                l: 0.0,
+                m: 0.0,
+                flux: 1.0
+            }
+            .n_term(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn random_sky_is_seeded_and_in_field() {
+        let obs = Observation::builder()
+            .stations(4)
+            .timesteps(4)
+            .build()
+            .unwrap();
+        let a = SkyModel::random(&obs, 20, 0.8, 5);
+        let b = SkyModel::random(&obs, 20, 0.8, 5);
+        assert_eq!(a, b);
+        let half = obs.image_size / 2.0 * 0.8;
+        for s in &a.sources {
+            assert!(s.l.abs() <= half && s.m.abs() <= half);
+            assert!((0.1..=10.0).contains(&s.flux));
+        }
+    }
+
+    #[test]
+    fn total_flux_and_brightest() {
+        let mut sky = SkyModel::empty();
+        assert!(sky.is_empty());
+        assert!(sky.brightest().is_none());
+        sky.add(PointSource {
+            l: 0.0,
+            m: 0.0,
+            flux: 1.0,
+        });
+        sky.add(PointSource {
+            l: 1e-3,
+            m: 0.0,
+            flux: 3.0,
+        });
+        assert_eq!(sky.len(), 2);
+        assert!((sky.total_flux() - 4.0).abs() < 1e-12);
+        assert_eq!(sky.brightest().unwrap().flux, 3.0);
+    }
+
+    #[test]
+    fn single_center_source() {
+        let sky = SkyModel::single_center(2.5);
+        assert_eq!(sky.len(), 1);
+        assert_eq!(sky.sources[0].l, 0.0);
+        assert_eq!(sky.sources[0].flux, 2.5);
+    }
+}

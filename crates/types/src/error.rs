@@ -1,0 +1,112 @@
+//! Error type shared across the IDG workspace.
+
+/// Errors produced by the IDG library.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IdgError {
+    /// A configuration value is out of range or inconsistent.
+    InvalidParameter(String),
+    /// Input array dimensions disagree with the observation parameters.
+    ShapeMismatch {
+        /// What was being checked.
+        what: &'static str,
+        /// Expected element count.
+        expected: usize,
+        /// Observed element count.
+        actual: usize,
+    },
+    /// A visibility falls outside the representable uv-range of the grid.
+    UvOutOfRange {
+        /// u in wavelengths.
+        u: f64,
+        /// v in wavelengths.
+        v: f64,
+        /// Maximum representable |u|/|v| in wavelengths.
+        max: f64,
+    },
+    /// FFT size not supported by the planner.
+    UnsupportedFftSize(usize),
+    /// The device model ran out of (modeled) device memory.
+    DeviceOutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// An internal invariant was violated (bug).
+    Internal(String),
+}
+
+impl std::fmt::Display for IdgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdgError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            IdgError::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch for {what}: expected {expected}, got {actual}"
+                )
+            }
+            IdgError::UvOutOfRange { u, v, max } => {
+                write!(
+                    f,
+                    "uv ({u:.1}, {v:.1}) outside representable range ±{max:.1} wavelengths"
+                )
+            }
+            IdgError::UnsupportedFftSize(n) => write!(f, "unsupported FFT size {n}"),
+            IdgError::DeviceOutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "device out of memory: requested {requested} B, available {available} B"
+                )
+            }
+            IdgError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IdgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = IdgError::InvalidParameter("x".into());
+        assert_eq!(e.to_string(), "invalid parameter: x");
+        let e = IdgError::ShapeMismatch {
+            what: "visibilities",
+            expected: 10,
+            actual: 5,
+        };
+        assert!(e.to_string().contains("visibilities"));
+        let e = IdgError::UvOutOfRange {
+            u: 1.0,
+            v: 2.0,
+            max: 0.5,
+        };
+        assert!(e.to_string().contains("outside"));
+        let e = IdgError::UnsupportedFftSize(7);
+        assert!(e.to_string().contains('7'));
+        let e = IdgError::DeviceOutOfMemory {
+            requested: 100,
+            available: 50,
+        };
+        assert!(e.to_string().contains("device out of memory"));
+        let e = IdgError::Internal("bug".into());
+        assert!(e.to_string().contains("bug"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<IdgError>();
+    }
+}

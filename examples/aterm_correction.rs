@@ -1,0 +1,88 @@
+//! A-term correction — the feature IDG exists for.
+//!
+//! Simulates an observation through a drifting Gaussian primary beam
+//! (a direction-dependent effect), then images it twice: once ignoring
+//! the beam (identity A-terms) and once with IDG's image-domain A-term
+//! correction. The corrected image recovers the true source flux where
+//! the uncorrected one underestimates it — at *no* extra gridding cost,
+//! the paper's key claim versus AW-projection.
+//!
+//! ```sh
+//! cargo run --release --example aterm_correction
+//! ```
+
+use idg::telescope::{ATerms, Dataset, GaussianBeam, Layout, PointSource, SkyModel};
+use idg::types::Observation;
+use idg::{Backend, Proxy};
+use idg_imaging::{beam_weight_image, dirty_image, Image};
+use std::time::Instant;
+
+fn main() {
+    let obs = Observation::builder()
+        .stations(8)
+        .timesteps(64)
+        .channels(4, 150e6, 2e6)
+        .grid_size(256)
+        .subgrid_size(16)
+        .kernel_size(5)
+        .aterm_interval(16)
+        .image_size(0.05)
+        .build()
+        .expect("valid observation");
+
+    // a source half-way out, where the beam attenuates noticeably
+    let src = PointSource {
+        l: 0.012,
+        m: -0.008,
+        flux: 2.0,
+    };
+    let sky = SkyModel { sources: vec![src] };
+    let layout = Layout::uniform(obs.nr_stations, 1200.0, 21);
+    let beam = GaussianBeam::new(&obs, 0.55, 23);
+    let ds = Dataset::simulate(obs.clone(), &layout, sky, &beam);
+
+    let proxy = Proxy::new(Backend::CpuOptimized, obs.clone()).expect("proxy");
+    let plan = proxy.plan(&ds.uvw).expect("plan");
+    let (ex, ey) = (
+        Image::lm_to_pixel(&obs, src.l),
+        Image::lm_to_pixel(&obs, src.m),
+    );
+
+    // imaging WITHOUT the correction: pretend the beam does not exist
+    let identity = ATerms::identity(&obs);
+    let t0 = Instant::now();
+    let (grid_raw, _) = proxy
+        .grid(&plan, &ds.uvw, &ds.visibilities, &identity)
+        .expect("gridding");
+    let t_raw = t0.elapsed();
+    let img_raw = dirty_image(&grid_raw, &obs, plan.nr_gridded_visibilities());
+
+    // imaging WITH the image-domain A-term correction (adjoint sandwich
+    // in the gridder + the beam-weight flat-gain division in the image)
+    let t0 = Instant::now();
+    let (grid_cor, _) = proxy
+        .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .expect("gridding");
+    let t_cor = t0.elapsed();
+    let img_cor = dirty_image(&grid_cor, &obs, plan.nr_gridded_visibilities());
+    let weight = beam_weight_image(&ds.aterms, &obs, 0.01);
+
+    let raw_flux = img_raw.at(ey, ex);
+    let cor_flux = img_cor.at(ey, ex) / weight.at(ey, ex);
+    println!("source: {:.2} Jy at pixel ({ex}, {ey})", src.flux);
+    println!("apparent flux without A-term correction: {raw_flux:.3} Jy");
+    println!("apparent flux with    A-term correction: {cor_flux:.3} Jy");
+    println!(
+        "gridding time: {:.3} s uncorrected vs {:.3} s corrected ({:+.1} % — \"negligible additional cost\")",
+        t_raw.as_secs_f64(),
+        t_cor.as_secs_f64(),
+        100.0 * (t_cor.as_secs_f64() / t_raw.as_secs_f64() - 1.0)
+    );
+
+    assert!(
+        cor_flux > raw_flux,
+        "the correction must recover flux the beam suppressed"
+    );
+    assert!((cor_flux - src.flux as f32).abs() < 0.25 * src.flux as f32);
+    println!("\nOK: image-domain A-term correction recovered the attenuated source.");
+}

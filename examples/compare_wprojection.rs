@@ -1,0 +1,117 @@
+//! IDG versus the classic W-projection gridder on the same data —
+//! the algorithmic comparison behind the paper's Fig. 16.
+//!
+//! Both gridders image the same simulated visibilities; the example
+//! verifies they localize the source identically and reports measured
+//! throughput plus the W-kernel storage W-projection had to precompute
+//! (the overhead IDG eliminates).
+//!
+//! ```sh
+//! cargo run --release --example compare_wprojection
+//! ```
+
+use idg::fft::{fftshift2d, ifftshift2d, Direction, Fft2d};
+use idg::telescope::{Dataset, IdentityATerm, Layout, SkyModel};
+use idg::types::{Cf32, Observation, SPEED_OF_LIGHT};
+use idg::{Backend, Proxy};
+use idg_imaging::{dirty_image, Image};
+use idg_wproj::gridder::{wpg_grid, WKernelCache, WpgSample};
+use std::time::Instant;
+
+fn main() {
+    let obs = Observation::builder()
+        .stations(8)
+        .timesteps(64)
+        .channels(4, 150e6, 2e6)
+        .grid_size(256)
+        .subgrid_size(24)
+        .kernel_size(9)
+        .aterm_interval(64)
+        .image_size(0.05)
+        .build()
+        .expect("valid observation");
+    let sky = SkyModel::single_center(2.0);
+    let layout = Layout::uniform(obs.nr_stations, 1200.0, 31);
+    let ds = Dataset::simulate(obs.clone(), &layout, sky, &IdentityATerm);
+
+    // ---- IDG ----
+    let proxy = Proxy::new(Backend::CpuOptimized, obs.clone()).expect("proxy");
+    let plan = proxy.plan(&ds.uvw).expect("plan");
+    let t0 = Instant::now();
+    let (grid, report) = proxy
+        .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .expect("IDG gridding");
+    let idg_time = t0.elapsed().as_secs_f64();
+    let idg_img = dirty_image(&grid, &obs, plan.nr_gridded_visibilities());
+    let idg_peak = idg_img.peak();
+    println!(
+        "IDG:  {:.3} s ({:.2} MVis/s), peak {:.2} Jy at ({}, {}), no convolution kernels stored",
+        idg_time,
+        report.counts.visibilities as f64 / idg_time / 1e6,
+        idg_peak.2,
+        idg_peak.0,
+        idg_peak.1
+    );
+
+    // ---- W-projection ----
+    let nw = 16usize;
+    let f_mid = 0.5 * (obs.frequencies[0] + obs.frequencies[obs.nr_channels() - 1]);
+    let to_lambda = f_mid / SPEED_OF_LIGHT;
+    let samples: Vec<WpgSample> = ds
+        .uvw
+        .iter()
+        .zip(ds.visibilities.iter())
+        .map(|(uvw, vis)| WpgSample {
+            u: uvw.u as f64 * to_lambda,
+            v: uvw.v as f64 * to_lambda,
+            w: uvw.w as f64 * to_lambda,
+            vis: *vis,
+        })
+        .collect();
+    let w_max = samples.iter().map(|s| s.w.abs()).fold(0.0, f64::max);
+
+    let t0 = Instant::now();
+    let kernels = WKernelCache::build(nw, 8, (w_max / 8.0).max(1.0), w_max, obs.image_size);
+    let kernel_time = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let mut wgrid = idg::Grid::<f32>::new(obs.grid_size);
+    let skipped = wpg_grid(&mut wgrid, &samples, &kernels, obs.image_size);
+    let wpg_time = t0.elapsed().as_secs_f64();
+
+    // image the W-projection grid (plane 0)
+    let mut plane: Vec<Cf32> = wgrid.plane(0).to_vec();
+    ifftshift2d(&mut plane, obs.grid_size);
+    let fft = Fft2d::<f32>::new(obs.grid_size);
+    fft.process_grid(&mut plane, Direction::Inverse);
+    fftshift2d(&mut plane, obs.grid_size);
+    let mut wpg_img = Image::new(obs.grid_size);
+    let norm = (obs.grid_size * obs.grid_size) as f32 / (samples.len() - skipped) as f32;
+    for y in 0..obs.grid_size {
+        for x in 0..obs.grid_size {
+            *wpg_img.at_mut(y, x) = plane[y * obs.grid_size + x].re * norm;
+        }
+    }
+    let wpg_peak = wpg_img.peak();
+    println!(
+        "WPG:  {:.3} s ({:.2} MVis/s) + {:.3} s kernel precompute, peak {:.2} at ({}, {}), \
+         {} w-planes, {:.1} MB of kernels",
+        wpg_time,
+        samples.len() as f64 / wpg_time / 1e6,
+        kernel_time,
+        wpg_peak.2,
+        wpg_peak.0,
+        wpg_peak.1,
+        kernels.nr_planes(),
+        kernels.storage_bytes() as f64 / 1e6
+    );
+
+    // both localize the center source at the same pixel
+    assert_eq!((idg_peak.0, idg_peak.1), (128, 128));
+    assert_eq!((wpg_peak.0, wpg_peak.1), (128, 128));
+    // both recover the flux scale (WPG's taper differs slightly)
+    assert!((idg_peak.2 - 2.0).abs() < 0.2);
+    assert!((wpg_peak.2 - 2.0).abs() < 0.5);
+    println!("\nOK: both gridders localize and scale the source consistently;");
+    println!("IDG needed no kernel precomputation or storage.");
+}

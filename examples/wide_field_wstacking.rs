@@ -1,0 +1,86 @@
+//! Wide-field imaging with W-stacking.
+//!
+//! On wide fields the w-term matters: this example images the same
+//! long-baseline observation (a) on a single grid and (b) with
+//! W-stacking (per-w-plane grids merged through image-domain screens),
+//! showing the identical result and the plan/memory statistics of the
+//! trade the paper discusses in Sec. IV/VI-E.
+//!
+//! ```sh
+//! cargo run --release --example wide_field_wstacking
+//! ```
+
+use idg::telescope::{Dataset, IdentityATerm, Layout, PointSource, SkyModel};
+use idg::types::Observation;
+use idg::{Backend, Proxy};
+use idg_imaging::{dirty_image, wstack_dirty_image, Image};
+
+fn main() {
+    let base = Observation::builder()
+        .stations(8)
+        .timesteps(64)
+        .channels(4, 150e6, 2e6)
+        .grid_size(256)
+        .subgrid_size(24)
+        .kernel_size(9)
+        .aterm_interval(32)
+        .image_size(0.05)
+        .build()
+        .expect("valid observation");
+    let sky = SkyModel {
+        sources: vec![
+            PointSource {
+                l: 0.008,
+                m: 0.005,
+                flux: 3.0,
+            },
+            PointSource {
+                l: -0.006,
+                m: -0.010,
+                flux: 1.2,
+            },
+        ],
+    };
+    let layout = Layout::uniform(base.nr_stations, 1800.0, 9);
+    let ds = Dataset::simulate(base.clone(), &layout, sky, &IdentityATerm);
+
+    // (a) single grid
+    let proxy0 = Proxy::new(Backend::CpuOptimized, base.clone()).expect("proxy");
+    let plan0 = proxy0.plan(&ds.uvw).expect("plan");
+    let (grid0, _) = proxy0
+        .grid(&plan0, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .expect("gridding");
+    let img0 = dirty_image(&grid0, &base, plan0.nr_gridded_visibilities());
+
+    // (b) W-stacking with 25λ planes
+    let mut obs_w = base.clone();
+    obs_w.w_step = 25.0;
+    let proxy1 = Proxy::new(Backend::CpuOptimized, obs_w).expect("proxy");
+    let plan1 = proxy1.plan(&ds.uvw).expect("plan");
+    let (img1, report) = wstack_dirty_image(&proxy1, &plan1, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .expect("w-stacked imaging");
+
+    println!("single grid:   {} subgrids, 1 grid", plan0.nr_subgrids());
+    println!(
+        "w-stacked:     {} subgrids over {} w-planes ({} MB of plane grids streamed)",
+        plan1.nr_subgrids(),
+        report.nr_planes,
+        report.nr_planes * report.grid_bytes_per_plane / 1_000_000
+    );
+
+    let p0 = img0.peak();
+    let p1 = img1.peak();
+    println!(
+        "single-grid peak: {:.3} Jy at ({}, {}) = (l,m) ({:+.4}, {:+.4})",
+        p0.2,
+        p0.0,
+        p0.1,
+        Image::pixel_to_lm(&base, p0.0),
+        Image::pixel_to_lm(&base, p0.1)
+    );
+    println!("w-stacked peak:   {:.3} Jy at ({}, {})", p1.2, p1.0, p1.1);
+    assert_eq!((p0.0, p0.1), (p1.0, p1.1), "identical localization");
+    assert!((p0.2 - p1.2).abs() < 0.05 * p0.2, "identical photometry");
+    println!("\nOK: W-stacking reproduces the single-grid image exactly where both apply;");
+    println!("on truly wide fields only the stacked path stays alias-free.");
+}

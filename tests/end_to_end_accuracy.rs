@@ -1,0 +1,215 @@
+//! End-to-end accuracy: the full IDG pipeline against the direct
+//! measurement-equation oracle.
+//!
+//! These tests cross five crates (telescope → plan → kernels → fft →
+//! imaging) and pin the numbers a user of the library cares about:
+//! point-source flux recovery, astrometry, prediction accuracy, and the
+//! A-term round trip.
+
+use idg::telescope::{ATerms, Dataset, GaussianBeam, IdentityATerm, Layout, PointSource, SkyModel};
+use idg::types::Observation;
+use idg::{Backend, Proxy};
+use idg_imaging::{beam_weight_image, dirty_image, model_grid_from_image, Image};
+
+fn obs() -> Observation {
+    Observation::builder()
+        .stations(8)
+        .timesteps(64)
+        .channels(4, 150e6, 2e6)
+        .grid_size(256)
+        .subgrid_size(24)
+        .kernel_size(9)
+        .aterm_interval(32)
+        .image_size(0.05)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn multi_source_fluxes_and_positions_are_recovered() {
+    let sources = vec![
+        PointSource {
+            l: 0.0,
+            m: 0.0,
+            flux: 5.0,
+        },
+        PointSource {
+            l: 0.009,
+            m: 0.006,
+            flux: 2.0,
+        },
+        PointSource {
+            l: -0.012,
+            m: -0.004,
+            flux: 3.0,
+        },
+    ];
+    let o = obs();
+    let layout = Layout::uniform(o.nr_stations, 1500.0, 301);
+    let ds = Dataset::simulate(
+        o.clone(),
+        &layout,
+        SkyModel {
+            sources: sources.clone(),
+        },
+        &IdentityATerm,
+    );
+
+    let proxy = Proxy::new(Backend::CpuOptimized, o.clone()).unwrap();
+    let plan = proxy.plan(&ds.uvw).unwrap();
+    assert_eq!(plan.skipped_visibilities, 0);
+    let (grid, _) = proxy
+        .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .unwrap();
+    let image = dirty_image(&grid, &o, plan.nr_gridded_visibilities());
+
+    for src in &sources {
+        let ex = Image::lm_to_pixel(&o, src.l);
+        let ey = Image::lm_to_pixel(&o, src.m);
+        // search the 3×3 neighbourhood (sub-pixel positions)
+        let mut local = f32::MIN;
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                local = local.max(image.at((ey as i64 + dy) as usize, (ex as i64 + dx) as usize));
+            }
+        }
+        // fluxes within 15 % despite PSF sidelobe confusion from the
+        // other sources
+        assert!(
+            (local - src.flux as f32).abs() < 0.15 * src.flux as f32 + 0.3,
+            "source at ({},{}) flux {} recovered as {local}",
+            ex,
+            ey,
+            src.flux
+        );
+    }
+}
+
+#[test]
+fn degridding_matches_direct_prediction_to_sub_percent() {
+    // Build a 3-component model image, degrid it on every back-end and
+    // compare with the analytic measurement-equation prediction.
+    let o = obs();
+    let layout = Layout::uniform(o.nr_stations, 1200.0, 302);
+    let ds = Dataset::simulate(o.clone(), &layout, SkyModel::empty(), &IdentityATerm);
+
+    let pixels = [
+        (150usize, 110usize, 1.5f32),
+        (128, 128, 2.0),
+        (96, 160, 0.75),
+    ];
+    let mut model = Image::new(o.grid_size);
+    let mut sources = Vec::new();
+    for (px, py, flux) in pixels {
+        *model.at_mut(py, px) += flux;
+        sources.push(PointSource {
+            l: Image::pixel_to_lm(&o, px),
+            m: Image::pixel_to_lm(&o, py),
+            flux: flux as f64,
+        });
+    }
+    let model_grid = model_grid_from_image(&model, &o);
+    let direct =
+        idg::telescope::predict_visibilities(&o, &ds.uvw, &IdentityATerm, &SkyModel { sources });
+
+    for backend in Backend::all() {
+        let proxy = Proxy::new(backend, o.clone()).unwrap();
+        let plan = proxy.plan(&ds.uvw).unwrap();
+        let (pred, _) = proxy
+            .degrid(&plan, &model_grid, &ds.uvw, &ds.aterms)
+            .unwrap();
+
+        let mut err = 0.0f64;
+        let mut mag = 0.0f64;
+        for (a, b) in pred.iter().zip(&direct) {
+            err += (a.pols[0] - b.pols[0]).abs() as f64;
+            mag += b.pols[0].abs() as f64;
+        }
+        let rel = err / mag;
+        assert!(
+            rel < 0.01,
+            "{backend:?}: mean relative prediction error {rel}"
+        );
+    }
+}
+
+#[test]
+fn beam_corruption_is_corrected_in_the_image() {
+    // Observe through a drifting Gaussian beam; imaging with the matched
+    // A-terms recovers substantially more flux than ignoring them.
+    let o = obs();
+    let src = PointSource {
+        l: 0.012,
+        m: -0.008,
+        flux: 2.0,
+    };
+    let layout = Layout::uniform(o.nr_stations, 1200.0, 303);
+    let beam = GaussianBeam::new(&o, 0.55, 304);
+    let ds = Dataset::simulate(o.clone(), &layout, SkyModel { sources: vec![src] }, &beam);
+
+    let proxy = Proxy::new(Backend::CpuOptimized, o.clone()).unwrap();
+    let plan = proxy.plan(&ds.uvw).unwrap();
+    let (ex, ey) = (Image::lm_to_pixel(&o, src.l), Image::lm_to_pixel(&o, src.m));
+
+    let identity = ATerms::identity(&o);
+    let (grid_raw, _) = proxy
+        .grid(&plan, &ds.uvw, &ds.visibilities, &identity)
+        .unwrap();
+    let raw = dirty_image(&grid_raw, &o, plan.nr_gridded_visibilities()).at(ey, ex);
+
+    // IDG applies the adjoint sandwich; recovering fluxes additionally
+    // divides by the beam-weight map (flat-gain correction), like every
+    // production imager.
+    let (grid_cor, _) = proxy
+        .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .unwrap();
+    let weighted = dirty_image(&grid_cor, &o, plan.nr_gridded_visibilities());
+    let weight = beam_weight_image(&ds.aterms, &o, 0.01);
+    let cor = weighted.at(ey, ex) / weight.at(ey, ex);
+
+    assert!(
+        cor > raw,
+        "correction recovers beam-attenuated flux: {cor} vs {raw}"
+    );
+    assert!(
+        (cor - src.flux as f32).abs() < 0.2 * src.flux as f32,
+        "corrected flux {cor} vs true {}",
+        src.flux
+    );
+}
+
+#[test]
+fn w_stacking_path_produces_equivalent_grid() {
+    // Enable W-stacking in the plan (w_step > 0): the partitioning
+    // changes (items split per w-plane) but the gridded result must stay
+    // numerically consistent because IDG evaluates w-phases per pixel.
+    let base = obs();
+    let layout = Layout::uniform(base.nr_stations, 1500.0, 305);
+    let sky = SkyModel::random(&base, 4, 0.5, 306);
+    let ds = Dataset::simulate(base.clone(), &layout, sky.clone(), &IdentityATerm);
+
+    let mut with_w = base.clone();
+    with_w.w_step = 30.0;
+
+    let p0 = Proxy::new(Backend::CpuOptimized, base.clone()).unwrap();
+    let plan0 = p0.plan(&ds.uvw).unwrap();
+    let (g0, _) = p0
+        .grid(&plan0, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .unwrap();
+
+    let p1 = Proxy::new(Backend::CpuOptimized, with_w).unwrap();
+    let plan1 = p1.plan(&ds.uvw).unwrap();
+    assert!(plan1.nr_subgrids() >= plan0.nr_subgrids());
+    assert!(plan1.stats().nr_w_planes > 1, "w-stacking splits planes");
+    let (g1, _) = p1
+        .grid(&plan1, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .unwrap();
+
+    // images agree (grids differ only by per-item layout rounding)
+    let i0 = dirty_image(&g0, &base, plan0.nr_gridded_visibilities());
+    let i1 = dirty_image(&g1, &base, plan1.nr_gridded_visibilities());
+    let peak0 = i0.peak();
+    let peak1 = i1.peak();
+    assert_eq!((peak0.0, peak0.1), (peak1.0, peak1.1));
+    assert!((peak0.2 - peak1.2).abs() < 0.05 * peak0.2.abs());
+}

@@ -1,0 +1,175 @@
+//! The paper's quantitative claims, asserted against the models and
+//! kernels of this workspace — the table/figure "shape" contract that
+//! EXPERIMENTS.md reports in prose.
+
+use idg::telescope::Dataset;
+use idg::types::Baseline;
+use idg::WorkItem;
+use idg_gpusim::{kernel_time, Device};
+use idg_perf::{
+    attainable_ops_per_sec, degridder_counts, gridder_counts, Architecture, EnergyModel, IDG_RHO,
+};
+
+fn paper_scale_items(count: usize) -> Vec<WorkItem> {
+    (0..count)
+        .map(|i| WorkItem {
+            baseline_index: i,
+            baseline: Baseline::new(0, 1),
+            time_offset: 0,
+            nr_timesteps: 128,
+            channel_offset: 0,
+            nr_channels: 16,
+            aterm_index: 0,
+            coord_x: 0,
+            coord_y: 0,
+            w_plane: 0,
+        })
+        .collect()
+}
+
+#[test]
+fn claim_17_fmas_per_sincos() {
+    // Algorithm 1's caption: "For every evaluation of sin(α) and cos(α),
+    // 17 real-valued multiply-add operations are performed."
+    let items = paper_scale_items(8);
+    for counts in [gridder_counts(&items, 24), degridder_counts(&items, 24)] {
+        assert_eq!(counts.rho(), 17.0);
+    }
+}
+
+#[test]
+fn claim_kernels_are_compute_bound() {
+    // Sec. VI-B: "On all architectures, both kernels are compute bound
+    // measured by their operational intensity."
+    let items = paper_scale_items(64);
+    let counts = gridder_counts(&items, 24);
+    for arch in Architecture::all() {
+        let balance = arch.peak_tops() * 1e12 / (arch.mem_bw_gbps * 1e9);
+        assert!(
+            counts.intensity_dram() > balance,
+            "{}: OI {} vs balance {balance}",
+            arch.nickname,
+            counts.intensity_dram()
+        );
+    }
+}
+
+#[test]
+fn claim_pascal_peak_fractions() {
+    // Sec. VI-C-2: PASCAL reaches "74% and 55% of the peak for the
+    // gridder and degridder kernel, respectively".
+    let device = Device::pascal();
+    let items = paper_scale_items(64);
+    let peak = device.arch.peak_tops() * 1e12;
+
+    let gc = gridder_counts(&items, 24);
+    let g_frac = gc.total_ops() as f64 / kernel_time(&device, &gc) / peak;
+    assert!(
+        (0.64..0.84).contains(&g_frac),
+        "gridder fraction {g_frac} (paper 0.74)"
+    );
+
+    let dc = degridder_counts(&items, 24);
+    let d_frac = dc.total_ops() as f64 / kernel_time(&device, &dc) / peak;
+    assert!(
+        (0.45..0.65).contains(&d_frac),
+        "degridder fraction {d_frac} (paper 0.55)"
+    );
+    assert!(g_frac > d_frac);
+}
+
+#[test]
+fn claim_fig15_gflops_per_watt() {
+    // Fig. 15: "it achieves 32 and 23 GFlops/W … Second, but still with
+    // about 13 GFlops/W, comes FIJI. HASWELL lags far behind …
+    // achieving only about 1.5 GFlops/W."
+    let items = paper_scale_items(64);
+    let gc = gridder_counts(&items, 24);
+    let dc = degridder_counts(&items, 24);
+
+    let eff = |device: &Device, counts: &idg_perf::OpCounts| {
+        let t = kernel_time(device, counts);
+        EnergyModel::new(device.arch.clone()).gflops_per_watt(counts, t, 1.0)
+    };
+    let pascal = Device::pascal();
+    let fiji = Device::fiji();
+    let p_g = eff(&pascal, &gc);
+    let p_d = eff(&pascal, &dc);
+    let f_g = eff(&fiji, &gc);
+    assert!(
+        (16.0..64.0).contains(&p_g),
+        "PASCAL gridder {p_g} (paper 32)"
+    );
+    assert!(
+        (11.0..46.0).contains(&p_d),
+        "PASCAL degridder {p_d} (paper 23)"
+    );
+    assert!((6.5..26.0).contains(&f_g), "FIJI {f_g} (paper 13)");
+
+    // HASWELL via the shared CPU timing model
+    let haswell = Architecture::haswell();
+    let t = idg_perf::modeled_kernel_seconds(&haswell, &gc, 0.9);
+    let h_g = EnergyModel::new(haswell).gflops_per_watt(&gc, t, 1.0);
+    assert!((0.7..3.0).contains(&h_g), "HASWELL {h_g} (paper 1.5)");
+
+    assert!(
+        p_g / h_g > 8.0,
+        "order-of-magnitude efficiency gap: {p_g} vs {h_g}"
+    );
+}
+
+#[test]
+fn claim_sfu_keeps_pascal_flat_in_rho() {
+    // Sec. VI-C-1: "Since sine/cosine is handled in a separate
+    // processing queue, the performance of PASCAL stays high when ρ
+    // decreases. In contrast, on FIJI … a more significant performance
+    // degradation is observed for small values of ρ. A similar behavior
+    // is observed for HASWELL."
+    let pascal = Architecture::pascal();
+    let fiji = Architecture::fiji();
+    let haswell = Architecture::haswell();
+    let frac = |a: &Architecture, rho: f64| attainable_ops_per_sec(a, rho) / (a.peak_tops() * 1e12);
+    assert!(frac(&pascal, 8.0) > 0.9);
+    assert!(frac(&fiji, 8.0) < 0.6);
+    assert!(frac(&haswell, 8.0) < 0.35);
+    // at the IDG operating point the ordering defines Fig. 11's ceilings
+    assert!(frac(&pascal, IDG_RHO) > frac(&fiji, IDG_RHO));
+    assert!(frac(&fiji, IDG_RHO) > frac(&haswell, IDG_RHO));
+}
+
+#[test]
+fn claim_subgrid_count_matches_benchmark_structure() {
+    // Sec. VI-A parameters at reduced scale: the plan must cover every
+    // visibility with 24² subgrids and respect the A-term cadence.
+    let ds = Dataset::representative(15, 7);
+    let plan = idg::Plan::create(&ds.obs, &ds.uvw).unwrap();
+    assert_eq!(plan.skipped_visibilities, 0);
+    assert_eq!(plan.nr_gridded_visibilities(), ds.obs.nr_visibilities());
+    assert_eq!(plan.subgrid_size(), 24);
+    for item in &plan.items {
+        let first = ds.obs.aterm_index(item.time_offset);
+        let last = ds.obs.aterm_index(item.time_offset + item.nr_timesteps - 1);
+        assert_eq!(first, last);
+    }
+}
+
+#[test]
+fn claim_gpu_order_of_magnitude_speedup() {
+    // Sec. VI-B: "Both GPUs complete the task almost an order of
+    // magnitude faster than HASWELL."
+    let items = paper_scale_items(256);
+    let gc = gridder_counts(&items, 24);
+    let haswell_t = idg_perf::modeled_kernel_seconds(&Architecture::haswell(), &gc, 0.9);
+    let pascal_t = kernel_time(&Device::pascal(), &gc);
+    let fiji_t = kernel_time(&Device::fiji(), &gc);
+    assert!(
+        haswell_t / pascal_t > 7.0,
+        "PASCAL speedup {}",
+        haswell_t / pascal_t
+    );
+    assert!(
+        haswell_t / fiji_t > 5.0,
+        "FIJI speedup {}",
+        haswell_t / fiji_t
+    );
+}

@@ -1,0 +1,118 @@
+//! Property-based integration tests over the full pipeline.
+//!
+//! Random observation geometries, layouts and skies, checked against the
+//! pipeline's invariants: plan coverage, adjoint linearity, backend
+//! equivalence and round-trip consistency.
+
+use idg::telescope::{Dataset, IdentityATerm, Layout, SkyModel};
+use idg::types::Observation;
+use idg::{Backend, Plan, Proxy};
+use proptest::prelude::*;
+
+fn arbitrary_obs() -> impl Strategy<Value = Observation> {
+    (4usize..8, 16usize..48, 1usize..5, 0usize..3).prop_map(
+        |(stations, timesteps, channels, size_sel)| {
+            let (grid, subgrid) = [(128, 16), (256, 16), (256, 24)][size_sel];
+            Observation::builder()
+                .stations(stations)
+                .timesteps(timesteps)
+                .channels(channels, 130e6, 2e6)
+                .grid_size(grid)
+                .subgrid_size(subgrid)
+                .kernel_size(5)
+                .aterm_interval(16)
+                .image_size(0.05)
+                .build()
+                .unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn plan_always_partitions_all_visibilities(
+        obs in arbitrary_obs(),
+        radius in 300.0..2000.0f64,
+        seed in 0u64..1000,
+    ) {
+        let layout = Layout::uniform(obs.nr_stations, radius, seed);
+        let uvw = idg::telescope::UvwGenerator::representative(&layout, 1.0)
+            .generate(&obs);
+        let plan = Plan::create(&obs, &uvw).unwrap();
+        prop_assert_eq!(
+            plan.nr_gridded_visibilities() + plan.skipped_visibilities,
+            obs.nr_visibilities()
+        );
+        for item in &plan.items {
+            prop_assert!(item.nr_timesteps >= 1);
+            prop_assert!(item.coord_x + obs.subgrid_size <= obs.grid_size);
+            prop_assert!(item.coord_y + obs.subgrid_size <= obs.grid_size);
+        }
+    }
+
+    #[test]
+    fn gridding_is_linear_and_backends_agree(
+        obs in arbitrary_obs(),
+        seed in 0u64..1000,
+        gain in 0.5..2.0f32,
+    ) {
+        let layout = Layout::uniform(obs.nr_stations, 900.0, seed);
+        let sky = SkyModel::random(&obs, 3, 0.5, seed ^ 77);
+        let ds = Dataset::simulate(obs.clone(), &layout, sky, &IdentityATerm);
+        let proxy = Proxy::new(Backend::CpuOptimized, obs.clone()).unwrap();
+        let plan = proxy.plan(&ds.uvw).unwrap();
+        prop_assume!(plan.nr_subgrids() > 0);
+
+        // linearity: grid(g·V) = g·grid(V)
+        let (grid1, _) = proxy.grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms).unwrap();
+        let scaled: Vec<_> = ds.visibilities.iter().map(|v| v.scale(gain)).collect();
+        let (grid2, _) = proxy.grid(&plan, &ds.uvw, &scaled, &ds.aterms).unwrap();
+        let scale_ref = grid1.as_slice().iter().map(|c| c.abs()).fold(1e-9f32, f32::max);
+        for (a, b) in grid2.as_slice().iter().zip(grid1.as_slice()) {
+            prop_assert!((b.scale(gain) - *a).abs() / scale_ref < 2e-3);
+        }
+
+        // backend equivalence (reference f64 vs optimized f32)
+        let gold = Proxy::new(Backend::CpuReference, obs.clone()).unwrap();
+        let (grid3, _) = gold.grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms).unwrap();
+        for (a, b) in grid1.as_slice().iter().zip(grid3.as_slice()) {
+            prop_assert!((*a - *b).abs() / scale_ref < 2e-3);
+        }
+    }
+
+    #[test]
+    fn degrid_of_gridded_data_is_bounded(
+        obs in arbitrary_obs(),
+        seed in 0u64..1000,
+    ) {
+        // degrid(grid(V)) is a local average operator: outputs stay
+        // bounded by the input magnitude scale (no energy blow-up).
+        let layout = Layout::uniform(obs.nr_stations, 900.0, seed);
+        let sky = SkyModel::random(&obs, 3, 0.5, seed ^ 31);
+        let ds = Dataset::simulate(obs.clone(), &layout, sky, &IdentityATerm);
+        let proxy = Proxy::new(Backend::CpuOptimized, obs.clone()).unwrap();
+        let plan = proxy.plan(&ds.uvw).unwrap();
+        prop_assume!(plan.nr_subgrids() > 0);
+
+        let (grid, _) = proxy.grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms).unwrap();
+        let (pred, _) = proxy.degrid(&plan, &grid, &ds.uvw, &ds.aterms).unwrap();
+
+        let in_max = ds
+            .visibilities
+            .iter()
+            .flat_map(|v| v.pols.iter())
+            .map(|c| c.abs())
+            .fold(0.0f32, f32::max);
+        let out_max = pred
+            .iter()
+            .flat_map(|v| v.pols.iter())
+            .map(|c| c.abs())
+            .fold(0.0f32, f32::max);
+        // each output averages ≤ T̃·C̃ taper-weighted inputs; bound by
+        // a generous constant times the input scale
+        prop_assert!(out_max <= 50.0 * in_max + 1e-3, "{out_max} vs {in_max}");
+        prop_assert!(out_max.is_finite());
+    }
+}
