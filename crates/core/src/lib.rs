@@ -38,9 +38,11 @@
 
 pub mod proxy;
 pub mod report;
+pub mod stages;
 
 pub use proxy::{Backend, Proxy};
 pub use report::ExecutionReport;
+pub use stages::{DegridStages, GridStages};
 
 // Re-export the workspace vocabulary so applications can depend on
 // `idg` alone.

@@ -98,7 +98,7 @@ impl Proxy {
         Plan::create(&self.obs, uvw)
     }
 
-    fn device(&self) -> Device {
+    pub(crate) fn device(&self) -> Device {
         match self.backend {
             Backend::GpuPascal => Device::pascal(),
             Backend::GpuFiji => Device::fiji(),

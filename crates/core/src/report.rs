@@ -37,21 +37,32 @@ pub struct ExecutionReport {
 
 impl ExecutionReport {
     /// Visibility throughput of the whole pass, MVisibilities/s —
-    /// the Fig. 10 metric.
+    /// the Fig. 10 metric. 0 when the pass measured no elapsed time
+    /// (empty plans and sub-tick passes must not report NaN/∞ rates).
     pub fn mvis_per_sec(&self) -> f64 {
+        if self.total_seconds <= 0.0 {
+            return 0.0;
+        }
         self.counts.visibilities as f64 / self.total_seconds / 1e6
     }
 
     /// Achieved main-kernel rate, TOps/s (paper operation definition) —
-    /// the Fig. 11 y-axis.
+    /// the Fig. 11 y-axis. 0 when no kernel time was measured.
     pub fn kernel_tops(&self) -> f64 {
+        if self.kernel_seconds <= 0.0 {
+            return 0.0;
+        }
         self.counts.total_ops() as f64 / self.kernel_seconds / 1e12
     }
 
     /// Fraction of the pass spent in the main kernel — Fig. 9's
-    /// ">93 %" observation.
+    /// ">93 %" observation. 0 when no stage measured any time.
     pub fn kernel_fraction(&self) -> f64 {
-        self.kernel_seconds / self.serial_seconds()
+        let serial = self.serial_seconds();
+        if serial <= 0.0 {
+            return 0.0;
+        }
+        self.kernel_seconds / serial
     }
 
     /// Sum of all stage times (no overlap) — the Fig. 9 stacking basis.
@@ -123,6 +134,25 @@ mod tests {
         assert!((r.mvis_per_sec() - 10_000.0 / 0.97 / 1e6).abs() < 1e-9);
         let tops = 36_000_000.0 / 0.95 / 1e12;
         assert!((r.kernel_tops() - tops).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_duration_pass_reports_zero_rates_not_nan() {
+        // A pass can measure 0 s: empty plans, or stages faster than
+        // the clock tick. The derived rates must stay finite (a NaN
+        // here poisons every aggregated benchmark table downstream).
+        let r = ExecutionReport {
+            kernel_seconds: 0.0,
+            fft_seconds: 0.0,
+            adder_seconds: 0.0,
+            transfer_seconds: 0.0,
+            total_seconds: 0.0,
+            ..report()
+        };
+        assert_eq!(r.mvis_per_sec(), 0.0);
+        assert_eq!(r.kernel_tops(), 0.0);
+        assert_eq!(r.kernel_fraction(), 0.0);
+        assert!(r.to_string().contains("0.00 MVis/s"));
     }
 
     #[test]

@@ -611,4 +611,92 @@ mod tests {
             "per-item accumulation order is fixed"
         );
     }
+
+    /// Both tail-handling regimes of the optimized kernels against the
+    /// reference on the same plan.
+    fn assert_tail_conformance(ds: &Dataset) {
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let tp = taper(ds.obs.subgrid_size);
+        let data = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper: &tp,
+        };
+        let mut fast = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+        let mut gold = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
+        gridder_cpu(&data, &plan.items, &mut fast, Accuracy::Medium);
+        gridder_reference(&data, &plan.items, &mut gold);
+        assert_subgrids_close(&fast, &gold, 2e-4);
+
+        let mut vfast = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
+        let mut vgold = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
+        degridder_cpu(&data, &plan.items, &gold, &mut vfast, Accuracy::Medium);
+        degridder_reference(&data, &plan.items, &gold, &mut vgold);
+        let scale = vgold
+            .iter()
+            .flat_map(|v| v.pols.iter())
+            .map(|c| c.abs())
+            .fold(1.0f32, f32::max);
+        for (i, (a, b)) in vfast.iter().zip(&vgold).enumerate() {
+            for p in 0..4 {
+                assert!(
+                    (a.pols[p] - b.pols[p]).abs() / scale < 3e-4,
+                    "vis {i} pol {p}: {} vs {}",
+                    a.pols[p],
+                    b.pols[p]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tails_shorter_than_a_simd_lane_match_reference() {
+        // 5 timesteps × 3 channels = 15 visibilities per work item:
+        // smaller than LANES (16), so the FMA reduction runs entirely
+        // in its scalar tail loop, and far below VIS_BATCH, so the
+        // batched-sincos path sees a single partial batch.
+        let obs = Observation::builder()
+            .stations(3)
+            .timesteps(5)
+            .channels(3, 150e6, 2e6)
+            .grid_size(128)
+            .subgrid_size(16)
+            .kernel_size(5)
+            .aterm_interval(5)
+            .image_size(0.04)
+            .build()
+            .unwrap();
+        assert!(obs.aterm_interval * obs.nr_channels() < 16);
+        let layout = Layout::uniform(3, 700.0, 53);
+        let sky = SkyModel::random(&obs, 3, 0.5, 59);
+        let beam = GaussianBeam::new(&obs, 0.8, 61);
+        assert_tail_conformance(&Dataset::simulate(obs, &layout, sky, &beam));
+    }
+
+    #[test]
+    fn items_straddling_vis_batch_match_reference() {
+        // 120 timesteps × 5 channels = 600 visibilities per work item:
+        // the batch loop runs one full VIS_BATCH chunk (102 timesteps ×
+        // 5 channels = 510) plus a ragged 18-timestep remainder, and
+        // 600 % LANES = 8 leaves a sub-lane tail in every reduction.
+        let obs = Observation::builder()
+            .stations(3)
+            .timesteps(120)
+            .channels(5, 150e6, 2e6)
+            .grid_size(256)
+            .subgrid_size(20)
+            .kernel_size(7)
+            .aterm_interval(120)
+            .image_size(0.05)
+            .build()
+            .unwrap();
+        let vis_per_item = obs.aterm_interval * obs.nr_channels();
+        assert!(vis_per_item > VIS_BATCH && !vis_per_item.is_multiple_of(VIS_BATCH));
+        assert!(!vis_per_item.is_multiple_of(16));
+        let layout = Layout::uniform(3, 900.0, 67);
+        let sky = SkyModel::random(&obs, 4, 0.6, 71);
+        assert_tail_conformance(&Dataset::simulate(obs, &layout, sky, &IdentityATerm));
+    }
 }

@@ -105,13 +105,6 @@ impl BBox {
             max_y: self.max_y.max(other.max_y),
         }
     }
-
-    /// Span including kernel support, pixels.
-    fn span(&self, kernel_size: usize) -> f64 {
-        let sx = self.max_x - self.min_x;
-        let sy = self.max_y - self.min_y;
-        sx.max(sy) + kernel_size as f64
-    }
 }
 
 impl Plan {
@@ -157,6 +150,37 @@ impl Plan {
                 bb.include(x, y);
             }
             bb
+        };
+
+        // Integer subgrid origin containing the kernel-padded interval
+        // `[min − K/2, max + K/2]` along one axis: the largest
+        // admissible origin is `⌊min − K/2⌋`, the smallest is
+        // `⌈max + K/2 − Ñ⌉`. A float span test (`max − min + K ≤ Ñ`)
+        // alone is NOT sufficient — with an odd kernel the padded box
+        // has half-integer ends, so a box that fills the subgrid
+        // exactly admits no integer origin and its kernel support
+        // would be clipped at the subgrid border.
+        let place_axis = |lo_px: f64, hi_px: f64| -> Option<i64> {
+            // Absorbs the f32 uvw → f64 pixel conversion noise
+            // (≈ |px − G/2| · 2⁻²⁴, up to ~1e-4 px on large grids)
+            // while staying far below the half-pixel clipping this
+            // placement exists to prevent.
+            const EPS: f64 = 1e-3;
+            let margin = kernel as f64 / 2.0;
+            let lo = (hi_px + margin - subgrid as f64 - EPS).ceil() as i64;
+            let hi = (lo_px - margin + EPS).floor() as i64;
+            if lo > hi {
+                return None;
+            }
+            // center the subgrid on the covered interval, within bounds
+            let ideal = (0.5 * (lo_px + hi_px)).round() as i64 - subgrid as i64 / 2;
+            Some(ideal.clamp(lo, hi))
+        };
+        let place_box = |bb: &BBox| -> Option<(i64, i64)> {
+            Some((
+                place_axis(bb.min_x, bb.max_x)?,
+                place_axis(bb.min_y, bb.max_y)?,
+            ))
         };
 
         let w_plane_of = |uvw_m: Uvw| -> i32 {
@@ -208,7 +232,7 @@ impl Plan {
                     let mut bbox = timestep_bbox(uvw[bl_idx * nr_time + t0], f_lo, f_hi);
 
                     // A single time step that cannot fit is unrepresentable.
-                    if bbox.span(kernel) > subgrid as f64 {
+                    if place_box(&bbox).is_none() {
                         skipped += chan_count;
                         t += 1;
                         continue;
@@ -222,18 +246,15 @@ impl Plan {
                     {
                         let cand =
                             bbox.merged(&timestep_bbox(uvw[bl_idx * nr_time + t_end], f_lo, f_hi));
-                        if cand.span(kernel) > subgrid as f64 {
+                        if place_box(&cand).is_none() {
                             break;
                         }
                         bbox = cand;
                         t_end += 1;
                     }
 
-                    // Center the subgrid on the covered box.
-                    let cx = 0.5 * (bbox.min_x + bbox.max_x);
-                    let cy = 0.5 * (bbox.min_y + bbox.max_y);
-                    let coord_x = cx.round() as i64 - subgrid as i64 / 2;
-                    let coord_y = cy.round() as i64 - subgrid as i64 / 2;
+                    let (coord_x, coord_y) =
+                        place_box(&bbox).expect("accumulation only admits placeable boxes");
 
                     if coord_x < 0
                         || coord_y < 0
@@ -537,6 +558,192 @@ mod tests {
             Plan::create(&obs, &uvw),
             Err(IdgError::ShapeMismatch { what: "uvw", .. })
         ));
+    }
+
+    /// Build the uvw buffer (1 baseline) whose visibilities sit at the
+    /// given fractional pixel positions at the observation's single
+    /// frequency.
+    fn uvw_at_pixels(obs: &Observation, pixels: &[(f64, f64)]) -> Vec<Uvw> {
+        assert_eq!(obs.nr_channels(), 1, "pixel placement needs one channel");
+        assert_eq!(pixels.len(), obs.nr_timesteps);
+        let scale = obs.frequencies[0] / SPEED_OF_LIGHT;
+        pixels
+            .iter()
+            .map(|&(x, y)| Uvw {
+                u: (obs.pixel_to_uv(x) / scale) as f32,
+                v: (obs.pixel_to_uv(y) / scale) as f32,
+                w: 0.0,
+            })
+            .collect()
+    }
+
+    fn obs_single_channel(timesteps: usize) -> Observation {
+        Observation::builder()
+            .stations(2)
+            .timesteps(timesteps)
+            .channels(1, 150e6, 2e6)
+            .grid_size(128)
+            .subgrid_size(16)
+            .kernel_size(5)
+            .aterm_interval(timesteps)
+            .image_size(0.04)
+            .build()
+            .unwrap()
+    }
+
+    /// Strict containment: every covered visibility's kernel-padded
+    /// position lies inside its subgrid with NO tolerance.
+    fn assert_strict_containment(obs: &Observation, uvw: &[Uvw], plan: &Plan) {
+        let margin = obs.kernel_size as f64 / 2.0;
+        for item in &plan.items {
+            for dt in 0..item.nr_timesteps {
+                let t = item.time_offset + dt;
+                let uvw_m = uvw[item.baseline_index * obs.nr_timesteps + t];
+                for f in
+                    &obs.frequencies[item.channel_offset..item.channel_offset + item.nr_channels]
+                {
+                    let scale = f / SPEED_OF_LIGHT;
+                    let x = obs.uv_to_pixel(uvw_m.u as f64 * scale);
+                    let y = obs.uv_to_pixel(uvw_m.v as f64 * scale);
+                    assert!(
+                        x - margin >= item.coord_x as f64
+                            && x + margin <= (item.coord_x + obs.subgrid_size) as f64,
+                        "kernel support [{}, {}] clipped by subgrid [{}, {}]",
+                        x - margin,
+                        x + margin,
+                        item.coord_x,
+                        item.coord_x + obs.subgrid_size
+                    );
+                    assert!(
+                        y - margin >= item.coord_y as f64
+                            && y + margin <= (item.coord_y + obs.subgrid_size) as f64
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bbox_exactly_filling_the_subgrid_never_leaks_kernel_support() {
+        // Regression: two visibilities 10.9 px apart nearly fill the
+        // subgrid (span + kernel = 15.9 < Ñ = 16), yet the padded box
+        // [57.5, 73.4] fits no *integer* origin: coord 57 clips the
+        // right kernel edge (73.4 > 73), coord 58 the left (57.5 <
+        // 58). The old float span test accepted the pair as one work
+        // item and the rounded centering clipped the kernel support by
+        // 0.4 px at the subgrid border.
+        let obs = obs_single_channel(2);
+        let uvw = uvw_at_pixels(&obs, &[(60.0, 64.0), (70.9, 64.0)]);
+        let plan = Plan::create(&obs, &uvw).unwrap();
+        assert_eq!(plan.skipped_visibilities, 0);
+        assert_eq!(plan.nr_gridded_visibilities(), obs.nr_visibilities());
+        assert_strict_containment(&obs, &uvw, &plan);
+        // the exactly-full box is unplaceable on integer coords, so the
+        // planner must have split the pair
+        assert_eq!(plan.nr_subgrids(), 2);
+    }
+
+    #[test]
+    fn integer_aligned_full_bbox_is_one_item() {
+        // The companion case: with an even kernel the padded box
+        // [58, 74] has integer ends and fills the subgrid exactly —
+        // one work item at origin 58 is admissible and the planner
+        // must find it rather than split.
+        let mut obs = obs_single_channel(2);
+        obs.kernel_size = 4;
+        let uvw = uvw_at_pixels(&obs, &[(60.0, 64.0), (72.0, 64.0)]);
+        let plan = Plan::create(&obs, &uvw).unwrap();
+        assert_eq!(plan.skipped_visibilities, 0);
+        assert_eq!(plan.nr_subgrids(), 1);
+        assert_eq!(plan.items[0].coord_x, 58);
+        assert_strict_containment(&obs, &uvw, &plan);
+    }
+
+    #[test]
+    fn visibility_on_the_grid_edge_is_covered_or_skipped_never_clipped() {
+        // March a visibility toward the grid border: each position is
+        // either covered with full kernel support or counted as
+        // skipped — no silent clipping at the grid boundary.
+        let obs = obs_single_channel(1);
+        for x in [120.0, 125.0, 125.5, 126.0, 127.0, 127.9] {
+            let uvw = uvw_at_pixels(&obs, &[(x, 64.0)]);
+            let plan = Plan::create(&obs, &uvw).unwrap();
+            assert_eq!(
+                plan.nr_gridded_visibilities() + plan.skipped_visibilities,
+                obs.nr_visibilities(),
+                "x={x}"
+            );
+            assert_strict_containment(&obs, &uvw, &plan);
+        }
+        // well inside: covered; outside the placeable range: skipped
+        let inside = Plan::create(&obs, &uvw_at_pixels(&obs, &[(120.0, 64.0)])).unwrap();
+        assert_eq!(inside.skipped_visibilities, 0);
+        let outside = Plan::create(&obs, &uvw_at_pixels(&obs, &[(127.9, 64.0)])).unwrap();
+        assert_eq!(outside.skipped_visibilities, 1);
+    }
+
+    #[test]
+    fn w_zero_observation_stays_on_a_single_plane() {
+        // w = 0 exactly (snapshot of a coplanar east-west array) must
+        // not split items across w-planes even with w-stacking enabled.
+        let mut obs = obs_single_channel(4);
+        obs.w_step = 25.0;
+        let uvw = uvw_at_pixels(
+            &obs,
+            &[(60.0, 64.0), (61.0, 64.0), (62.0, 64.0), (63.0, 64.0)],
+        );
+        assert!(uvw.iter().all(|u| u.w == 0.0));
+        let plan = Plan::create(&obs, &uvw).unwrap();
+        assert_eq!(plan.skipped_visibilities, 0);
+        assert_eq!(plan.nr_subgrids(), 1, "w = 0 must not fragment the plan");
+        assert_eq!(plan.items[0].w_plane, 0);
+        assert_eq!(plan.stats().nr_w_planes, 1);
+    }
+
+    #[test]
+    fn single_timestep_observation_plans_cleanly() {
+        let obs = Observation::builder()
+            .stations(8)
+            .timesteps(1)
+            .channels(4, 150e6, 2e6)
+            .grid_size(512)
+            .subgrid_size(24)
+            .kernel_size(9)
+            .aterm_interval(1)
+            .build()
+            .unwrap();
+        let uvw = uvw_for(&obs, 2_000.0, 11);
+        let plan = Plan::create(&obs, &uvw).unwrap();
+        assert_eq!(plan.skipped_visibilities, 0);
+        assert_eq!(plan.nr_gridded_visibilities(), obs.nr_visibilities());
+        assert_eq!(plan.nr_subgrids(), obs.nr_baselines());
+        for item in &plan.items {
+            assert_eq!(item.nr_timesteps, 1);
+            assert_eq!(item.time_offset, 0);
+        }
+    }
+
+    #[test]
+    fn single_channel_observation_plans_cleanly() {
+        let obs = Observation::builder()
+            .stations(8)
+            .timesteps(64)
+            .channels(1, 150e6, 2e6)
+            .grid_size(512)
+            .subgrid_size(24)
+            .kernel_size(9)
+            .aterm_interval(16)
+            .build()
+            .unwrap();
+        let uvw = uvw_for(&obs, 2_000.0, 12);
+        let plan = Plan::create(&obs, &uvw).unwrap();
+        assert_eq!(plan.skipped_visibilities, 0);
+        assert_eq!(plan.nr_gridded_visibilities(), obs.nr_visibilities());
+        for item in &plan.items {
+            assert_eq!(item.channel_offset, 0);
+            assert_eq!(item.nr_channels, 1);
+        }
+        assert_strict_containment(&obs, &uvw, &plan);
     }
 
     #[test]

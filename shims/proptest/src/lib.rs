@@ -1,0 +1,216 @@
+//! Minimal work-alike of the `proptest` API surface used by this
+//! workspace.
+//!
+//! Offline stand-in for the real crate. It implements the subset the
+//! test suites rely on:
+//!
+//! - the `proptest! { ... }` macro (with optional
+//!   `#![proptest_config(...)]`), running each property over `cases`
+//!   deterministically-seeded random inputs,
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assume!`,
+//! - range strategies for floats/ints, tuple strategies, `prop_map`,
+//!   and `proptest::array::uniform8`.
+//!
+//! Differences from upstream, by design: inputs are sampled from a
+//! fixed per-test seed (fully reproducible, no persistence files) and
+//! failing cases are reported without shrinking — the failing input is
+//! printed instead.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `use proptest::prelude::*;`
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Array strategies (`proptest::array::uniform8`).
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `[S::Value; 8]` with i.i.d. elements.
+    #[derive(Clone, Debug)]
+    pub struct Uniform8<S>(S);
+
+    pub fn uniform8<S: Strategy>(element: S) -> Uniform8<S> {
+        Uniform8(element)
+    }
+
+    impl<S: Strategy> Strategy for Uniform8<S> {
+        type Value = [S::Value; 8];
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+}
+
+/// The property-test entry macro.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_prop(x in -1.0..1.0f64, n in 0usize..10) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strat:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20).max(100);
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest '{}': too many prop_assume! rejections \
+                         ({} attempts for {} cases)",
+                        stringify!($name), attempts, config.cases,
+                    );
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                    )*
+                    let outcome: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => continue,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => panic!(
+                            "proptest '{}' failed at case {}: {}",
+                            stringify!($name), accepted, msg,
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fallible assertion usable inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // Bind first: negating `$cond` textually would trip
+        // `clippy::neg_cmp_op_on_partial_ord` at every float call site.
+        let ok: bool = $cond;
+        if !ok {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fallible equality assertion usable inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        match (&$lhs, &$rhs) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!("assertion failed: `{:?}` == `{:?}`", l, r,),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Reject (skip) the current case when its inputs are unsuitable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        // Bound first for the same clippy reason as `prop_assert!`.
+        let suitable: bool = $cond;
+        if !suitable {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -3.0..7.0f64, n in 2usize..9) {
+            prop_assert!((-3.0..7.0).contains(&x));
+            prop_assert!((2..9).contains(&n));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0.0..1.0f64) {
+            prop_assume!(x > 0.001);
+            prop_assert!(x > 0.0);
+        }
+
+        #[test]
+        fn prop_map_applies(y in (0usize..10).prop_map(|v| v * 3)) {
+            prop_assert_eq!(y % 3, 0);
+            prop_assert!(y < 30);
+        }
+
+        #[test]
+        fn tuples_and_arrays(
+            pair in (0.0..1.0f64, 1.0..2.0f64),
+            v in crate::array::uniform8(-1.0..1.0f64),
+        ) {
+            let (a, b) = pair;
+            prop_assert!(a < b);
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        proptest! {
+            fn inner(x in 0.0..1.0f64) {
+                prop_assert!(x < 0.0, "x was {x}");
+            }
+        }
+        inner();
+    }
+}

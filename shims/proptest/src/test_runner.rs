@@ -1,0 +1,68 @@
+//! Test-runner types backing the `proptest!` macro expansion.
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+    /// Upstream shrink-iteration cap. This shim reports the failing
+    /// inputs without shrinking, but the field keeps the standard
+    /// `ProptestConfig { cases, ..default() }` idiom meaningful.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256 cases; 64 keeps the numerical
+        // suites fast while still sweeping each property's input space.
+        Self {
+            cases: 64,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs — resample, don't fail.
+    Reject,
+    /// `prop_assert!` failed with this message.
+    Fail(String),
+}
+
+/// Deterministic generator feeding the strategies
+/// (SplitMix64; seeded from the property's name).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name so each property gets a stable,
+    /// reproducible input stream.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name, mixed with a fixed offset
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self {
+            state: h ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
