@@ -77,6 +77,9 @@ pub fn model_cpu_report(
         counts,
         device_energy_j: Some(energy.device_energy(total, 1.0)),
         host_energy_j: Some(0.0),
+        nr_retries: 0,
+        backoff_seconds: 0.0,
+        fallback_jobs: Vec::new(),
     }
 }
 
@@ -257,6 +260,9 @@ pub fn full_scale_runs(ds: &Dataset) -> Vec<BackendRun> {
                     energy.device_energy(busy, 1.0) + energy.device_energy(makespan - busy, 0.0),
                 ),
                 host_energy_j: Some(energy.host_energy(makespan)),
+                nr_retries: 0,
+                backoff_seconds: 0.0,
+                fallback_jobs: Vec::new(),
             }
         };
         let gridding = make_pass(&gc, "gridding", vis_bytes_per_group, 0);

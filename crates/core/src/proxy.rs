@@ -8,7 +8,7 @@
 
 use crate::report::ExecutionReport;
 use idg_fft::Direction;
-use idg_gpusim::{Device, GpuExecutor};
+use idg_gpusim::{Device, FaultConfig, GpuExecutor, GpuRunReport, JobFailure, RetryPolicy};
 use idg_kernels::{
     add_subgrids, degridder_cpu, degridder_reference, fft_subgrids, gridder_cpu, gridder_reference,
     split_subgrids, FftNorm, KernelData, SubgridArray,
@@ -55,6 +55,36 @@ impl Backend {
     }
 }
 
+/// Reject non-finite samples at the proxy boundary: a single NaN/Inf
+/// visibility silently poisons the entire grid (NaN propagates through
+/// every accumulation), so the error must be typed and early.
+fn check_finite_vis(visibilities: &[Visibility<f32>]) -> Result<(), IdgError> {
+    for (i, v) in visibilities.iter().enumerate() {
+        if v.pols
+            .iter()
+            .any(|p| !p.re.is_finite() || !p.im.is_finite())
+        {
+            return Err(IdgError::InvalidParameter(format!(
+                "visibility {i} is non-finite (NaN/Inf)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Same boundary check for uvw coordinates: a NaN coordinate corrupts
+/// the plan's subgrid placement, not just one sample.
+fn check_finite_uvw(uvw: &[Uvw]) -> Result<(), IdgError> {
+    for (i, c) in uvw.iter().enumerate() {
+        if !c.u.is_finite() || !c.v.is_finite() || !c.w.is_finite() {
+            return Err(IdgError::InvalidParameter(format!(
+                "uvw coordinate {i} is non-finite (NaN/Inf)"
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// A configured IDG instance for one observation.
 pub struct Proxy {
     backend: Backend,
@@ -62,6 +92,15 @@ pub struct Proxy {
     taper: Vec<f32>,
     /// Work items per (modeled) kernel launch on GPU back-ends.
     pub work_group_size: usize,
+    /// Optional device fault-injection schedule (GPU back-ends).
+    pub fault_config: Option<FaultConfig>,
+    /// Retry policy for transient device faults (GPU back-ends).
+    pub retry_policy: RetryPolicy,
+    /// Re-execute persistently failed device jobs on the CPU reference
+    /// kernels and merge their outputs (graceful degradation; the
+    /// fallback is flagged in the report). When disabled, a persistent
+    /// device fault fails the whole pass with its classified error.
+    pub cpu_fallback: bool,
 }
 
 impl Proxy {
@@ -74,7 +113,17 @@ impl Proxy {
             obs,
             taper,
             work_group_size: 256,
+            fault_config: None,
+            retry_policy: RetryPolicy::default(),
+            cpu_fallback: true,
         })
+    }
+
+    /// Attach a device fault-injection schedule (GPU back-ends; CPU
+    /// back-ends ignore it).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.fault_config = Some(faults);
+        self
     }
 
     /// The observation this proxy was configured for.
@@ -106,6 +155,68 @@ impl Proxy {
         }
     }
 
+    fn executor(&self) -> GpuExecutor {
+        let executor = GpuExecutor::new(self.device(), self.work_group_size)
+            .with_retry_policy(self.retry_policy);
+        match &self.fault_config {
+            Some(f) => executor.with_faults(f.clone()),
+            None => executor,
+        }
+    }
+
+    /// Graceful degradation after a device pass: re-execute the
+    /// persistently failed jobs' work items on the CPU reference
+    /// kernels and merge their subgrids into `grid`. Errors with the
+    /// first failure's classified error when the fallback is disabled.
+    fn fallback_grid(
+        &self,
+        data: &KernelData<'_>,
+        plan: &Plan,
+        grid: &mut Grid<f32>,
+        report: &GpuRunReport,
+    ) -> Result<Vec<JobFailure>, IdgError> {
+        if report.failed_jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if !self.cpu_fallback {
+            return Err(report.failed_jobs[0].error.clone());
+        }
+        for failure in &report.failed_jobs {
+            let items = &plan.items[failure.first_item..failure.first_item + failure.nr_items];
+            let mut subgrids = SubgridArray::new(items.len(), self.obs.subgrid_size);
+            gridder_reference(data, items, &mut subgrids);
+            fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
+            add_subgrids(grid, items, &subgrids);
+        }
+        Ok(report.failed_jobs.clone())
+    }
+
+    /// Degridding counterpart of [`Proxy::fallback_grid`]: predict the
+    /// failed jobs' visibilities with the CPU reference kernels.
+    fn fallback_degrid(
+        &self,
+        data: &KernelData<'_>,
+        plan: &Plan,
+        grid: &Grid<f32>,
+        vis: &mut [Visibility<f32>],
+        report: &GpuRunReport,
+    ) -> Result<Vec<JobFailure>, IdgError> {
+        if report.failed_jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        if !self.cpu_fallback {
+            return Err(report.failed_jobs[0].error.clone());
+        }
+        for failure in &report.failed_jobs {
+            let items = &plan.items[failure.first_item..failure.first_item + failure.nr_items];
+            let mut subgrids = SubgridArray::new(items.len(), self.obs.subgrid_size);
+            split_subgrids(grid, items, &mut subgrids);
+            fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
+            degridder_reference(data, items, &subgrids, vis);
+        }
+        Ok(report.failed_jobs.clone())
+    }
+
     /// Grid visibilities onto a new grid.
     pub fn grid(
         &self,
@@ -122,6 +233,8 @@ impl Proxy {
             taper: &self.taper,
         };
         data.validate()?;
+        check_finite_vis(visibilities)?;
+        check_finite_uvw(uvw)?;
 
         match self.backend {
             Backend::CpuReference | Backend::CpuOptimized => {
@@ -153,12 +266,15 @@ impl Proxy {
                         counts,
                         device_energy_j: None,
                         host_energy_j: None,
+                        nr_retries: 0,
+                        backoff_seconds: 0.0,
+                        fallback_jobs: Vec::new(),
                     },
                 ))
             }
             Backend::GpuPascal | Backend::GpuFiji => {
-                let executor = GpuExecutor::new(self.device(), self.work_group_size);
-                let (grid, report) = executor.grid(&data, plan)?;
+                let (mut grid, report) = self.executor().grid(&data, plan)?;
+                let fallback_jobs = self.fallback_grid(&data, plan, &mut grid, &report)?;
                 Ok((
                     grid,
                     ExecutionReport {
@@ -173,6 +289,9 @@ impl Proxy {
                         counts: report.counts,
                         device_energy_j: Some(report.device_energy_j),
                         host_energy_j: Some(report.host_energy_j),
+                        nr_retries: report.nr_retries,
+                        backoff_seconds: report.backoff_seconds,
+                        fallback_jobs,
                     },
                 ))
             }
@@ -200,6 +319,16 @@ impl Proxy {
             taper: &self.taper,
         };
         data.validate()?;
+        check_finite_uvw(uvw)?;
+        if grid
+            .as_slice()
+            .iter()
+            .any(|c| !c.re.is_finite() || !c.im.is_finite())
+        {
+            return Err(IdgError::InvalidParameter(
+                "model grid contains non-finite (NaN/Inf) samples".into(),
+            ));
+        }
         if grid.size() != self.obs.grid_size {
             return Err(IdgError::ShapeMismatch {
                 what: "grid",
@@ -240,12 +369,15 @@ impl Proxy {
                         counts,
                         device_energy_j: None,
                         host_energy_j: None,
+                        nr_retries: 0,
+                        backoff_seconds: 0.0,
+                        fallback_jobs: Vec::new(),
                     },
                 ))
             }
             Backend::GpuPascal | Backend::GpuFiji => {
-                let executor = GpuExecutor::new(self.device(), self.work_group_size);
-                let (vis, report) = executor.degrid(&data, plan, grid)?;
+                let (mut vis, report) = self.executor().degrid(&data, plan, grid)?;
+                let fallback_jobs = self.fallback_degrid(&data, plan, grid, &mut vis, &report)?;
                 Ok((
                     vis,
                     ExecutionReport {
@@ -260,6 +392,9 @@ impl Proxy {
                         counts: report.counts,
                         device_energy_j: Some(report.device_energy_j),
                         host_energy_j: Some(report.host_energy_j),
+                        nr_retries: report.nr_retries,
+                        backoff_seconds: report.backoff_seconds,
+                        fallback_jobs,
                     },
                 ))
             }
@@ -393,6 +528,144 @@ mod tests {
             proxy.degrid(&plan, &wrong, &ds.uvw, &ds.aterms),
             Err(IdgError::ShapeMismatch { what: "grid", .. })
         ));
+    }
+
+    #[test]
+    fn non_finite_inputs_are_rejected_with_a_typed_error() {
+        let ds = dataset();
+        let proxy = Proxy::new(Backend::CpuOptimized, ds.obs.clone()).unwrap();
+        let plan = proxy.plan(&ds.uvw).unwrap();
+
+        let mut bad_vis = ds.visibilities.clone();
+        bad_vis[7].pols[2].im = f32::NAN;
+        assert!(matches!(
+            proxy.grid(&plan, &ds.uvw, &bad_vis, &ds.aterms),
+            Err(IdgError::InvalidParameter(msg)) if msg.contains("visibility 7")
+        ));
+
+        let mut bad_vis = ds.visibilities.clone();
+        bad_vis[0].pols[0].re = f32::INFINITY;
+        assert!(matches!(
+            proxy.grid(&plan, &ds.uvw, &bad_vis, &ds.aterms),
+            Err(IdgError::InvalidParameter(_))
+        ));
+
+        let mut bad_uvw = ds.uvw.clone();
+        bad_uvw[3].w = f32::NAN;
+        assert!(matches!(
+            proxy.grid(&plan, &bad_uvw, &ds.visibilities, &ds.aterms),
+            Err(IdgError::InvalidParameter(msg)) if msg.contains("uvw coordinate 3")
+        ));
+        let (grid, _) = proxy
+            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        assert!(matches!(
+            proxy.degrid(&plan, &grid, &bad_uvw, &ds.aterms),
+            Err(IdgError::InvalidParameter(_))
+        ));
+
+        let mut bad_grid = grid.clone();
+        bad_grid.as_mut_slice()[11].re = f32::NAN;
+        assert!(matches!(
+            proxy.degrid(&plan, &bad_grid, &ds.uvw, &ds.aterms),
+            Err(IdgError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn persistent_device_faults_fall_back_to_the_cpu() {
+        use idg_gpusim::{FaultKind, TargetedFault};
+        use idg_types::FaultSite;
+
+        let ds = dataset();
+        let mut gold_proxy = Proxy::new(Backend::GpuPascal, ds.obs.clone()).unwrap();
+        gold_proxy.work_group_size = 4;
+        let plan = gold_proxy.plan(&ds.uvw).unwrap();
+        let (gold, _) = gold_proxy
+            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+
+        // job 1 hits device OOM: persistent, so the proxy re-executes
+        // its work items on the CPU reference kernels
+        let mut proxy = Proxy::new(Backend::GpuPascal, ds.obs.clone()).unwrap();
+        proxy.work_group_size = 4;
+        let proxy = proxy.with_faults(FaultConfig::targeted(vec![TargetedFault {
+            job: 1,
+            attempt: 0,
+            site: FaultSite::Alloc,
+            kind: FaultKind::OutOfMemory,
+        }]));
+        let (grid, report) = proxy
+            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+
+        assert_eq!(report.fallback_jobs.len(), 1);
+        assert_eq!(report.fallback_jobs[0].job, 1);
+        assert!(!report.fallback_jobs[0].error.is_transient());
+        assert!(report.to_string().contains("re-executed on the CPU"));
+
+        // the merged grid is numerically equivalent to the all-device
+        // run (the fallback kernels are the f64 reference family)
+        let scale = gold
+            .as_slice()
+            .iter()
+            .map(|c| c.abs())
+            .fold(1e-9f32, f32::max);
+        for (a, b) in grid.as_slice().iter().zip(gold.as_slice()) {
+            assert!((*a - *b).abs() / scale < 3e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn disabled_fallback_surfaces_the_classified_error() {
+        use idg_gpusim::{FaultKind, TargetedFault};
+        use idg_types::FaultSite;
+
+        let ds = dataset();
+        let mut proxy = Proxy::new(Backend::GpuFiji, ds.obs.clone()).unwrap();
+        proxy.work_group_size = 4;
+        proxy.cpu_fallback = false;
+        let proxy = proxy.with_faults(FaultConfig::targeted(vec![TargetedFault {
+            job: 0,
+            attempt: 0,
+            site: FaultSite::Alloc,
+            kind: FaultKind::OutOfMemory,
+        }]));
+        let plan = proxy.plan(&ds.uvw).unwrap();
+        assert!(matches!(
+            proxy.grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms),
+            Err(IdgError::DeviceOutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn transient_faults_recover_without_fallback() {
+        use idg_gpusim::{FaultKind, TargetedFault};
+        use idg_types::FaultSite;
+
+        let ds = dataset();
+        let mut gold_proxy = Proxy::new(Backend::GpuPascal, ds.obs.clone()).unwrap();
+        gold_proxy.work_group_size = 8;
+        let plan = gold_proxy.plan(&ds.uvw).unwrap();
+        let (gold, _) = gold_proxy
+            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+
+        let mut proxy = Proxy::new(Backend::GpuPascal, ds.obs.clone()).unwrap();
+        proxy.work_group_size = 8;
+        let proxy = proxy.with_faults(FaultConfig::targeted(vec![TargetedFault {
+            job: 0,
+            attempt: 0,
+            site: FaultSite::HtoD,
+            kind: FaultKind::TransferCorruption,
+        }]));
+        let (grid, report) = proxy
+            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        assert_eq!(report.nr_retries, 1);
+        assert!(report.backoff_seconds > 0.0);
+        assert!(report.fallback_jobs.is_empty());
+        assert_eq!(grid.as_slice(), gold.as_slice(), "recovery is exact");
     }
 
     #[test]

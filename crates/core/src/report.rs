@@ -5,6 +5,7 @@
 //! per-stage times (Fig. 9), visibility throughput (Fig. 10), operation
 //! counts and intensities (Figs. 11–13) and energy (Figs. 14–15).
 
+use idg_gpusim::JobFailure;
 use idg_perf::OpCounts;
 
 /// Timing and accounting of one gridding or degridding pass.
@@ -33,6 +34,15 @@ pub struct ExecutionReport {
     pub device_energy_j: Option<f64>,
     /// Modeled host energy while driving the device, J.
     pub host_energy_j: Option<f64>,
+    /// Re-enqueued device attempts after transient faults (GPU
+    /// back-ends with fault injection; 0 otherwise).
+    pub nr_retries: usize,
+    /// Modeled backoff delay inserted before retries, s.
+    pub backoff_seconds: f64,
+    /// Device jobs that failed persistently and were re-executed on
+    /// the CPU reference backend (graceful degradation). Empty when the
+    /// pass ran entirely on its selected back-end.
+    pub fallback_jobs: Vec<JobFailure>,
 }
 
 impl ExecutionReport {
@@ -96,6 +106,15 @@ impl std::fmt::Display for ExecutionReport {
         if let (Some(d), Some(h)) = (self.device_energy_j, self.host_energy_j) {
             writeln!(f, "  energy {d:>9.2} J device + {h:>7.2} J host")?;
         }
+        if self.nr_retries > 0 || !self.fallback_jobs.is_empty() {
+            writeln!(
+                f,
+                "  faults {} retried attempts ({:.4} s backoff), {} jobs re-executed on the CPU",
+                self.nr_retries,
+                self.backoff_seconds,
+                self.fallback_jobs.len()
+            )?;
+        }
         Ok(())
     }
 }
@@ -123,6 +142,9 @@ mod tests {
             },
             device_energy_j: Some(100.0),
             host_energy_j: Some(20.0),
+            nr_retries: 0,
+            backoff_seconds: 0.0,
+            fallback_jobs: Vec::new(),
         }
     }
 
@@ -153,6 +175,17 @@ mod tests {
         assert_eq!(r.kernel_tops(), 0.0);
         assert_eq!(r.kernel_fraction(), 0.0);
         assert!(r.to_string().contains("0.00 MVis/s"));
+    }
+
+    #[test]
+    fn display_reports_recovery_cost_only_when_present() {
+        assert!(!report().to_string().contains("faults"));
+        let r = ExecutionReport {
+            nr_retries: 2,
+            backoff_seconds: 0.003,
+            ..report()
+        };
+        assert!(r.to_string().contains("2 retried attempts"));
     }
 
     #[test]

@@ -79,7 +79,7 @@ impl Proxy {
                 gridder_cpu(&data, &plan.items, &mut subgrids, Accuracy::Medium)
             }
             Backend::GpuPascal | Backend::GpuFiji => {
-                gridder_gpu(&data, &plan.items, &mut subgrids, &self.device());
+                gridder_gpu(&data, &plan.items, &mut subgrids, &self.device())?;
             }
         }
         let gridder_subgrids = subgrids.clone();
@@ -136,7 +136,7 @@ impl Proxy {
                 degridder_cpu(&data, &plan.items, &subgrids, &mut vis, Accuracy::Medium)
             }
             Backend::GpuPascal | Backend::GpuFiji => {
-                degridder_gpu(&data, &plan.items, &subgrids, &mut vis, &self.device());
+                degridder_gpu(&data, &plan.items, &subgrids, &mut vis, &self.device())?;
             }
         }
 

@@ -1,59 +1,109 @@
 //! The GPU executor: whole gridding/degridding passes on the device
-//! model, with triple-buffered transfer/compute overlap and an
-//! execution/energy report.
+//! model, with triple-buffered transfer/compute overlap, fault-tolerant
+//! retry, and an execution/energy report.
 //!
 //! Results are *real* (computed by the simulated kernels and verified
 //! against the CPU reference); times and energies are *modeled* from the
 //! Table I machine parameters — the substitution documented in
 //! DESIGN.md.
+//!
+//! ## Fault tolerance
+//!
+//! When a [`FaultConfig`] is attached ([`GpuExecutor::with_faults`]),
+//! every job (work group) runs through a retry loop:
+//!
+//! * transfer corruption is detected by *real* checksums — the executor
+//!   stages a copy of the payload, the injector flips one bit, and the
+//!   FNV-1a hashes disagree;
+//! * transient faults (corruption, kernel faults, stream stalls)
+//!   re-enqueue the job's whole HtoD → kernel → DtoH chain, delayed by
+//!   the [`RetryPolicy`]'s capped exponential backoff — both the faulted
+//!   attempts and the backoff gaps are modeled into the makespan;
+//! * persistent faults (device OOM, or a transient fault that exhausts
+//!   `max_attempts`) land the job in [`GpuRunReport::failed_jobs`] with
+//!   its classified [`IdgError`]; the pass itself still succeeds, and
+//!   the proxy layer re-executes exactly those jobs on the CPU.
 
 use crate::device::Device;
+use crate::fault::{checksum_bytes, FaultConfig, FaultInjector, FaultKind, RetryPolicy};
 use crate::kernels::{degridder_gpu, gridder_gpu};
-use crate::stream::{PipelineSim, TraceEntry};
+use crate::stream::{Engine, FaultPoint, PipelineSim, TraceEntry};
 use crate::timing::{adder_time, kernel_time, subgrid_fft_time, transfer_time};
 use idg_fft::Direction;
 use idg_kernels::{add_subgrids, fft_subgrids, split_subgrids, FftNorm, KernelData, SubgridArray};
-use idg_perf::{EnergyModel, OpCounts};
-use idg_plan::Plan;
-use idg_types::{Grid, IdgError, Visibility};
+use idg_perf::{degridder_counts, gridder_counts, EnergyModel, OpCounts};
+use idg_plan::{Plan, WorkItem};
+use idg_types::{FaultSite, Grid, IdgError, Visibility};
+
+/// A job that failed persistently: its outputs are absent from the pass
+/// result and the proxy layer may re-execute it on the CPU backend.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobFailure {
+    /// Job (work group) index in submission order.
+    pub job: usize,
+    /// Index of the job's first work item in `plan.items`.
+    pub first_item: usize,
+    /// Number of work items the job covers.
+    pub nr_items: usize,
+    /// The classified error that ended the job.
+    pub error: IdgError,
+    /// How many attempts were made before giving up.
+    pub attempts: u32,
+}
 
 /// Outcome of one executor pass.
 #[derive(Clone, Debug)]
 pub struct GpuRunReport {
     /// "gridding" or "degridding".
     pub pass: &'static str,
-    /// Aggregate gridder/degridder operation counters.
+    /// Aggregate gridder/degridder operation counters (successful jobs).
     pub counts: OpCounts,
-    /// Modeled main-kernel busy time, s.
+    /// Modeled main-kernel busy time, s (including faulted attempts).
     pub kernel_seconds: f64,
     /// Modeled subgrid-FFT time, s.
     pub fft_seconds: f64,
     /// Modeled adder/splitter time, s.
     pub adder_seconds: f64,
-    /// Modeled host-to-device transfer time, s.
+    /// Modeled host-to-device transfer time, s (including faulted
+    /// attempts).
     pub htod_seconds: f64,
-    /// Modeled device-to-host transfer time, s.
+    /// Modeled device-to-host transfer time, s (including faulted
+    /// attempts).
     pub dtoh_seconds: f64,
     /// Pipeline makespan with triple buffering, s.
     pub makespan: f64,
-    /// The per-operation timeline (Fig. 7 material).
+    /// The per-operation timeline (Fig. 7 material). Faulted attempts
+    /// appear with `OpStatus::Faulted`; retries carry `attempt > 0`.
     pub timeline: Vec<TraceEntry>,
     /// Modeled device energy over the makespan, J.
     pub device_energy_j: f64,
     /// Modeled host (package + DRAM) energy over the makespan, J.
     pub host_energy_j: f64,
+    /// Number of re-enqueued attempts across all jobs.
+    pub nr_retries: usize,
+    /// Total modeled backoff delay inserted before retries, s.
+    pub backoff_seconds: f64,
+    /// Jobs that failed persistently (their work is *not* in the
+    /// result); empty on a fault-free pass.
+    pub failed_jobs: Vec<JobFailure>,
 }
 
 impl GpuRunReport {
     /// Achieved operation rate over kernel busy time, TOps/s — the
-    /// quantity plotted in Fig. 11.
+    /// quantity plotted in Fig. 11. Zero (not NaN) for empty passes.
     pub fn kernel_tops(&self) -> f64 {
+        if self.kernel_seconds <= 0.0 {
+            return 0.0;
+        }
         self.counts.total_ops() as f64 / self.kernel_seconds / 1e12
     }
 
     /// Visibility throughput over the whole pass, MVisibilities/s — the
-    /// Fig. 10 metric.
+    /// Fig. 10 metric. Zero (not NaN) for empty passes.
     pub fn mvis_per_sec(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
         self.counts.visibilities as f64 / self.makespan / 1e6
     }
 
@@ -61,6 +111,192 @@ impl GpuRunReport {
     pub fn gflops_per_watt(&self, model: &EnergyModel) -> f64 {
         model.gflops_per_watt(&self.counts, self.kernel_seconds, 1.0)
     }
+
+    /// Whether every job's outputs made it into the result.
+    pub fn complete(&self) -> bool {
+        self.failed_jobs.is_empty()
+    }
+}
+
+/// Engine time consumed by faulted attempts plus retry bookkeeping.
+#[derive(Default)]
+struct RetryStats {
+    nr_retries: usize,
+    backoff_seconds: f64,
+    htod_seconds: f64,
+    kernel_seconds: f64,
+    dtoh_seconds: f64,
+}
+
+/// What the retry loop asks the pass-specific backend to do. `Stage*`
+/// return a copy of the transfer payload's raw bytes (checksummed to
+/// detect injected corruption); `Compute` runs the real kernels (and
+/// must be idempotent — a retry re-runs it from scratch); `Commit`
+/// merges the computed outputs into the pass result.
+enum JobOp {
+    StageInput,
+    Compute,
+    StageOutput,
+    Commit,
+}
+
+/// Run one job through the fault/retry loop. Returns the number of
+/// attempts used, or the final classified error and the attempt count.
+#[allow(clippy::too_many_arguments)]
+fn run_job(
+    pipeline: &mut PipelineSim,
+    injector: Option<&FaultInjector>,
+    retry: &RetryPolicy,
+    stats: &mut RetryStats,
+    job: usize,
+    times: (f64, f64, f64),
+    run: &mut dyn FnMut(JobOp) -> Result<Vec<u8>, IdgError>,
+) -> Result<u32, (IdgError, u32)> {
+    let (t_in, t_compute, t_out) = times;
+    let mut attempt: u32 = 0;
+    let mut not_before = 0.0;
+    loop {
+        let hard = |e: IdgError| (e, attempt + 1);
+        // what does the injector throw at this attempt? (sites probed
+        // in chain order; DtoH only exists when the job transfers out)
+        let mut fault = injector.and_then(|inj| {
+            [
+                FaultSite::Alloc,
+                FaultSite::HtoD,
+                FaultSite::Kernel,
+                FaultSite::DtoH,
+            ]
+            .into_iter()
+            .filter(|&s| s != FaultSite::DtoH || t_out > 0.0)
+            .find_map(|s| inj.fault_at(job, attempt, s).map(|k| (inj, s, k)))
+        });
+        // transfer corruption is *detected*, never assumed: checksum a
+        // staged copy of the payload, flip one bit, compare hashes
+        if let Some((inj, site, FaultKind::TransferCorruption)) = fault {
+            let mut staged = match site {
+                FaultSite::HtoD => run(JobOp::StageInput).map_err(hard)?,
+                _ => {
+                    run(JobOp::Compute).map_err(hard)?;
+                    run(JobOp::StageOutput).map_err(hard)?
+                }
+            };
+            let want = checksum_bytes(&staged);
+            inj.corrupt_bytes(&mut staged, job, attempt);
+            if checksum_bytes(&staged) == want {
+                fault = None; // undetectable flip: delivered as clean
+            }
+        }
+        match fault {
+            None => {
+                run(JobOp::Compute).map_err(hard)?;
+                pipeline.submit_attempt(job, attempt, not_before, t_in, t_compute, t_out, None);
+                run(JobOp::Commit).map_err(hard)?;
+                return Ok(attempt + 1);
+            }
+            // allocation faults never reach the stream engines and
+            // retrying the same allocation cannot succeed: persistent
+            Some((_, FaultSite::Alloc, kind)) => {
+                return Err((kind.to_error(job, FaultSite::Alloc, 0.0), attempt + 1));
+            }
+            Some((inj, site, kind)) => {
+                let extra = if kind == FaultKind::StreamStall {
+                    inj.stall_seconds()
+                } else {
+                    0.0
+                };
+                let engine = match site {
+                    FaultSite::HtoD => Engine::HtoD,
+                    FaultSite::Kernel => Engine::Compute,
+                    FaultSite::DtoH => Engine::DtoH,
+                    FaultSite::Alloc => unreachable!("handled above"),
+                };
+                let outcome = pipeline.submit_attempt(
+                    job,
+                    attempt,
+                    not_before,
+                    t_in,
+                    t_compute,
+                    t_out,
+                    Some(FaultPoint {
+                        engine,
+                        extra_seconds: extra,
+                    }),
+                );
+                // the chain truncates at the faulting engine; charge
+                // the engine time the faulted attempt actually held
+                match site {
+                    FaultSite::HtoD => stats.htod_seconds += t_in + extra,
+                    FaultSite::Kernel => {
+                        stats.htod_seconds += t_in;
+                        stats.kernel_seconds += t_compute + extra;
+                    }
+                    FaultSite::DtoH => {
+                        stats.htod_seconds += t_in;
+                        stats.kernel_seconds += t_compute;
+                        stats.dtoh_seconds += t_out + extra;
+                    }
+                    FaultSite::Alloc => unreachable!("handled above"),
+                }
+                let err = kind.to_error(job, site, extra);
+                attempt += 1;
+                if !err.is_transient() || attempt >= retry.max_attempts {
+                    return Err((err, attempt));
+                }
+                stats.nr_retries += 1;
+                let backoff = retry.backoff_before(attempt);
+                stats.backoff_seconds += backoff;
+                not_before = outcome.end + backoff;
+            }
+        }
+    }
+}
+
+/// Raw bytes of the visibilities a group transfers (HtoD payload of a
+/// gridding job, DtoH payload of a degridding job).
+fn staged_vis_bytes(
+    vis: &[Visibility<f32>],
+    nr_timesteps: usize,
+    nr_channels: usize,
+    group: &[WorkItem],
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    for item in group {
+        for dt in 0..item.nr_timesteps {
+            let row = (item.baseline_index * nr_timesteps + item.time_offset + dt) * nr_channels;
+            for c in item.channel_offset..item.channel_offset + item.nr_channels {
+                for p in &vis[row + c].pols {
+                    out.extend_from_slice(&p.re.to_le_bytes());
+                    out.extend_from_slice(&p.im.to_le_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Raw bytes of the uvw coordinates a group transfers (degridding HtoD).
+fn staged_uvw_bytes(data: &KernelData<'_>, group: &[WorkItem]) -> Vec<u8> {
+    let nr_time = data.obs.nr_timesteps;
+    let mut out = Vec::new();
+    for item in group {
+        let base = item.baseline_index * nr_time + item.time_offset;
+        for uvw in &data.uvw[base..base + item.nr_timesteps] {
+            for f in [uvw.u, uvw.v, uvw.w] {
+                out.extend_from_slice(&f.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Raw bytes of a subgrid buffer (DtoH payload of host-adder gridding).
+fn staged_subgrid_bytes(subgrids: &SubgridArray) -> Vec<u8> {
+    let mut out = Vec::with_capacity(subgrids.as_slice().len() * 8);
+    for c in subgrids.as_slice() {
+        out.extend_from_slice(&c.re.to_le_bytes());
+        out.extend_from_slice(&c.im.to_le_bytes());
+    }
+    out
 }
 
 /// Drives gridding / degridding passes on a modeled device.
@@ -69,16 +305,35 @@ pub struct GpuExecutor {
     pub device: Device,
     /// Work items per work group (kernel launch).
     pub work_group_size: usize,
+    /// Optional fault-injection schedule (None = fault-free device).
+    pub faults: Option<FaultConfig>,
+    /// Retry policy for transient device faults.
+    pub retry: RetryPolicy,
 }
 
 impl GpuExecutor {
-    /// Create an executor with the given work-group granularity.
+    /// Create an executor with the given work-group granularity (a
+    /// fault-free device; see [`GpuExecutor::with_faults`]). A zero
+    /// group size is clamped to one.
     pub fn new(device: Device, work_group_size: usize) -> Self {
-        assert!(work_group_size > 0);
         Self {
             device,
-            work_group_size,
+            work_group_size: work_group_size.max(1),
+            faults: None,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Attach a fault-injection schedule to the device model.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Override the retry policy for transient faults.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Model the device-resident allocations of a pass. Preferred: grid +
@@ -103,6 +358,11 @@ impl GpuExecutor {
     }
 
     /// Run a full gridding pass: visibilities → grid.
+    ///
+    /// Jobs that fail persistently are reported in
+    /// [`GpuRunReport::failed_jobs`] and their subgrids are absent from
+    /// the returned grid; only whole-pass setup failures (e.g. the
+    /// buffer sets not fitting in device memory) error out.
     pub fn grid(
         &self,
         data: &KernelData<'_>,
@@ -113,9 +373,11 @@ impl GpuExecutor {
         // host-side adder: subgrids stream back over PCI-e and the host
         // memory system (~40 GB/s effective) performs the row-parallel add
         let host_adder_bw = 40e9;
+        let injector = self.faults.clone().map(FaultInjector::new);
 
         let n = plan.subgrid_size();
         let nr_chan = data.obs.nr_channels();
+        let nr_time = data.obs.nr_timesteps;
         let mut grid = Grid::<f32>::new(plan.grid_size());
         let mut pipeline = PipelineSim::new(3);
         let mut counts = OpCounts::default();
@@ -124,14 +386,11 @@ impl GpuExecutor {
         let mut adder_seconds = 0.0;
         let mut htod_seconds = 0.0;
         let mut dtoh_seconds = 0.0;
+        let mut stats = RetryStats::default();
+        let mut failed_jobs = Vec::new();
 
-        for group in plan.work_groups(self.work_group_size) {
-            let mut subgrids = SubgridArray::new(group.len(), n);
-            let group_counts = gridder_gpu(data, group, &mut subgrids, &device);
-            fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
-            add_subgrids(&mut grid, group, &subgrids);
-
-            // modeled schedule
+        for (job, group) in plan.work_groups(self.work_group_size).enumerate() {
+            let group_counts = gridder_counts(group, n);
             let in_bytes = group
                 .iter()
                 .map(|i| (i.nr_timesteps * (nr_chan * 32 + 12)) as u64)
@@ -140,33 +399,77 @@ impl GpuExecutor {
             let t_kernel = kernel_time(&device, &group_counts);
             let t_fft = subgrid_fft_time(&device, group.len(), n);
             let subgrid_bytes = (group.len() * 4 * n * n * 8) as u64;
-            if host_adder {
+            let (t_compute, t_out, t_add) = if host_adder {
                 // option (2): subgrids stream to the host (DtoH engine)
                 // and the host adds them while the GPU computes on
                 let t_out = transfer_time(&device, subgrid_bytes);
-                let t_add = 2.0 * subgrid_bytes as f64 / host_adder_bw;
-                pipeline.submit(t_in, t_kernel + t_fft, t_out);
-                adder_seconds += t_add;
-                dtoh_seconds += t_out;
+                (
+                    t_kernel + t_fft,
+                    t_out,
+                    2.0 * subgrid_bytes as f64 / host_adder_bw,
+                )
             } else {
                 // option (1): atomic adder on the device
                 let t_add = adder_time(&device, group.len(), n);
-                pipeline.submit(t_in, t_kernel + t_fft + t_add, 0.0);
-                adder_seconds += t_add;
-            }
+                (t_kernel + t_fft + t_add, 0.0, t_add)
+            };
 
-            counts.add(&group_counts);
-            kernel_seconds += t_kernel;
-            fft_seconds += t_fft;
-            htod_seconds += t_in;
+            let mut subgrids = SubgridArray::new(group.len(), n);
+            let grid_ref = &mut grid;
+            let mut backend = |op: JobOp| -> Result<Vec<u8>, IdgError> {
+                match op {
+                    JobOp::StageInput => {
+                        Ok(staged_vis_bytes(data.visibilities, nr_time, nr_chan, group))
+                    }
+                    JobOp::Compute => {
+                        subgrids = SubgridArray::new(group.len(), n);
+                        gridder_gpu(data, group, &mut subgrids, &device)?;
+                        fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
+                        Ok(Vec::new())
+                    }
+                    JobOp::StageOutput => Ok(staged_subgrid_bytes(&subgrids)),
+                    JobOp::Commit => {
+                        add_subgrids(grid_ref, group, &subgrids);
+                        Ok(Vec::new())
+                    }
+                }
+            };
+            match run_job(
+                &mut pipeline,
+                injector.as_ref(),
+                &self.retry,
+                &mut stats,
+                job,
+                (t_in, t_compute, t_out),
+                &mut backend,
+            ) {
+                Ok(_) => {
+                    counts.add(&group_counts);
+                    kernel_seconds += t_kernel;
+                    fft_seconds += t_fft;
+                    adder_seconds += t_add;
+                    htod_seconds += t_in;
+                    dtoh_seconds += t_out;
+                }
+                Err((error, attempts)) => failed_jobs.push(JobFailure {
+                    job,
+                    first_item: job * self.work_group_size,
+                    nr_items: group.len(),
+                    error,
+                    attempts,
+                }),
+            }
         }
+        htod_seconds += stats.htod_seconds;
+        kernel_seconds += stats.kernel_seconds;
+        dtoh_seconds += stats.dtoh_seconds;
 
         device.free(reserved);
         let makespan = pipeline.makespan();
         let energy = EnergyModel::new(device.arch.clone());
         let busy = pipeline.compute_busy();
         let device_energy_j =
-            energy.device_energy(busy, 1.0) + energy.device_energy(makespan - busy, 0.0);
+            energy.device_energy(busy, 1.0) + energy.device_energy((makespan - busy).max(0.0), 0.0);
         let host_energy_j = energy.host_energy(makespan);
 
         Ok((
@@ -183,11 +486,17 @@ impl GpuExecutor {
                 timeline: pipeline.timeline,
                 device_energy_j,
                 host_energy_j,
+                nr_retries: stats.nr_retries,
+                backoff_seconds: stats.backoff_seconds,
+                failed_jobs,
             },
         ))
     }
 
     /// Run a full degridding pass: grid → predicted visibilities.
+    ///
+    /// Visibility slots belonging to persistently failed jobs are left
+    /// zero (see [`GpuRunReport::failed_jobs`]).
     pub fn degrid(
         &self,
         data: &KernelData<'_>,
@@ -197,23 +506,24 @@ impl GpuExecutor {
         let mut device = self.device.clone();
         let (reserved, host_splitter) = self.reserve_memory(&mut device, plan)?;
         let _ = host_splitter; // splitter reads are modeled identically
+        let injector = self.faults.clone().map(FaultInjector::new);
 
         let n = plan.subgrid_size();
         let nr_chan = data.obs.nr_channels();
+        let nr_time = data.obs.nr_timesteps;
         let mut vis_out = vec![Visibility::<f32>::zero(); data.obs.nr_visibilities()];
         let mut pipeline = PipelineSim::new(3);
         let mut counts = OpCounts::default();
         let mut kernel_seconds = 0.0;
         let mut fft_seconds = 0.0;
         let mut adder_seconds = 0.0;
+        let mut htod_seconds = 0.0;
         let mut dtoh_seconds = 0.0;
+        let mut stats = RetryStats::default();
+        let mut failed_jobs = Vec::new();
 
-        for group in plan.work_groups(self.work_group_size) {
-            let mut subgrids = SubgridArray::new(group.len(), n);
-            split_subgrids(grid, group, &mut subgrids);
-            fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
-            let group_counts = degridder_gpu(data, group, &subgrids, &mut vis_out, &device);
-
+        for (job, group) in plan.work_groups(self.work_group_size).enumerate() {
+            let group_counts = degridder_counts(group, n);
             let uvw_bytes = group
                 .iter()
                 .map(|i| (i.nr_timesteps * 12) as u64)
@@ -227,21 +537,74 @@ impl GpuExecutor {
             let t_fft = subgrid_fft_time(&device, group.len(), n);
             let t_kernel = kernel_time(&device, &group_counts);
             let t_out = transfer_time(&device, out_bytes);
-            pipeline.submit(t_in, t_split + t_fft + t_kernel, t_out);
 
-            counts.add(&group_counts);
-            kernel_seconds += t_kernel;
-            fft_seconds += t_fft;
-            adder_seconds += t_split;
-            dtoh_seconds += t_out;
+            let mut subgrids = SubgridArray::new(group.len(), n);
+            let vis_ref = &mut vis_out;
+            let mut backend = |op: JobOp| -> Result<Vec<u8>, IdgError> {
+                match op {
+                    JobOp::StageInput => Ok(staged_uvw_bytes(data, group)),
+                    JobOp::Compute => {
+                        subgrids = SubgridArray::new(group.len(), n);
+                        split_subgrids(grid, group, &mut subgrids);
+                        fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
+                        degridder_gpu(data, group, &subgrids, vis_ref, &device)?;
+                        Ok(Vec::new())
+                    }
+                    JobOp::StageOutput => Ok(staged_vis_bytes(vis_ref, nr_time, nr_chan, group)),
+                    // the degridder writes its slots of `vis_out` in
+                    // place; a completed chain needs no extra merge
+                    JobOp::Commit => Ok(Vec::new()),
+                }
+            };
+            match run_job(
+                &mut pipeline,
+                injector.as_ref(),
+                &self.retry,
+                &mut stats,
+                job,
+                (t_in, t_split + t_fft + t_kernel, t_out),
+                &mut backend,
+            ) {
+                Ok(_) => {
+                    counts.add(&group_counts);
+                    kernel_seconds += t_kernel;
+                    fft_seconds += t_fft;
+                    adder_seconds += t_split;
+                    htod_seconds += t_in;
+                    dtoh_seconds += t_out;
+                }
+                Err((error, attempts)) => {
+                    // a faulted attempt may have computed these slots
+                    // before the chain died — failed jobs leave zeros
+                    for item in group {
+                        for dt in 0..item.nr_timesteps {
+                            let row =
+                                (item.baseline_index * nr_time + item.time_offset + dt) * nr_chan;
+                            for c in item.channel_offset..item.channel_offset + item.nr_channels {
+                                vis_out[row + c] = Visibility::zero();
+                            }
+                        }
+                    }
+                    failed_jobs.push(JobFailure {
+                        job,
+                        first_item: job * self.work_group_size,
+                        nr_items: group.len(),
+                        error,
+                        attempts,
+                    });
+                }
+            }
         }
+        htod_seconds += stats.htod_seconds;
+        kernel_seconds += stats.kernel_seconds;
+        dtoh_seconds += stats.dtoh_seconds;
 
         device.free(reserved);
         let makespan = pipeline.makespan();
         let energy = EnergyModel::new(device.arch.clone());
         let busy = pipeline.compute_busy();
         let device_energy_j =
-            energy.device_energy(busy, 1.0) + energy.device_energy(makespan - busy, 0.0);
+            energy.device_energy(busy, 1.0) + energy.device_energy((makespan - busy).max(0.0), 0.0);
         let host_energy_j = energy.host_energy(makespan);
 
         Ok((
@@ -252,12 +615,15 @@ impl GpuExecutor {
                 kernel_seconds,
                 fft_seconds,
                 adder_seconds,
-                htod_seconds: 0.0,
+                htod_seconds,
                 dtoh_seconds,
                 makespan,
                 timeline: pipeline.timeline,
                 device_energy_j,
                 host_energy_j,
+                nr_retries: stats.nr_retries,
+                backoff_seconds: stats.backoff_seconds,
+                failed_jobs,
             },
         ))
     }
@@ -266,6 +632,8 @@ impl GpuExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::TargetedFault;
+    use crate::stream::OpStatus;
     use idg_plan::Plan;
     use idg_telescope::{Dataset, IdentityATerm, Layout, SkyModel};
     use idg_types::Observation;
@@ -290,18 +658,22 @@ mod tests {
         Dataset::simulate(obs, &layout, sky, &IdentityATerm)
     }
 
+    fn kernel_data<'a>(ds: &'a Dataset, taper: &'a [f32]) -> KernelData<'a> {
+        KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper,
+        }
+    }
+
     #[test]
     fn full_gridding_pass_produces_grid_and_report() {
         let ds = dataset();
         let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
         let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
-        let data = KernelData {
-            obs: &ds.obs,
-            uvw: &ds.uvw,
-            visibilities: &ds.visibilities,
-            aterms: &ds.aterms,
-            taper: &taper,
-        };
+        let data = kernel_data(&ds, &taper);
         let exec = GpuExecutor::new(Device::pascal(), 8);
         let (grid, report) = exec.grid(&data, &plan).unwrap();
         assert!(grid.power() > 0.0, "grid received energy");
@@ -315,6 +687,10 @@ mod tests {
         assert!(report.kernel_seconds > 5.0 * (report.fft_seconds + report.adder_seconds));
         // throughput metric is finite and positive
         assert!(report.mvis_per_sec() > 0.0);
+        // fault-free pass: nothing retried, nothing failed
+        assert_eq!(report.nr_retries, 0);
+        assert_eq!(report.backoff_seconds, 0.0);
+        assert!(report.complete());
     }
 
     #[test]
@@ -323,13 +699,7 @@ mod tests {
         let ds = dataset();
         let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
         let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
-        let data = KernelData {
-            obs: &ds.obs,
-            uvw: &ds.uvw,
-            visibilities: &ds.visibilities,
-            aterms: &ds.aterms,
-            taper: &taper,
-        };
+        let data = kernel_data(&ds, &taper);
 
         let exec = GpuExecutor::new(Device::pascal(), 4);
         let (gpu_grid, _) = exec.grid(&data, &plan).unwrap();
@@ -358,13 +728,7 @@ mod tests {
         let ds = dataset();
         let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
         let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
-        let data = KernelData {
-            obs: &ds.obs,
-            uvw: &ds.uvw,
-            visibilities: &ds.visibilities,
-            aterms: &ds.aterms,
-            taper: &taper,
-        };
+        let data = kernel_data(&ds, &taper);
         // build a model grid by gridding the data first
         let exec = GpuExecutor::new(Device::fiji(), 4);
         let (grid, _) = exec.grid(&data, &plan).unwrap();
@@ -403,13 +767,7 @@ mod tests {
         let ds = dataset();
         let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
         let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
-        let data = KernelData {
-            obs: &ds.obs,
-            uvw: &ds.uvw,
-            visibilities: &ds.visibilities,
-            aterms: &ds.aterms,
-            taper: &taper,
-        };
+        let data = kernel_data(&ds, &taper);
         // the grid (4·256²·8 B = 2 MB) doesn't fit, the buffers do
         let mut device = Device::fiji();
         device.arch.mem_size_gb = Some(0.001); // 1 MB device
@@ -427,13 +785,7 @@ mod tests {
         let ds = dataset();
         let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
         let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
-        let data = KernelData {
-            obs: &ds.obs,
-            uvw: &ds.uvw,
-            visibilities: &ds.visibilities,
-            aterms: &ds.aterms,
-            taper: &taper,
-        };
+        let data = kernel_data(&ds, &taper);
         let mut device = Device::fiji();
         device.arch.mem_size_gb = Some(0.0001); // 100 kB device
         let exec = GpuExecutor::new(device, 8);
@@ -448,13 +800,7 @@ mod tests {
         let ds = dataset();
         let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
         let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
-        let data = KernelData {
-            obs: &ds.obs,
-            uvw: &ds.uvw,
-            visibilities: &ds.visibilities,
-            aterms: &ds.aterms,
-            taper: &taper,
-        };
+        let data = kernel_data(&ds, &taper);
         let (_, rp) = GpuExecutor::new(Device::pascal(), 8)
             .grid(&data, &plan)
             .unwrap();
@@ -467,5 +813,185 @@ mod tests {
             rp.kernel_seconds,
             rf.kernel_seconds
         );
+    }
+
+    #[test]
+    fn transient_faults_retry_to_a_bit_identical_grid() {
+        // A kernel fault, a corrupted HtoD transfer and a stall on
+        // three different jobs: every one retries and the final grid is
+        // bit-identical to the fault-free run. The recovery cost shows
+        // up as faulted timeline ops, retries, and backoff makespan.
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
+        let data = kernel_data(&ds, &taper);
+
+        let (gold, gold_report) = GpuExecutor::new(Device::pascal(), 4)
+            .grid(&data, &plan)
+            .unwrap();
+
+        let faults = FaultConfig::targeted(vec![
+            TargetedFault {
+                job: 0,
+                attempt: 0,
+                site: FaultSite::Kernel,
+                kind: FaultKind::KernelFault,
+            },
+            TargetedFault {
+                job: 1,
+                attempt: 0,
+                site: FaultSite::HtoD,
+                kind: FaultKind::TransferCorruption,
+            },
+            TargetedFault {
+                job: 2,
+                attempt: 0,
+                site: FaultSite::Kernel,
+                kind: FaultKind::StreamStall,
+            },
+        ]);
+        let exec = GpuExecutor::new(Device::pascal(), 4).with_faults(faults);
+        let (grid, report) = exec.grid(&data, &plan).unwrap();
+
+        assert_eq!(grid.as_slice(), gold.as_slice(), "recovery is exact");
+        assert!(report.complete());
+        assert_eq!(report.nr_retries, 3);
+        assert!(report.backoff_seconds > 0.0);
+        assert!(
+            report.makespan > gold_report.makespan,
+            "recovery costs time"
+        );
+        let faulted: Vec<_> = report
+            .timeline
+            .iter()
+            .filter(|t| t.status == OpStatus::Faulted)
+            .collect();
+        assert_eq!(faulted.len(), 3);
+        // the retries appear in the timeline as attempt-1 operations
+        assert!(report.timeline.iter().any(|t| t.job == 0 && t.attempt == 1));
+        assert!(report.timeline.iter().any(|t| t.job == 1 && t.attempt == 1));
+    }
+
+    #[test]
+    fn exhausted_retries_report_the_job_as_failed() {
+        // Job 1 faults on every attempt: the executor gives up after
+        // max_attempts, excludes the job's subgrids from the grid, and
+        // reports the classified error.
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
+        let data = kernel_data(&ds, &taper);
+
+        let m = 4;
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let faults = FaultConfig::targeted(
+            (0..retry.max_attempts)
+                .map(|attempt| TargetedFault {
+                    job: 1,
+                    attempt,
+                    site: FaultSite::Kernel,
+                    kind: FaultKind::KernelFault,
+                })
+                .collect(),
+        );
+        let exec = GpuExecutor::new(Device::pascal(), m)
+            .with_faults(faults)
+            .with_retry_policy(retry);
+        let (grid, report) = exec.grid(&data, &plan).unwrap();
+
+        assert_eq!(report.failed_jobs.len(), 1);
+        let failure = &report.failed_jobs[0];
+        assert_eq!(failure.job, 1);
+        assert_eq!(failure.first_item, m);
+        assert_eq!(failure.attempts, 3);
+        assert!(matches!(failure.error, IdgError::KernelFault { job: 1 }));
+        assert_eq!(report.nr_retries, 2, "two re-enqueues before giving up");
+
+        // the failed job's visibilities are not counted and its
+        // subgrids are absent from the grid
+        let full = gridder_counts(&plan.items, plan.subgrid_size());
+        assert!(report.counts.visibilities < full.visibilities);
+        let (gold, _) = GpuExecutor::new(Device::pascal(), m)
+            .grid(&data, &plan)
+            .unwrap();
+        assert_ne!(grid.as_slice(), gold.as_slice());
+    }
+
+    #[test]
+    fn injected_oom_is_persistent_and_skips_retry() {
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
+        let data = kernel_data(&ds, &taper);
+
+        let faults = FaultConfig::targeted(vec![TargetedFault {
+            job: 0,
+            attempt: 0,
+            site: FaultSite::Alloc,
+            kind: FaultKind::OutOfMemory,
+        }]);
+        let exec = GpuExecutor::new(Device::pascal(), 4).with_faults(faults);
+        let (_, report) = exec.grid(&data, &plan).unwrap();
+        assert_eq!(report.nr_retries, 0, "OOM is not retried");
+        assert_eq!(report.failed_jobs.len(), 1);
+        assert_eq!(report.failed_jobs[0].attempts, 1);
+        assert!(!report.failed_jobs[0].error.is_transient());
+    }
+
+    #[test]
+    fn degrid_retries_recover_bit_identical_visibilities() {
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
+        let data = kernel_data(&ds, &taper);
+        let exec = GpuExecutor::new(Device::pascal(), 4);
+        let (grid, _) = exec.grid(&data, &plan).unwrap();
+        let (gold, _) = exec.degrid(&data, &plan, &grid).unwrap();
+
+        // corrupt the DtoH transfer of job 0 and stall job 2's kernel
+        let faults = FaultConfig::targeted(vec![
+            TargetedFault {
+                job: 0,
+                attempt: 0,
+                site: FaultSite::DtoH,
+                kind: FaultKind::TransferCorruption,
+            },
+            TargetedFault {
+                job: 2,
+                attempt: 0,
+                site: FaultSite::Kernel,
+                kind: FaultKind::StreamStall,
+            },
+        ]);
+        let faulty = GpuExecutor::new(Device::pascal(), 4).with_faults(faults);
+        let (pred, report) = faulty.degrid(&data, &plan, &grid).unwrap();
+        assert!(report.complete());
+        assert_eq!(report.nr_retries, 2);
+        assert_eq!(pred, gold, "recovered visibilities are bit-identical");
+    }
+
+    #[test]
+    fn empty_plan_reports_zero_throughput_not_nan() {
+        let report = GpuRunReport {
+            pass: "gridding",
+            counts: OpCounts::default(),
+            kernel_seconds: 0.0,
+            fft_seconds: 0.0,
+            adder_seconds: 0.0,
+            htod_seconds: 0.0,
+            dtoh_seconds: 0.0,
+            makespan: 0.0,
+            timeline: Vec::new(),
+            device_energy_j: 0.0,
+            host_energy_j: 0.0,
+            nr_retries: 0,
+            backoff_seconds: 0.0,
+            failed_jobs: Vec::new(),
+        };
+        assert_eq!(report.kernel_tops(), 0.0);
+        assert_eq!(report.mvis_per_sec(), 0.0);
     }
 }

@@ -27,7 +27,7 @@ use idg_kernels::KernelData;
 use idg_math::{sincos, Accuracy};
 use idg_perf::{degridder_counts, gridder_counts, OpCounts};
 use idg_plan::WorkItem;
-use idg_types::{Cf32, Jones, Uvw, Visibility};
+use idg_types::{Cf32, IdgError, Jones, Uvw, Visibility};
 use rayon::prelude::*;
 
 /// One staged visibility in the gridder's shared buffer.
@@ -40,15 +40,22 @@ struct SharedVis {
 }
 
 /// Execute the gridder with the GPU thread-block mapping; returns the
-/// operation counters of the launch.
+/// operation counters of the launch, or a typed error when the launch
+/// configuration is inconsistent with its inputs.
 pub fn gridder_gpu(
     data: &KernelData<'_>,
     items: &[WorkItem],
     subgrids: &mut SubgridArray,
     device: &Device,
-) -> OpCounts {
-    assert_eq!(subgrids.count(), items.len(), "one subgrid per work item");
-    data.validate().expect("kernel inputs must be consistent");
+) -> Result<OpCounts, IdgError> {
+    if subgrids.count() != items.len() {
+        return Err(IdgError::ShapeMismatch {
+            what: "subgrids (one per work item)",
+            expected: items.len(),
+            actual: subgrids.count(),
+        });
+    }
+    data.validate()?;
 
     let geom = KernelGeometry::new(data.obs);
     let n = geom.subgrid_size;
@@ -145,21 +152,34 @@ pub fn gridder_gpu(
             }
         });
 
-    gridder_counts(items, n)
+    Ok(gridder_counts(items, n))
 }
 
 /// Execute the degridder with the dual-role GPU mapping; returns the
-/// operation counters of the launch.
+/// operation counters of the launch, or a typed error when the launch
+/// configuration is inconsistent with its inputs.
 pub fn degridder_gpu(
     data: &KernelData<'_>,
     items: &[WorkItem],
     subgrids: &SubgridArray,
     vis_out: &mut [Visibility<f32>],
     device: &Device,
-) -> OpCounts {
-    assert_eq!(subgrids.count(), items.len(), "one subgrid per work item");
-    assert_eq!(vis_out.len(), data.obs.nr_visibilities());
-    data.validate().expect("kernel inputs must be consistent");
+) -> Result<OpCounts, IdgError> {
+    if subgrids.count() != items.len() {
+        return Err(IdgError::ShapeMismatch {
+            what: "subgrids (one per work item)",
+            expected: items.len(),
+            actual: subgrids.count(),
+        });
+    }
+    if vis_out.len() != data.obs.nr_visibilities() {
+        return Err(IdgError::ShapeMismatch {
+            what: "visibility output buffer",
+            expected: data.obs.nr_visibilities(),
+            actual: vis_out.len(),
+        });
+    }
+    data.validate()?;
 
     let geom = KernelGeometry::new(data.obs);
     let n = geom.subgrid_size;
@@ -259,7 +279,7 @@ pub fn degridder_gpu(
         }
     }
 
-    degridder_counts(items, n)
+    Ok(degridder_counts(items, n))
 }
 
 #[cfg(test)]
@@ -317,7 +337,7 @@ mod tests {
 
         for device in [Device::pascal(), Device::fiji()] {
             let mut sim = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-            let counts = gridder_gpu(&data, &plan.items, &mut sim, &device);
+            let counts = gridder_gpu(&data, &plan.items, &mut sim, &device).unwrap();
             close_subgrids(&sim, &gold, 5e-4);
             assert_eq!(counts.rho(), 17.0);
             assert!(counts.visibilities > 0);
@@ -344,7 +364,7 @@ mod tests {
 
         let device = Device::pascal();
         let mut sim = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
-        let counts = degridder_gpu(&data, &plan.items, &subgrids, &mut sim, &device);
+        let counts = degridder_gpu(&data, &plan.items, &subgrids, &mut sim, &device).unwrap();
         assert_eq!(counts.rho(), 17.0);
 
         let scale = gold
@@ -385,7 +405,7 @@ mod tests {
         let mut gold = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
         gridder_reference(&data, &plan.items, &mut gold);
         let mut sim = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_gpu(&data, &plan.items, &mut sim, &tiny);
+        gridder_gpu(&data, &plan.items, &mut sim, &tiny).unwrap();
         close_subgrids(&sim, &gold, 5e-4);
     }
 
@@ -402,7 +422,7 @@ mod tests {
             taper: &taper,
         };
         let mut sg = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        let counts = gridder_gpu(&data, &plan.items, &mut sg, &Device::pascal());
+        let counts = gridder_gpu(&data, &plan.items, &mut sg, &Device::pascal()).unwrap();
         let expect = idg_perf::gridder_counts(&plan.items, ds.obs.subgrid_size);
         assert_eq!(counts, expect);
     }

@@ -26,20 +26,29 @@
 //!   the overlap behaviour of Fig. 7;
 //! * **the executor** — [`executor`] drives whole gridding/degridding
 //!   passes: real numerical results (produced by the simulated kernels)
-//!   plus a modeled execution/energy report.
+//!   plus a modeled execution/energy report;
+//! * **the fault layer** — [`fault`] deterministically injects the
+//!   faults real devices throw (transfer bit flips caught by buffer
+//!   checksums, device OOM, kernel faults, stream stalls), and the
+//!   executor recovers through a capped-exponential-backoff retry
+//!   policy whose cost is modeled into the makespan; persistent
+//!   failures surface as classified [`idg_types::IdgError`]s so the
+//!   proxy layer can re-execute the failed jobs on the CPU.
 
 #![deny(missing_docs)]
 #![allow(clippy::needless_range_loop)] // index loops mirror the paper's kernels
 
 pub mod device;
 pub mod executor;
+pub mod fault;
 pub mod kernels;
 pub mod occupancy;
 pub mod stream;
 pub mod timing;
 
 pub use device::Device;
-pub use executor::{GpuExecutor, GpuRunReport};
+pub use executor::{GpuExecutor, GpuRunReport, JobFailure};
+pub use fault::{FaultConfig, FaultInjector, FaultKind, RetryPolicy, TargetedFault};
 pub use occupancy::{occupancy, KernelResources, Occupancy};
-pub use stream::{Engine, PipelineSim, TraceEntry};
+pub use stream::{AttemptOutcome, Engine, FaultPoint, OpStatus, PipelineSim, TraceEntry};
 pub use timing::{kernel_time, transfer_time};

@@ -9,6 +9,13 @@
 //! its HtoD once its buffer set (job index mod #buffers) has been
 //! released by the previous occupant — exactly the dashed-arrow
 //! constraint in Fig. 7.
+//!
+//! The simulator also models *faulted* schedules: an attempt of a job
+//! may fault at any engine ([`OpStatus::Faulted`]), which truncates the
+//! attempt's chain there, and a retry of the same job can be submitted
+//! with a `not_before` release time so backoff delays show up in the
+//! makespan. Every operation records which attempt it belongs to, so
+//! the Fig. 7 timeline doubles as the fault/retry audit trail.
 
 /// The three hardware engines of the pipeline.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -21,6 +28,16 @@ pub enum Engine {
     DtoH,
 }
 
+/// Completion status of one scheduled operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum OpStatus {
+    /// The operation completed normally.
+    Completed,
+    /// The operation faulted (injected device fault); later phases of
+    /// the same attempt were not scheduled.
+    Faulted,
+}
+
 /// One scheduled operation in the timeline.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct TraceEntry {
@@ -28,10 +45,36 @@ pub struct TraceEntry {
     pub engine: Engine,
     /// Job (work group) index.
     pub job: usize,
+    /// Which attempt of the job this operation belongs to (0 = first
+    /// execution, 1 = first retry, …).
+    pub attempt: u32,
     /// Start time, seconds.
     pub start: f64,
     /// End time, seconds.
     pub end: f64,
+    /// Whether the operation completed or faulted.
+    pub status: OpStatus,
+}
+
+/// A fault point inside one attempt: the operation on `engine` runs for
+/// its nominal duration plus `extra_seconds` (watchdog stall time, 0
+/// for instant faults), is recorded as [`OpStatus::Faulted`], and the
+/// rest of the attempt's chain is not scheduled.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct FaultPoint {
+    /// Engine whose operation faults.
+    pub engine: Engine,
+    /// Extra modeled seconds the faulted operation holds its engine.
+    pub extra_seconds: f64,
+}
+
+/// Outcome of submitting one attempt.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct AttemptOutcome {
+    /// Time the attempt's last scheduled operation finished.
+    pub end: f64,
+    /// Whether the whole HtoD → kernel → DtoH chain completed.
+    pub completed: bool,
 }
 
 /// The pipeline simulator.
@@ -49,9 +92,12 @@ pub struct PipelineSim {
 }
 
 impl PipelineSim {
-    /// Create a pipeline with `nr_buffers` buffer sets (3 in the paper).
+    /// Create a pipeline with `nr_buffers` buffer sets (3 in the
+    /// paper). A degenerate request of 0 buffers is clamped to 1 — a
+    /// bufferless pipeline cannot schedule anything, and clamping keeps
+    /// the zero-configuration path total rather than panicking.
     pub fn new(nr_buffers: usize) -> Self {
-        assert!(nr_buffers >= 1);
+        let nr_buffers = nr_buffers.max(1);
         Self {
             nr_buffers,
             htod_free: 0.0,
@@ -63,53 +109,142 @@ impl PipelineSim {
         }
     }
 
+    /// Number of buffer sets in the pipeline.
+    pub fn nr_buffers(&self) -> usize {
+        self.nr_buffers
+    }
+
+    /// The next job index `submit` would assign.
+    pub fn next_job(&self) -> usize {
+        self.next_job
+    }
+
     /// Submit one job (work group) with the given phase durations;
     /// returns the job's completion time. Zero-duration phases are
     /// scheduled but keep their engines free.
     pub fn submit(&mut self, t_htod: f64, t_kernel: f64, t_dtoh: f64) -> f64 {
         let job = self.next_job;
-        self.next_job += 1;
-        let buffer = job % self.nr_buffers;
-
-        // HtoD may start when the copy engine AND the buffer are free.
-        let h_start = self.htod_free.max(self.buffer_free[buffer]);
-        let h_end = h_start + t_htod;
-        self.htod_free = h_end;
-        self.timeline.push(TraceEntry {
-            engine: Engine::HtoD,
-            job,
-            start: h_start,
-            end: h_end,
-        });
-
-        // Kernel waits for its input and the compute engine.
-        let k_start = self.compute_free.max(h_end);
-        let k_end = k_start + t_kernel;
-        self.compute_free = k_end;
-        self.timeline.push(TraceEntry {
-            engine: Engine::Compute,
-            job,
-            start: k_start,
-            end: k_end,
-        });
-
-        // DtoH waits for the kernel and the copy-back engine.
-        let d_start = self.dtoh_free.max(k_end);
-        let d_end = d_start + t_dtoh;
-        self.dtoh_free = d_end;
-        self.timeline.push(TraceEntry {
-            engine: Engine::DtoH,
-            job,
-            start: d_start,
-            end: d_end,
-        });
-
-        // Buffer is reusable once the results left the device.
-        self.buffer_free[buffer] = d_end;
-        d_end
+        self.submit_attempt(job, 0, 0.0, t_htod, t_kernel, t_dtoh, None)
+            .end
     }
 
-    /// Total makespan so far.
+    /// Submit one attempt of `job`, optionally faulting mid-chain.
+    ///
+    /// `not_before` delays the attempt's HtoD start (retry backoff);
+    /// `fault` truncates the chain at the faulting engine. The job's
+    /// buffer set is released when the attempt's last operation ends —
+    /// faulted attempts release their buffer at the fault, so a retry
+    /// (or the next job) can claim it.
+    #[allow(clippy::too_many_arguments)] // mirrors the three-phase chain + scheduling controls
+    pub fn submit_attempt(
+        &mut self,
+        job: usize,
+        attempt: u32,
+        not_before: f64,
+        t_htod: f64,
+        t_kernel: f64,
+        t_dtoh: f64,
+        fault: Option<FaultPoint>,
+    ) -> AttemptOutcome {
+        self.next_job = self.next_job.max(job + 1);
+        let buffer = job % self.nr_buffers;
+        let fault_on = |engine: Engine| fault.filter(|f| f.engine == engine);
+
+        // HtoD may start when the copy engine AND the buffer are free.
+        let h_start = self.htod_free.max(self.buffer_free[buffer]).max(not_before);
+        let end;
+        let completed;
+        if let Some(f) = fault_on(Engine::HtoD) {
+            end = h_start + t_htod + f.extra_seconds;
+            self.htod_free = end;
+            self.push(Engine::HtoD, job, attempt, h_start, end, OpStatus::Faulted);
+            completed = false;
+        } else {
+            let h_end = h_start + t_htod;
+            self.htod_free = h_end;
+            self.push(
+                Engine::HtoD,
+                job,
+                attempt,
+                h_start,
+                h_end,
+                OpStatus::Completed,
+            );
+
+            // Kernel waits for its input and the compute engine.
+            let k_start = self.compute_free.max(h_end);
+            if let Some(f) = fault_on(Engine::Compute) {
+                end = k_start + t_kernel + f.extra_seconds;
+                self.compute_free = end;
+                self.push(
+                    Engine::Compute,
+                    job,
+                    attempt,
+                    k_start,
+                    end,
+                    OpStatus::Faulted,
+                );
+                completed = false;
+            } else {
+                let k_end = k_start + t_kernel;
+                self.compute_free = k_end;
+                self.push(
+                    Engine::Compute,
+                    job,
+                    attempt,
+                    k_start,
+                    k_end,
+                    OpStatus::Completed,
+                );
+
+                // DtoH waits for the kernel and the copy-back engine.
+                let d_start = self.dtoh_free.max(k_end);
+                if let Some(f) = fault_on(Engine::DtoH) {
+                    end = d_start + t_dtoh + f.extra_seconds;
+                    self.dtoh_free = end;
+                    self.push(Engine::DtoH, job, attempt, d_start, end, OpStatus::Faulted);
+                    completed = false;
+                } else {
+                    end = d_start + t_dtoh;
+                    self.dtoh_free = end;
+                    self.push(
+                        Engine::DtoH,
+                        job,
+                        attempt,
+                        d_start,
+                        end,
+                        OpStatus::Completed,
+                    );
+                    completed = true;
+                }
+            }
+        }
+
+        // Buffer is reusable once the attempt's last operation ended.
+        self.buffer_free[buffer] = end;
+        AttemptOutcome { end, completed }
+    }
+
+    fn push(
+        &mut self,
+        engine: Engine,
+        job: usize,
+        attempt: u32,
+        start: f64,
+        end: f64,
+        status: OpStatus,
+    ) {
+        self.timeline.push(TraceEntry {
+            engine,
+            job,
+            attempt,
+            start,
+            end,
+            status,
+        });
+    }
+
+    /// Total makespan so far (0 for an empty schedule).
     pub fn makespan(&self) -> f64 {
         self.timeline.iter().map(|t| t.end).fold(0.0, f64::max)
     }
@@ -128,7 +263,16 @@ impl PipelineSim {
         self.timeline.iter().map(|t| t.end - t.start).sum()
     }
 
-    /// Render the Fig. 7-style timeline as ASCII (one row per engine).
+    /// Number of operations recorded as faulted.
+    pub fn nr_faulted_ops(&self) -> usize {
+        self.timeline
+            .iter()
+            .filter(|t| t.status == OpStatus::Faulted)
+            .count()
+    }
+
+    /// Render the Fig. 7-style timeline as ASCII (one row per engine;
+    /// faulted operations render as `x`).
     pub fn render(&self, width: usize) -> String {
         let makespan = self.makespan().max(1e-12);
         let mut rows = [vec![b'.'; width], vec![b'.'; width], vec![b'.'; width]];
@@ -140,7 +284,10 @@ impl PipelineSim {
             };
             let a = ((t.start / makespan) * width as f64) as usize;
             let b = (((t.end / makespan) * width as f64) as usize).min(width);
-            let glyph = b"0123456789"[t.job % 10];
+            let glyph = match t.status {
+                OpStatus::Completed => b"0123456789"[t.job % 10],
+                OpStatus::Faulted => b'x',
+            };
             for cell in rows[row][a..b].iter_mut() {
                 *cell = glyph;
             }
@@ -259,5 +406,138 @@ mod tests {
         assert_eq!(text.lines().count(), 3);
         assert!(text.contains("compute"));
         assert!(text.contains('0') && text.contains('1'));
+    }
+
+    #[test]
+    fn zero_jobs_is_a_valid_empty_schedule() {
+        // Edge case: an empty plan submits nothing. The schedule must
+        // stay well-defined — zero makespan, zero busy time, an empty
+        // timeline and a renderable (blank) Fig. 7 chart — not NaN or
+        // a panic.
+        let sim = PipelineSim::new(3);
+        assert_eq!(sim.makespan(), 0.0);
+        assert_eq!(sim.compute_busy(), 0.0);
+        assert_eq!(sim.serial_time(), 0.0);
+        assert!(sim.timeline.is_empty());
+        assert_eq!(sim.nr_faulted_ops(), 0);
+        let text = sim.render(40);
+        assert_eq!(text.lines().count(), 3);
+        assert!(!text.contains("NaN"));
+    }
+
+    #[test]
+    fn zero_buffers_clamps_to_one_instead_of_panicking() {
+        let mut sim = PipelineSim::new(0);
+        assert_eq!(sim.nr_buffers(), 1);
+        // behaves exactly like an explicit single-buffer pipeline
+        for _ in 0..3 {
+            sim.submit(1.0, 1.0, 1.0);
+        }
+        assert!((sim.makespan() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_buffer_zero_job_combinations_are_valid() {
+        // nr_buffers == 1 with zero jobs: valid empty timeline.
+        let sim = PipelineSim::new(1);
+        assert_eq!(sim.makespan(), 0.0);
+        assert!(sim.timeline.is_empty());
+        // …and with a single zero-duration job: degenerate but finite.
+        let mut sim = PipelineSim::new(1);
+        let end = sim.submit(0.0, 0.0, 0.0);
+        assert_eq!(end, 0.0);
+        assert_eq!(sim.timeline.len(), 3);
+        assert!(sim.makespan().is_finite());
+    }
+
+    #[test]
+    fn faulted_htod_truncates_the_chain_and_frees_the_buffer() {
+        let mut sim = PipelineSim::new(3);
+        let out = sim.submit_attempt(
+            0,
+            0,
+            0.0,
+            1.0,
+            2.0,
+            0.5,
+            Some(FaultPoint {
+                engine: Engine::HtoD,
+                extra_seconds: 0.0,
+            }),
+        );
+        assert!(!out.completed);
+        assert!((out.end - 1.0).abs() < 1e-12);
+        assert_eq!(sim.timeline.len(), 1, "kernel/DtoH not scheduled");
+        assert_eq!(sim.timeline[0].status, OpStatus::Faulted);
+        assert_eq!(sim.nr_faulted_ops(), 1);
+
+        // the retry reuses the same buffer as soon as the fault ended
+        let retry = sim.submit_attempt(0, 1, 0.0, 1.0, 2.0, 0.5, None);
+        assert!(retry.completed);
+        assert!((retry.end - (1.0 + 1.0 + 2.0 + 0.5)).abs() < 1e-12);
+        let attempts: Vec<u32> = sim.timeline.iter().map(|t| t.attempt).collect();
+        assert_eq!(attempts, vec![0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn stalled_kernel_holds_the_compute_engine_for_the_watchdog_time() {
+        let mut sim = PipelineSim::new(3);
+        let out = sim.submit_attempt(
+            0,
+            0,
+            0.0,
+            0.5,
+            1.0,
+            0.5,
+            Some(FaultPoint {
+                engine: Engine::Compute,
+                extra_seconds: 3.0,
+            }),
+        );
+        assert!(!out.completed);
+        // HtoD 0.5, kernel runs 1.0 then stalls 3.0 to the watchdog
+        assert!((out.end - 4.5).abs() < 1e-12);
+        // the next job's kernel cannot start before the stall cleared
+        sim.submit_attempt(1, 0, 0.0, 0.5, 1.0, 0.0, None);
+        let k1 = sim
+            .timeline
+            .iter()
+            .find(|t| t.job == 1 && t.engine == Engine::Compute)
+            .unwrap();
+        assert!(k1.start >= 4.5 - 1e-12);
+    }
+
+    #[test]
+    fn not_before_delays_the_retry_start() {
+        let mut sim = PipelineSim::new(3);
+        sim.submit_attempt(0, 0, 0.0, 0.1, 0.1, 0.1, None);
+        let out = sim.submit_attempt(1, 0, 5.0, 0.1, 0.1, 0.1, None);
+        let htod = sim
+            .timeline
+            .iter()
+            .find(|t| t.job == 1 && t.engine == Engine::HtoD)
+            .unwrap();
+        assert!((htod.start - 5.0).abs() < 1e-12, "backoff delays HtoD");
+        assert!((out.end - 5.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_marks_faulted_ops() {
+        let mut sim = PipelineSim::new(3);
+        sim.submit_attempt(
+            0,
+            0,
+            0.0,
+            1.0,
+            1.0,
+            1.0,
+            Some(FaultPoint {
+                engine: Engine::Compute,
+                extra_seconds: 0.0,
+            }),
+        );
+        sim.submit_attempt(0, 1, 0.0, 1.0, 1.0, 1.0, None);
+        let text = sim.render(60);
+        assert!(text.contains('x'), "faulted op rendered: {text}");
     }
 }

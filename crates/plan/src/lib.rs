@@ -253,8 +253,17 @@ impl Plan {
                         t_end += 1;
                     }
 
-                    let (coord_x, coord_y) =
-                        place_box(&bbox).expect("accumulation only admits placeable boxes");
+                    // the accumulation loop only admits placeable
+                    // boxes, so None here is a planner bug — surface
+                    // it as a typed error rather than tearing down the
+                    // whole process mid-observation
+                    let Some((coord_x, coord_y)) = place_box(&bbox) else {
+                        return Err(IdgError::Internal(
+                            "planner invariant violated: accumulated bounding box became \
+                             unplaceable"
+                                .into(),
+                        ));
+                    };
 
                     if coord_x < 0
                         || coord_y < 0

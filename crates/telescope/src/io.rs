@@ -27,8 +27,31 @@ use std::io::{Read, Write};
 
 const MAGIC: &[u8; 8] = b"IDGDS1\0\0";
 
+/// Upper bound on any single header count. A corrupt (or hostile)
+/// header must produce a typed error, not drive `Vec::with_capacity`
+/// into an allocation abort — a header declaring `u64::MAX` channels
+/// must never reach an allocator.
+const MAX_HEADER_COUNT: u64 = 1 << 24;
+
+/// Upper bound on the total element count of any derived buffer
+/// (visibilities, A-term planes). Checked in `u128`, so products of
+/// in-range header counts cannot overflow on the way to the check.
+const MAX_TOTAL_ELEMENTS: u128 = 1 << 32;
+
 fn io_err(e: std::io::Error) -> IdgError {
-    IdgError::Internal(format!("dataset i/o: {e}"))
+    IdgError::Io(format!("dataset i/o: {e}"))
+}
+
+/// Overflow-safe product of header counts, bounded by
+/// [`MAX_TOTAL_ELEMENTS`].
+fn checked_elements(factors: &[usize], what: &'static str) -> Result<usize, IdgError> {
+    let total: u128 = factors.iter().map(|&f| f as u128).product();
+    if total > MAX_TOTAL_ELEMENTS {
+        return Err(IdgError::InvalidParameter(format!(
+            "dataset header: {what} would hold {total} elements — not a plausible dataset"
+        )));
+    }
+    Ok(total as usize)
 }
 
 struct Writer<W: Write> {
@@ -60,6 +83,17 @@ impl<R: Read> Reader<R> {
         let mut b = [0u8; 8];
         self.inner.read_exact(&mut b).map_err(io_err)?;
         Ok(u64::from_le_bytes(b))
+    }
+    /// Read a header count, rejecting implausible values *before* any
+    /// allocation is sized from them.
+    fn count(&mut self, what: &'static str) -> Result<usize, IdgError> {
+        let v = self.u64()?;
+        if v > MAX_HEADER_COUNT {
+            return Err(IdgError::InvalidParameter(format!(
+                "dataset header: {what} = {v} is not a plausible count"
+            )));
+        }
+        Ok(v as usize)
     }
     fn f64(&mut self) -> Result<f64, IdgError> {
         let mut b = [0u8; 8];
@@ -139,17 +173,27 @@ pub fn read_dataset<R: Read>(input: R) -> Result<Dataset, IdgError> {
         ));
     }
 
-    let nr_stations = r.u64()? as usize;
-    let nr_timesteps = r.u64()? as usize;
-    let nr_channels = r.u64()? as usize;
-    let grid_size = r.u64()? as usize;
-    let subgrid_size = r.u64()? as usize;
-    let kernel_size = r.u64()? as usize;
-    let aterm_interval = r.u64()? as usize;
-    let max_t = r.u64()? as usize;
+    let nr_stations = r.count("nr_stations")?;
+    let nr_timesteps = r.count("nr_timesteps")?;
+    let nr_channels = r.count("nr_channels")?;
+    let grid_size = r.count("grid_size")?;
+    let subgrid_size = r.count("subgrid_size")?;
+    let kernel_size = r.count("kernel_size")?;
+    let aterm_interval = r.count("aterm_interval")?;
+    let max_t = r.count("max_timesteps_per_subgrid")?;
     let integration_time = r.f64()?;
     let image_size = r.f64()?;
     let w_step = r.f64()?;
+    // bound every derived buffer (u128 math: in-range counts cannot
+    // overflow on the way to the check) before sizing any allocation
+    let nr_bl = nr_stations * nr_stations.saturating_sub(1) / 2;
+    let nr_uvw = checked_elements(&[nr_bl, nr_timesteps], "uvw")?;
+    let nr_vis = checked_elements(&[nr_bl, nr_timesteps, nr_channels], "visibilities")?;
+    let nr_jones = checked_elements(
+        &[nr_timesteps.max(1), nr_stations, subgrid_size, subgrid_size],
+        "aterms",
+    )?;
+    let _ = nr_jones; // worst-case bound; the exact count is smaller
     let mut frequencies = Vec::with_capacity(nr_channels);
     for _ in 0..nr_channels {
         frequencies.push(r.f64()?);
@@ -170,13 +214,12 @@ pub fn read_dataset<R: Read>(input: R) -> Result<Dataset, IdgError> {
     };
     obs.validate()?;
 
-    let nr_bl = obs.nr_baselines();
-    let mut uvw = Vec::with_capacity(nr_bl * nr_timesteps);
-    for _ in 0..nr_bl * nr_timesteps {
+    let mut uvw = Vec::with_capacity(nr_uvw);
+    for _ in 0..nr_uvw {
         uvw.push(Uvw::new(r.f32()?, r.f32()?, r.f32()?));
     }
-    let mut visibilities = Vec::with_capacity(obs.nr_visibilities());
-    for _ in 0..obs.nr_visibilities() {
+    let mut visibilities = Vec::with_capacity(nr_vis);
+    for _ in 0..nr_vis {
         visibilities.push(Visibility {
             pols: [r.c32()?, r.c32()?, r.c32()?, r.c32()?],
         });
@@ -198,7 +241,7 @@ pub fn read_dataset<R: Read>(input: R) -> Result<Dataset, IdgError> {
     }
     let aterms = ATerms::from_raw(jones, nr_stations, nr_intervals, subgrid_size);
 
-    let nr_sources = r.u64()? as usize;
+    let nr_sources = r.count("nr_sources")?;
     let mut sources = Vec::with_capacity(nr_sources);
     for _ in 0..nr_sources {
         sources.push(PointSource {
@@ -298,14 +341,57 @@ mod tests {
     }
 
     #[test]
-    fn truncated_file_is_rejected() {
+    fn truncated_file_is_rejected_with_a_typed_io_error() {
         let ds = dataset();
         let mut buffer = Vec::new();
         write_dataset(&ds, &mut buffer).unwrap();
-        buffer.truncate(buffer.len() / 2);
+        let full = buffer.len();
+        // truncation anywhere — mid-header, mid-payload, one byte short
+        for keep in [7, 20, full / 2, full - 1] {
+            let mut cut = buffer.clone();
+            cut.truncate(keep);
+            assert!(
+                matches!(read_dataset(cut.as_slice()), Err(IdgError::Io(_))),
+                "truncated at {keep}"
+            );
+        }
+    }
+
+    /// Serialize a header with the given counts and nothing else.
+    fn header(counts: [u64; 8]) -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(MAGIC);
+        for c in counts {
+            b.extend_from_slice(&c.to_le_bytes());
+        }
+        for f in [1.0f64, 0.01, 0.0] {
+            b.extend_from_slice(&f.to_le_bytes());
+        }
+        b
+    }
+
+    #[test]
+    fn impossible_header_counts_do_not_attempt_the_allocation() {
+        // u64::MAX channels: the reader must reject the count, not ask
+        // the allocator for 2^64 f64s
+        let bad = header([5, 16, u64::MAX, 128, 16, 5, 8, 8]);
         assert!(matches!(
-            read_dataset(buffer.as_slice()),
-            Err(IdgError::Internal(_))
+            read_dataset(bad.as_slice()),
+            Err(IdgError::InvalidParameter(msg)) if msg.contains("nr_channels")
+        ));
+        // a count that passes the per-field cap but whose *product*
+        // explodes is caught by the overflow-safe element bound
+        let m = 1u64 << 24;
+        let bad = header([m, m, m, 128, 16, 5, 8, 8]);
+        assert!(matches!(
+            read_dataset(bad.as_slice()),
+            Err(IdgError::InvalidParameter(_))
+        ));
+        // u64::MAX stations is equally impossible
+        let bad = header([u64::MAX, 16, 3, 128, 16, 5, 8, 8]);
+        assert!(matches!(
+            read_dataset(bad.as_slice()),
+            Err(IdgError::InvalidParameter(msg)) if msg.contains("nr_stations")
         ));
     }
 }

@@ -1,4 +1,36 @@
 //! Error type shared across the IDG workspace.
+//!
+//! [`IdgError`] is *classified*: every variant knows whether it is
+//! transient (worth retrying the failed unit of work) or persistent
+//! (retrying cannot help; the caller must degrade gracefully, e.g. by
+//! re-executing the failed jobs on the CPU back-end), and device-fault
+//! variants carry the job index and pipeline site they occurred at so
+//! schedulers can re-enqueue exactly the failed HtoD → kernel → DtoH
+//! chain.
+
+/// Where in the device pipeline a fault occurred.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// During the host-to-device transfer of a job's inputs.
+    HtoD,
+    /// During kernel execution.
+    Kernel,
+    /// During the device-to-host transfer of a job's outputs.
+    DtoH,
+    /// During device-memory allocation.
+    Alloc,
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FaultSite::HtoD => "HtoD",
+            FaultSite::Kernel => "kernel",
+            FaultSite::DtoH => "DtoH",
+            FaultSite::Alloc => "alloc",
+        })
+    }
+}
 
 /// Errors produced by the IDG library.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,8 +64,73 @@ pub enum IdgError {
         /// Bytes available.
         available: u64,
     },
+    /// A transferred buffer failed its integrity checksum (a bit flipped
+    /// in flight). Transient: re-transferring the job's chain heals it.
+    TransferCorruption {
+        /// Job (work group) index whose transfer was corrupted.
+        job: usize,
+        /// Which transfer engine carried the corrupted buffer.
+        site: FaultSite,
+    },
+    /// A kernel launch faulted (the device equivalent of a crashed
+    /// launch / ECC error). Transient: the launch can be replayed.
+    KernelFault {
+        /// Job (work group) index whose kernel faulted.
+        job: usize,
+    },
+    /// A stream operation stalled past its watchdog timeout. Transient.
+    StreamStall {
+        /// Job (work group) index whose operation stalled.
+        job: usize,
+        /// Engine the stalled operation was queued on.
+        site: FaultSite,
+        /// Modeled seconds lost before the watchdog fired.
+        seconds: f64,
+    },
+    /// An operating-system I/O failure (file read/write).
+    Io(String),
     /// An internal invariant was violated (bug).
     Internal(String),
+}
+
+impl IdgError {
+    /// Whether retrying the failed unit of work can plausibly succeed.
+    ///
+    /// Transfer corruption, kernel faults and stream stalls are
+    /// one-shot events: replaying the job's HtoD → kernel → DtoH chain
+    /// heals them. Everything else (bad inputs, exhausted device
+    /// memory, I/O failures, internal bugs) reproduces on retry and
+    /// must instead be handled by degradation or by the caller.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            IdgError::TransferCorruption { .. }
+                | IdgError::KernelFault { .. }
+                | IdgError::StreamStall { .. }
+        )
+    }
+
+    /// The job (work group) index a device fault is attributed to.
+    pub fn job(&self) -> Option<usize> {
+        match self {
+            IdgError::TransferCorruption { job, .. }
+            | IdgError::KernelFault { job }
+            | IdgError::StreamStall { job, .. } => Some(*job),
+            _ => None,
+        }
+    }
+
+    /// The pipeline site a device fault occurred at.
+    pub fn fault_site(&self) -> Option<FaultSite> {
+        match self {
+            IdgError::TransferCorruption { site, .. } | IdgError::StreamStall { site, .. } => {
+                Some(*site)
+            }
+            IdgError::KernelFault { .. } => Some(FaultSite::Kernel),
+            IdgError::DeviceOutOfMemory { .. } => Some(FaultSite::Alloc),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for IdgError {
@@ -66,6 +163,17 @@ impl std::fmt::Display for IdgError {
                     "device out of memory: requested {requested} B, available {available} B"
                 )
             }
+            IdgError::TransferCorruption { job, site } => {
+                write!(f, "checksum mismatch on {site} transfer of job {job}")
+            }
+            IdgError::KernelFault { job } => write!(f, "kernel fault in job {job}"),
+            IdgError::StreamStall { job, site, seconds } => {
+                write!(
+                    f,
+                    "stream stall on {site} of job {job} ({seconds:.3} s watchdog timeout)"
+                )
+            }
+            IdgError::Io(msg) => write!(f, "i/o error: {msg}"),
             IdgError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -102,6 +210,68 @@ mod tests {
         assert!(e.to_string().contains("device out of memory"));
         let e = IdgError::Internal("bug".into());
         assert!(e.to_string().contains("bug"));
+        let e = IdgError::Io("disk on fire".into());
+        assert!(e.to_string().contains("i/o error"));
+    }
+
+    #[test]
+    fn fault_variants_render_their_site_and_job() {
+        let e = IdgError::TransferCorruption {
+            job: 7,
+            site: FaultSite::HtoD,
+        };
+        assert!(e.to_string().contains("HtoD") && e.to_string().contains('7'));
+        let e = IdgError::KernelFault { job: 3 };
+        assert!(e.to_string().contains("job 3"));
+        let e = IdgError::StreamStall {
+            job: 2,
+            site: FaultSite::DtoH,
+            seconds: 0.25,
+        };
+        assert!(e.to_string().contains("DtoH"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(IdgError::TransferCorruption {
+            job: 0,
+            site: FaultSite::HtoD
+        }
+        .is_transient());
+        assert!(IdgError::KernelFault { job: 0 }.is_transient());
+        assert!(IdgError::StreamStall {
+            job: 0,
+            site: FaultSite::Kernel,
+            seconds: 1.0
+        }
+        .is_transient());
+        assert!(!IdgError::DeviceOutOfMemory {
+            requested: 1,
+            available: 0
+        }
+        .is_transient());
+        assert!(!IdgError::InvalidParameter("x".into()).is_transient());
+        assert!(!IdgError::Io("x".into()).is_transient());
+        assert!(!IdgError::Internal("x".into()).is_transient());
+    }
+
+    #[test]
+    fn fault_attribution_accessors() {
+        let e = IdgError::TransferCorruption {
+            job: 5,
+            site: FaultSite::DtoH,
+        };
+        assert_eq!(e.job(), Some(5));
+        assert_eq!(e.fault_site(), Some(FaultSite::DtoH));
+        let e = IdgError::KernelFault { job: 1 };
+        assert_eq!(e.fault_site(), Some(FaultSite::Kernel));
+        let e = IdgError::DeviceOutOfMemory {
+            requested: 2,
+            available: 1,
+        };
+        assert_eq!(e.job(), None);
+        assert_eq!(e.fault_site(), Some(FaultSite::Alloc));
+        assert_eq!(IdgError::Internal("x".into()).fault_site(), None);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod params;
 pub mod vis;
 
 pub use complex::{Cf32, Cf64, Complex};
-pub use error::IdgError;
+pub use error::{FaultSite, IdgError};
 pub use float::Float;
 pub use grid::{Grid, Subgrid, NR_POLARIZATIONS};
 pub use jones::Jones;

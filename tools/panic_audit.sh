@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Panic audit: fail when a library crate gains new unwrap()/expect()/panic!
+# call sites. Counts are per non-test source file (trailing #[cfg(test)]
+# modules are stripped) and compared against tools/panic-allowlist.txt.
+#
+#   tools/panic_audit.sh            # audit (CI mode; non-zero on new sites)
+#   tools/panic_audit.sh --update   # regenerate the allowlist
+#
+# The allowlist is a ratchet: shrink it as call sites are converted to
+# typed IdgError returns; never grow it to admit a new one.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ALLOWLIST=tools/panic-allowlist.txt
+current=$(mktemp)
+trap 'rm -f "$current"' EXIT
+
+# Library sources only: crates/*/src plus the root package src/ — the
+# bench harness, tests/, benches/ and examples/ are exempt.
+find crates -path crates/bench -prune -o -type f -name '*.rs' -path '*/src/*' -print |
+  { cat; [ -d src ] && find src -type f -name '*.rs'; } | sort |
+  while read -r f; do
+    n=$(awk '/^#\[cfg\(test\)\]/ { exit } /^[[:space:]]*\/\// { next } { print }' "$f" |
+      grep -cE '\.unwrap\(\)|\.expect\(|panic!' || true)
+    [ "$n" -gt 0 ] && printf '%s %s\n' "$n" "$f"
+  done > "$current" || true
+
+if [ "${1:-}" = "--update" ]; then
+  cp "$current" "$ALLOWLIST"
+  echo "panic audit: allowlist regenerated ($(wc -l < "$ALLOWLIST") files)"
+  exit 0
+fi
+
+status=0
+while read -r n f; do
+  allowed=$(awk -v f="$f" '$2 == f { print $1 }' "$ALLOWLIST")
+  allowed=${allowed:-0}
+  if [ "$n" -gt "$allowed" ]; then
+    echo "panic audit: $f has $n unwrap()/expect()/panic! sites (allowlisted: $allowed)" >&2
+    echo "  convert the new site to a typed IdgError return (see DESIGN.md §7)" >&2
+    status=1
+  fi
+done < "$current"
+
+if [ "$status" -eq 0 ]; then
+  echo "panic audit: ok ($(wc -l < "$current") files within allowlist)"
+fi
+exit $status
