@@ -3,9 +3,13 @@
 //! Runs the stream pipeline simulator for 1-, 2- and 3-buffer
 //! configurations over a sequence of work groups with the benchmark's
 //! modeled phase durations and prints the resulting timelines plus the
-//! achieved overlap.
+//! achieved overlap. Also runs one *observed* triple-buffered pass and
+//! exports its span tree as a Chrome `trace_event` timeline
+//! (`results/fig07_trace.json`, loadable in `chrome://tracing`) — the
+//! structured replacement for the ASCII timeline below.
 
-use idg_bench::{bench_scale, benchmark_dataset, plan_for, write_csv};
+use idg::{Backend, Proxy};
+use idg_bench::{bench_scale, benchmark_dataset, plan_for, write_csv, write_results};
 use idg_gpusim::{kernel_time, transfer_time, Device, PipelineSim};
 use idg_perf::gridder_counts;
 
@@ -79,4 +83,22 @@ fn main() {
     )
     .expect("write csv");
     println!("wrote {}", path.display());
+
+    // Chrome-trace export of a real observed pass on the same device
+    // model: one job span per work group, one stage span per engine
+    // (HtoD / Compute / DtoH), kernel sub-spans inside each Compute.
+    let mut proxy = Proxy::new(Backend::GpuPascal, ds.obs.clone()).expect("proxy");
+    proxy.work_group_size = group_size;
+    let (_, report, trace) = proxy
+        .grid_observed(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .expect("observed grid");
+    let trace_path = write_results("fig07_trace.json", &idg_obs::chrome_trace_json(&trace))
+        .expect("write trace");
+    let nr_jobs = trace.spans.iter().filter(|s| s.cat == "job").count();
+    println!(
+        "wrote {} ({} spans, {nr_jobs} jobs, {} kernel invocations; open in chrome://tracing)",
+        trace_path.display(),
+        trace.spans.len(),
+        report.metrics.as_ref().map_or(0, |m| m.gridder.invocations)
+    );
 }

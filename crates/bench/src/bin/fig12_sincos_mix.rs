@@ -5,35 +5,37 @@
 //! a *measured* curve on the host CPU using the `idg-math` mix
 //! microkernel. Shape to reproduce: PASCAL stays near peak as ρ drops
 //! (hardware SFUs); FIJI and HASWELL degrade sharply.
+//!
+//! Emits both the CSV table and the JSON export the golden-file suite
+//! snapshots (the wall-clock host column is masked there).
 
-use idg_bench::{series_table, write_csv};
-use idg_perf::mix::{measure_host_mix, standard_rhos};
+use idg_bench::{fig12_rows, fig_json, series_table, write_csv, write_results};
+use idg_perf::mix::standard_rhos;
 use idg_perf::{attainable_ops_per_sec, Architecture, IDG_RHO};
 
 fn main() {
     let rhos = standard_rhos();
     let archs = Architecture::all();
+    let fig_rows = fig12_rows(3_000_000);
 
-    let mut series = Vec::new();
-    for arch in &archs {
-        let curve: Vec<(f64, f64)> = rhos
-            .iter()
-            .map(|&r| (r, attainable_ops_per_sec(arch, r) / 1e12))
-            .collect();
-        series.push((format!("{} TOps/s", arch.nickname), curve));
-    }
-
-    // measured host curve (wall-clock, single core)
-    let iterations = 3_000_000u64;
-    let host: Vec<(f64, f64)> = rhos
+    let names = [
+        "HASWELL TOps/s",
+        "FIJI TOps/s",
+        "PASCAL TOps/s",
+        "host 1-core TOps/s",
+    ];
+    let series: Vec<(String, Vec<(f64, f64)>)> = names
         .iter()
-        .map(|&r| {
-            let rate = measure_host_mix(r.round() as u32, iterations);
-            (r, rate / 1e12)
+        .enumerate()
+        .map(|(col, name)| {
+            let points = fig_rows
+                .iter()
+                .enumerate()
+                .map(|(i, row)| (rhos[i], row.values[col].1))
+                .collect();
+            (name.to_string(), points)
         })
         .collect();
-    series.push(("host 1-core TOps/s".into(), host.clone()));
-
     println!(
         "{}",
         series_table("Fig. 12: throughput vs rho = #FMA/#sincos", "rho", &series)
@@ -63,6 +65,7 @@ fn main() {
     assert!(frac(haswell, 4.0) < 0.3, "HASWELL degrades at low rho");
 
     // the measured host curve must also *rise* with ρ (software sincos)
+    let host = &series[3].1;
     let host_low = host.iter().find(|(r, _)| *r == 1.0).unwrap().1;
     let host_high = host.iter().find(|(r, _)| *r == 256.0).unwrap().1;
     assert!(
@@ -70,13 +73,13 @@ fn main() {
         "host curve should rise with rho: {host_low} -> {host_high}"
     );
 
-    let rows: Vec<String> = rhos
+    let rows: Vec<String> = fig_rows
         .iter()
         .enumerate()
-        .map(|(i, r)| {
+        .map(|(i, row)| {
             format!(
-                "{r},{},{},{},{}",
-                series[0].1[i].1, series[1].1[i].1, series[2].1[i].1, series[3].1[i].1
+                "{},{},{},{},{}",
+                rhos[i], row.values[0].1, row.values[1].1, row.values[2].1, row.values[3].1
             )
         })
         .collect();
@@ -87,4 +90,10 @@ fn main() {
     )
     .expect("csv");
     println!("wrote {}", path.display());
+    let json = write_results(
+        "fig12_sincos_mix.json",
+        &fig_json("fig12_sincos_mix", &fig_rows, false),
+    )
+    .expect("json");
+    println!("wrote {}", json.display());
 }

@@ -80,12 +80,16 @@ pub fn model_cpu_report(
         nr_retries: 0,
         backoff_seconds: 0.0,
         fallback_jobs: Vec::new(),
+        metrics: None,
     }
 }
 
 /// Run gridding + degridding on every comparison row: the three paper
 /// architectures (HASWELL modeled, FIJI modeled, PASCAL modeled) plus
-/// the measured host CPU.
+/// the measured host CPU. Executed rows run *observed* (an `idg-obs`
+/// session), so their reports carry the measured [`MetricsSnapshot`]
+/// and the self-validation against the analytic model has already
+/// passed by the time a row is returned.
 pub fn collect_backend_runs(ds: &Dataset) -> Vec<BackendRun> {
     let mut runs = Vec::new();
     let obs = &ds.obs;
@@ -93,11 +97,11 @@ pub fn collect_backend_runs(ds: &Dataset) -> Vec<BackendRun> {
     // measured host row (optimized CPU kernels)
     let proxy = Proxy::new(Backend::CpuOptimized, obs.clone()).expect("proxy");
     let plan = proxy.plan(&ds.uvw).expect("plan");
-    let (grid, g) = proxy
-        .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+    let (grid, g, _) = proxy
+        .grid_observed(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
         .expect("grid");
-    let (_, d) = proxy
-        .degrid(&plan, &grid, &ds.uvw, &ds.aterms)
+    let (_, d, _) = proxy
+        .degrid_observed(&plan, &grid, &ds.uvw, &ds.aterms)
         .expect("degrid");
     runs.push(BackendRun {
         name: "host CPU (measured)".into(),
@@ -138,11 +142,11 @@ pub fn collect_backend_runs(ds: &Dataset) -> Vec<BackendRun> {
     ] {
         let mut proxy = Proxy::new(backend, obs.clone()).expect("proxy");
         proxy.work_group_size = (plan.nr_subgrids() / 16).clamp(1, 256);
-        let (grid, g) = proxy
-            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+        let (grid, g, _) = proxy
+            .grid_observed(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
             .expect("grid");
-        let (_, d) = proxy
-            .degrid(&plan, &grid, &ds.uvw, &ds.aterms)
+        let (_, d, _) = proxy
+            .degrid_observed(&plan, &grid, &ds.uvw, &ds.aterms)
             .expect("degrid");
         runs.push(BackendRun {
             name: format!("{} (modeled)", arch.nickname),
@@ -159,11 +163,11 @@ pub fn collect_backend_runs(ds: &Dataset) -> Vec<BackendRun> {
 pub fn host_measured_run(ds: &Dataset) -> BackendRun {
     let proxy = Proxy::new(Backend::CpuOptimized, ds.obs.clone()).expect("proxy");
     let plan = proxy.plan(&ds.uvw).expect("plan");
-    let (grid, g) = proxy
-        .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+    let (grid, g, _) = proxy
+        .grid_observed(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
         .expect("grid");
-    let (_, d) = proxy
-        .degrid(&plan, &grid, &ds.uvw, &ds.aterms)
+    let (_, d, _) = proxy
+        .degrid_observed(&plan, &grid, &ds.uvw, &ds.aterms)
         .expect("degrid");
     BackendRun {
         name: "host CPU (measured)".into(),
@@ -263,6 +267,7 @@ pub fn full_scale_runs(ds: &Dataset) -> Vec<BackendRun> {
                 nr_retries: 0,
                 backoff_seconds: 0.0,
                 fallback_jobs: Vec::new(),
+                metrics: None,
             }
         };
         let gridding = make_pass(&gc, "gridding", vis_bytes_per_group, 0);
@@ -288,6 +293,112 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<s
         writeln!(file, "{row}")?;
     }
     Ok(path)
+}
+
+/// Write an arbitrary text artifact (JSON export, Chrome trace) under
+/// `results/`, creating the directory if needed.
+pub fn write_results(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// One labeled row of a figure's machine-readable JSON export.
+pub struct FigRow {
+    /// Row label (backend name, ρ value, …).
+    pub label: String,
+    /// True when *every* value in the row is a host wall-clock
+    /// measurement (non-deterministic across runs). Individual
+    /// wall-clock columns inside otherwise-deterministic rows are
+    /// marked by a `_wall` suffix on the column name instead.
+    pub wall_clock: bool,
+    /// `(column, value)` pairs, in column order.
+    pub values: Vec<(&'static str, f64)>,
+}
+
+/// Serialize figure rows as deterministic, line-oriented JSON: one row
+/// object per line, stable key order, shortest-round-trip floats.
+///
+/// With `mask_wall_clock`, every value that depends on host wall-clock
+/// timing (a row flagged [`FigRow::wall_clock`], or a column whose name
+/// ends in `_wall`) is replaced by the string `"<wall-clock>"`. The
+/// golden-file suite compares the masked form, so snapshots stay stable
+/// across machines while still pinning every modeled number exactly.
+pub fn fig_json(figure: &str, rows: &[FigRow], mask_wall_clock: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"figure\": \"{figure}\",\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": {:?}, \"wall_clock\": {}",
+            row.label, row.wall_clock
+        ));
+        for (k, v) in &row.values {
+            if mask_wall_clock && (row.wall_clock || k.ends_with("_wall")) {
+                out.push_str(&format!(", \"{k}\": \"<wall-clock>\""));
+            } else {
+                out.push_str(&format!(", \"{k}\": {v:?}"));
+            }
+        }
+        out.push_str(if i + 1 == rows.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The Fig. 10 throughput rows (MVis/s per backend), shared by the
+/// `fig10_throughput` binary and the golden-file suite. Throughputs are
+/// derived from [`ExecutionReport::effective_counts`], i.e. from the
+/// *measured* counter snapshot on the observed host row.
+pub fn fig10_rows(ds: &Dataset) -> Vec<FigRow> {
+    let mut runs = vec![host_measured_run(ds)];
+    runs.extend(full_scale_runs(ds));
+    runs.iter()
+        .map(|run| FigRow {
+            label: run.name.clone(),
+            wall_clock: run.arch.is_none(),
+            values: vec![
+                ("gridding_mvis_s", run.gridding.mvis_per_sec()),
+                ("degridding_mvis_s", run.degridding.mvis_per_sec()),
+            ],
+        })
+        .collect()
+}
+
+/// The Fig. 12 mix-curve rows (TOps/s vs ρ), shared by the
+/// `fig12_sincos_mix` binary and the golden-file suite. The three
+/// Table I curves are analytic; the host column is a wall-clock
+/// microkernel measurement (skipped — reported as 0 — when
+/// `host_iterations` is 0, e.g. in the golden tests where the column
+/// is masked anyway).
+pub fn fig12_rows(host_iterations: u64) -> Vec<FigRow> {
+    use idg_perf::attainable_ops_per_sec;
+    use idg_perf::mix::{measure_host_mix, standard_rhos};
+    let archs = Architecture::all();
+    standard_rhos()
+        .iter()
+        .map(|&r| {
+            let mut values: Vec<(&'static str, f64)> = archs
+                .iter()
+                .zip(["haswell_tops", "fiji_tops", "pascal_tops"])
+                .map(|(arch, col)| (col, attainable_ops_per_sec(arch, r) / 1e12))
+                .collect();
+            let host = if host_iterations > 0 {
+                measure_host_mix(r.round() as u32, host_iterations) / 1e12
+            } else {
+                0.0
+            };
+            values.push(("host_measured_tops_wall", host));
+            FigRow {
+                label: format!("rho={r}"),
+                wall_clock: false,
+                values,
+            }
+        })
+        .collect()
 }
 
 /// Render a horizontal ASCII bar chart (used for the "distribution"
@@ -385,6 +496,33 @@ mod tests {
     fn within_factor_helper() {
         assert!(within_factor(10.0, 5.0, 1.5, 3.0));
         assert!(!within_factor(10.0, 5.0, 3.0, 5.0));
+    }
+
+    #[test]
+    fn fig_json_masks_wall_clock_values_and_stays_valid() {
+        let rows = vec![
+            FigRow {
+                label: "PASCAL".into(),
+                wall_clock: false,
+                values: vec![("tops", 1.5), ("host_tops_wall", 4.25)],
+            },
+            FigRow {
+                label: "host".into(),
+                wall_clock: true,
+                values: vec![("tops", 3.75), ("host_tops_wall", 8.5)],
+            },
+        ];
+        let open = fig_json("figX", &rows, false);
+        let masked = fig_json("figX", &rows, true);
+        idg_obs::validate_json(&open).expect("open json");
+        idg_obs::validate_json(&masked).expect("masked json");
+        assert!(open.contains("1.5") && open.contains("8.5"));
+        assert!(!open.contains("<wall-clock>"));
+        // masked: the one deterministic value survives, the _wall
+        // column and the wall-clock row are both replaced
+        assert!(masked.contains("1.5"));
+        assert!(!masked.contains("4.25") && !masked.contains("3.75") && !masked.contains("8.5"));
+        assert_eq!(masked.matches("<wall-clock>").count(), 3);
     }
 
     #[test]

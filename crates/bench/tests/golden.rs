@@ -1,0 +1,81 @@
+//! Golden-file tests for the figure JSON exports.
+//!
+//! Each test rebuilds a figure's rows on the tiny seeded benchmark
+//! observation (`benchmark_dataset(30)` — 5 stations, deterministic
+//! seed 42), serializes them with wall-clock values masked, and
+//! compares byte-for-byte against the committed snapshot under
+//! `tests/golden/`. Every modeled number is pinned exactly; only
+//! host-timing cells are masked.
+//!
+//! Blessing: after an intentional change to the models or the export
+//! format, regenerate the snapshots with
+//!
+//! ```text
+//! IDG_BLESS=1 cargo test -p idg-bench --test golden
+//! ```
+//!
+//! and commit the updated files with the change that motivated them.
+
+use idg_bench::{benchmark_dataset, fig10_rows, fig12_rows, fig_json};
+use idg_obs::validate_json;
+use std::path::PathBuf;
+
+/// Scale 30 → the 5-station miniature of the SKA1-low benchmark set.
+const GOLDEN_SCALE: usize = 30;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compare `actual` against the committed snapshot, or rewrite the
+/// snapshot when `IDG_BLESS` is set.
+fn check_golden(name: &str, actual: &str) {
+    validate_json(actual).unwrap_or_else(|e| panic!("{name}: emitted JSON invalid: {e}"));
+    let path = golden_path(name);
+    if std::env::var_os("IDG_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             IDG_BLESS=1 cargo test -p idg-bench --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden snapshot; if the change is \
+         intentional, re-bless with IDG_BLESS=1 cargo test -p idg-bench --test golden"
+    );
+}
+
+#[test]
+fn fig10_throughput_json_matches_golden_snapshot() {
+    let ds = benchmark_dataset(GOLDEN_SCALE);
+    let rows = fig10_rows(&ds);
+    // the host row is an observed run: its masked cells prove the
+    // wall-clock masking, the modeled rows pin the device models
+    assert!(rows.iter().any(|r| r.wall_clock));
+    assert!(rows.iter().filter(|r| !r.wall_clock).count() >= 3);
+    check_golden(
+        "fig10_throughput.json",
+        &fig_json("fig10_throughput", &rows, true),
+    );
+}
+
+#[test]
+fn fig12_sincos_mix_json_matches_golden_snapshot() {
+    // host_iterations = 0: the wall-clock column is masked in the
+    // snapshot, so there is no point burning time measuring it here
+    let rows = fig12_rows(0);
+    assert!(!rows.is_empty());
+    check_golden(
+        "fig12_sincos_mix.json",
+        &fig_json("fig12_sincos_mix", &rows, true),
+    );
+}

@@ -50,6 +50,7 @@ pub use idg_fft as fft;
 pub use idg_gpusim as gpusim;
 pub use idg_kernels as kernels;
 pub use idg_math as math;
+pub use idg_obs as obs;
 pub use idg_perf as perf;
 pub use idg_plan as plan;
 pub use idg_telescope as telescope;

@@ -181,7 +181,9 @@ impl Proxy {
         if !self.cpu_fallback {
             return Err(report.failed_jobs[0].error.clone());
         }
+        idg_obs::add_fallback_jobs(report.failed_jobs.len() as u64);
         for failure in &report.failed_jobs {
+            let _span = idg_obs::wall_span("cpu_fallback", "job", Some(failure.job as u32));
             let items = &plan.items[failure.first_item..failure.first_item + failure.nr_items];
             let mut subgrids = SubgridArray::new(items.len(), self.obs.subgrid_size);
             gridder_reference(data, items, &mut subgrids);
@@ -207,7 +209,9 @@ impl Proxy {
         if !self.cpu_fallback {
             return Err(report.failed_jobs[0].error.clone());
         }
+        idg_obs::add_fallback_jobs(report.failed_jobs.len() as u64);
         for failure in &report.failed_jobs {
+            let _span = idg_obs::wall_span("cpu_fallback", "job", Some(failure.job as u32));
             let items = &plan.items[failure.first_item..failure.first_item + failure.nr_items];
             let mut subgrids = SubgridArray::new(items.len(), self.obs.subgrid_size);
             split_subgrids(grid, items, &mut subgrids);
@@ -240,15 +244,26 @@ impl Proxy {
             Backend::CpuReference | Backend::CpuOptimized => {
                 let mut subgrids = SubgridArray::new(plan.nr_subgrids(), self.obs.subgrid_size);
                 let t0 = Instant::now();
-                match self.backend {
-                    Backend::CpuReference => gridder_reference(&data, &plan.items, &mut subgrids),
-                    _ => gridder_cpu(&data, &plan.items, &mut subgrids, Accuracy::Medium),
+                {
+                    let _span = idg_obs::wall_span("gridder", "stage", None);
+                    match self.backend {
+                        Backend::CpuReference => {
+                            gridder_reference(&data, &plan.items, &mut subgrids)
+                        }
+                        _ => gridder_cpu(&data, &plan.items, &mut subgrids, Accuracy::Medium),
+                    }
                 }
                 let t1 = Instant::now();
-                fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
+                {
+                    let _span = idg_obs::wall_span("subgrid_fft", "stage", None);
+                    fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
+                }
                 let t2 = Instant::now();
                 let mut grid = Grid::<f32>::new(self.obs.grid_size);
-                add_subgrids(&mut grid, &plan.items, &subgrids);
+                {
+                    let _span = idg_obs::wall_span("adder", "stage", None);
+                    add_subgrids(&mut grid, &plan.items, &subgrids);
+                }
                 let t3 = Instant::now();
 
                 let counts = gridder_counts(&plan.items, self.obs.subgrid_size);
@@ -269,6 +284,7 @@ impl Proxy {
                         nr_retries: 0,
                         backoff_seconds: 0.0,
                         fallback_jobs: Vec::new(),
+                        metrics: None,
                     },
                 ))
             }
@@ -292,10 +308,94 @@ impl Proxy {
                         nr_retries: report.nr_retries,
                         backoff_seconds: report.backoff_seconds,
                         fallback_jobs,
+                        metrics: None,
                     },
                 ))
             }
         }
+    }
+
+    /// Run [`Proxy::grid`] under an observability session.
+    ///
+    /// Returns the grid, the report with [`ExecutionReport::metrics`]
+    /// attached, and the full [`idg_obs::Trace`] (spans + counter
+    /// snapshot, exportable with [`idg_obs::chrome_trace_json`]). On
+    /// clean runs — no fault injection, no retries, no CPU fallback —
+    /// the measured kernel counters are cross-validated against the
+    /// analytic `idg_perf` model with exact integer equality; a
+    /// mismatch fails the pass with [`IdgError::Internal`], so every
+    /// observed run doubles as an assertion that the performance model
+    /// is correct.
+    pub fn grid_observed(
+        &self,
+        plan: &Plan,
+        uvw: &[Uvw],
+        visibilities: &[Visibility<f32>],
+        aterms: &ATerms,
+    ) -> Result<(Grid<f32>, ExecutionReport, idg_obs::Trace), IdgError> {
+        let session = idg_obs::Session::begin("gridding");
+        let result = self.grid(plan, uvw, visibilities, aterms);
+        let trace = session.finish();
+        let (grid, mut report) = result?;
+        report.metrics = Some(trace.metrics.clone());
+        self.validate_measured(&report, plan)?;
+        Ok((grid, report, trace))
+    }
+
+    /// Run [`Proxy::degrid`] under an observability session (see
+    /// [`Proxy::grid_observed`] for the validation contract).
+    pub fn degrid_observed(
+        &self,
+        plan: &Plan,
+        grid: &Grid<f32>,
+        uvw: &[Uvw],
+        aterms: &ATerms,
+    ) -> Result<(Vec<Visibility<f32>>, ExecutionReport, idg_obs::Trace), IdgError> {
+        let session = idg_obs::Session::begin("degridding");
+        let result = self.degrid(plan, grid, uvw, aterms);
+        let trace = session.finish();
+        let (vis, mut report) = result?;
+        report.metrics = Some(trace.metrics.clone());
+        self.validate_measured(&report, plan)?;
+        Ok((vis, report, trace))
+    }
+
+    /// Cross-validate an observed pass's measured counters against the
+    /// analytic model — exact integer equality, field by field. Skipped
+    /// for runs where kernels legitimately execute more than once per
+    /// work item: retries and CPU fallbacks re-run them, and fault
+    /// injection may re-run the compute phase for checksum staging.
+    fn validate_measured(&self, report: &ExecutionReport, plan: &Plan) -> Result<(), IdgError> {
+        if self.fault_config.is_some() || report.nr_retries > 0 || !report.fallback_jobs.is_empty()
+        {
+            return Ok(());
+        }
+        let Some(metrics) = &report.metrics else {
+            return Ok(());
+        };
+        let analytic = match report.pass {
+            "gridding" => gridder_counts(&plan.items, self.obs.subgrid_size),
+            _ => degridder_counts(&plan.items, self.obs.subgrid_size),
+        };
+        let k = metrics.pass_kernel();
+        let checks = [
+            ("visibilities", k.visibilities, analytic.visibilities),
+            ("sincos_pairs", k.sincos_pairs, analytic.sincos_pairs),
+            ("fmas", k.fmas, analytic.fmas),
+            ("dram_bytes", k.dram_bytes, analytic.dram_bytes),
+            ("shared_bytes", k.shared_bytes, analytic.shared_bytes),
+            ("invocations", k.invocations, plan.items.len() as u64),
+        ];
+        for (name, measured, predicted) in checks {
+            if measured != predicted {
+                return Err(IdgError::Internal(format!(
+                    "observability self-validation failed: {} {name} measured {measured} \
+                     != analytic {predicted}",
+                    report.pass
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Predict visibilities from a model grid.
@@ -341,16 +441,27 @@ impl Proxy {
             Backend::CpuReference | Backend::CpuOptimized => {
                 let mut subgrids = SubgridArray::new(plan.nr_subgrids(), self.obs.subgrid_size);
                 let t0 = Instant::now();
-                split_subgrids(grid, &plan.items, &mut subgrids);
+                {
+                    let _span = idg_obs::wall_span("splitter", "stage", None);
+                    split_subgrids(grid, &plan.items, &mut subgrids);
+                }
                 let t1 = Instant::now();
-                fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
+                {
+                    let _span = idg_obs::wall_span("subgrid_ifft", "stage", None);
+                    fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
+                }
                 let t2 = Instant::now();
                 let mut vis = vec![Visibility::<f32>::zero(); self.obs.nr_visibilities()];
-                match self.backend {
-                    Backend::CpuReference => {
-                        degridder_reference(&data, &plan.items, &subgrids, &mut vis)
+                {
+                    let _span = idg_obs::wall_span("degridder", "stage", None);
+                    match self.backend {
+                        Backend::CpuReference => {
+                            degridder_reference(&data, &plan.items, &subgrids, &mut vis)
+                        }
+                        _ => {
+                            degridder_cpu(&data, &plan.items, &subgrids, &mut vis, Accuracy::Medium)
+                        }
                     }
-                    _ => degridder_cpu(&data, &plan.items, &subgrids, &mut vis, Accuracy::Medium),
                 }
                 let t3 = Instant::now();
 
@@ -372,6 +483,7 @@ impl Proxy {
                         nr_retries: 0,
                         backoff_seconds: 0.0,
                         fallback_jobs: Vec::new(),
+                        metrics: None,
                     },
                 ))
             }
@@ -395,6 +507,7 @@ impl Proxy {
                         nr_retries: report.nr_retries,
                         backoff_seconds: report.backoff_seconds,
                         fallback_jobs,
+                        metrics: None,
                     },
                 ))
             }
@@ -666,6 +779,102 @@ mod tests {
         assert!(report.backoff_seconds > 0.0);
         assert!(report.fallback_jobs.is_empty());
         assert_eq!(grid.as_slice(), gold.as_slice(), "recovery is exact");
+    }
+
+    #[test]
+    fn observed_runs_self_validate_on_every_backend() {
+        // The acceptance contract of the observability layer: an
+        // instrumented pass yields measured counters exactly equal to
+        // the analytic perf model (validate_measured errors otherwise),
+        // and the Chrome export is valid JSON.
+        let ds = dataset();
+        for backend in Backend::all() {
+            let proxy = Proxy::new(backend, ds.obs.clone()).unwrap();
+            let plan = proxy.plan(&ds.uvw).unwrap();
+            let (grid, report, trace) = proxy
+                .grid_observed(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+                .unwrap();
+            assert!(grid.power() > 0.0);
+            let analytic = gridder_counts(&plan.items, ds.obs.subgrid_size);
+            assert_eq!(report.effective_counts(), analytic, "{backend:?} gridding");
+            assert_eq!(trace.metrics.pass, "gridding");
+            assert_eq!(trace.metrics.planned_items, 0, "plan made outside session");
+            let json = idg_obs::chrome_trace_json(&trace);
+            idg_obs::validate_json(&json).unwrap_or_else(|e| panic!("{backend:?}: {e}"));
+
+            let (_, dreport, dtrace) = proxy
+                .degrid_observed(&plan, &grid, &ds.uvw, &ds.aterms)
+                .unwrap();
+            let danalytic = degridder_counts(&plan.items, ds.obs.subgrid_size);
+            assert_eq!(
+                dreport.effective_counts(),
+                danalytic,
+                "{backend:?} degridding"
+            );
+            assert_eq!(dtrace.metrics.subgrids_split, plan.nr_subgrids() as u64);
+        }
+    }
+
+    #[test]
+    fn observed_gpu_trace_has_one_stage_span_per_job() {
+        let ds = dataset();
+        let mut proxy = Proxy::new(Backend::GpuPascal, ds.obs.clone()).unwrap();
+        proxy.work_group_size = 8;
+        let plan = proxy.plan(&ds.uvw).unwrap();
+        let (_, _, trace) = proxy
+            .grid_observed(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        let nr_jobs = plan.work_groups(8).count();
+        assert!(nr_jobs > 1);
+        for job in 0..nr_jobs as u32 {
+            let stages = trace
+                .spans
+                .iter()
+                .filter(|s| s.cat == "stage" && s.job == Some(job))
+                .count();
+            assert_eq!(stages, 3, "HtoD/Compute/DtoH for job {job}");
+        }
+        // the session-level pass span is present exactly once
+        assert_eq!(trace.spans.iter().filter(|s| s.cat == "pass").count(), 1);
+    }
+
+    #[test]
+    fn unobserved_runs_attach_no_metrics() {
+        // Backward compatibility: the default path never records.
+        let ds = dataset();
+        let proxy = Proxy::new(Backend::CpuOptimized, ds.obs.clone()).unwrap();
+        let plan = proxy.plan(&ds.uvw).unwrap();
+        let (_, report) = proxy
+            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        assert!(report.metrics.is_none());
+        assert_eq!(report.effective_counts(), report.counts);
+    }
+
+    #[test]
+    fn observed_fallback_run_counts_fallback_jobs_and_skips_validation() {
+        use idg_gpusim::{FaultKind, TargetedFault};
+        use idg_types::FaultSite;
+
+        let ds = dataset();
+        let mut proxy = Proxy::new(Backend::GpuPascal, ds.obs.clone()).unwrap();
+        proxy.work_group_size = 4;
+        let proxy = proxy.with_faults(FaultConfig::targeted(vec![TargetedFault {
+            job: 1,
+            attempt: 0,
+            site: FaultSite::Alloc,
+            kind: FaultKind::OutOfMemory,
+        }]));
+        let plan = proxy.plan(&ds.uvw).unwrap();
+        let (_, report, trace) = proxy
+            .grid_observed(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        assert_eq!(report.fallback_jobs.len(), 1);
+        assert_eq!(trace.metrics.fallback_jobs, 1);
+        // every visibility was gridded exactly once in the end — the
+        // failed job's by the CPU fallback, the rest on the device
+        let analytic = gridder_counts(&plan.items, ds.obs.subgrid_size);
+        assert_eq!(trace.metrics.gridder.visibilities, analytic.visibilities);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! counts and intensities (Figs. 11–13) and energy (Figs. 14–15).
 
 use idg_gpusim::JobFailure;
+use idg_obs::MetricsSnapshot;
 use idg_perf::OpCounts;
 
 /// Timing and accounting of one gridding or degridding pass.
@@ -43,26 +44,34 @@ pub struct ExecutionReport {
     /// the CPU reference backend (graceful degradation). Empty when the
     /// pass ran entirely on its selected back-end.
     pub fallback_jobs: Vec<JobFailure>,
+    /// Measured counter snapshot of the pass, present when it ran under
+    /// an observability session ([`crate::Proxy::grid_observed`] /
+    /// [`crate::Proxy::degrid_observed`]); `None` for plain passes, so
+    /// existing consumers are unaffected.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl ExecutionReport {
     /// Visibility throughput of the whole pass, MVisibilities/s —
-    /// the Fig. 10 metric. 0 when the pass measured no elapsed time
-    /// (empty plans and sub-tick passes must not report NaN/∞ rates).
+    /// the Fig. 10 metric, computed from [`Self::effective_counts`]
+    /// (measured counters when the pass was observed). 0 when the pass
+    /// measured no elapsed time (empty plans and sub-tick passes must
+    /// not report NaN/∞ rates).
     pub fn mvis_per_sec(&self) -> f64 {
         if self.total_seconds <= 0.0 {
             return 0.0;
         }
-        self.counts.visibilities as f64 / self.total_seconds / 1e6
+        self.effective_counts().visibilities as f64 / self.total_seconds / 1e6
     }
 
     /// Achieved main-kernel rate, TOps/s (paper operation definition) —
-    /// the Fig. 11 y-axis. 0 when no kernel time was measured.
+    /// the Fig. 11 y-axis, from [`Self::effective_counts`]. 0 when no
+    /// kernel time was measured.
     pub fn kernel_tops(&self) -> f64 {
         if self.kernel_seconds <= 0.0 {
             return 0.0;
         }
-        self.counts.total_ops() as f64 / self.kernel_seconds / 1e12
+        self.effective_counts().total_ops() as f64 / self.kernel_seconds / 1e12
     }
 
     /// Fraction of the pass spent in the main kernel — Fig. 9's
@@ -78,6 +87,28 @@ impl ExecutionReport {
     /// Sum of all stage times (no overlap) — the Fig. 9 stacking basis.
     pub fn serial_seconds(&self) -> f64 {
         self.kernel_seconds + self.fft_seconds + self.adder_seconds + self.transfer_seconds
+    }
+
+    /// The pass's main-kernel operation counts, preferring *measured*
+    /// counters (incremented at the kernel call sites during an
+    /// observed run) over the analytic model. Falls back to the
+    /// analytic [`ExecutionReport::counts`] when the pass was not
+    /// observed — the two are asserted equal on fault-free observed
+    /// runs, so consumers may use this unconditionally.
+    pub fn effective_counts(&self) -> OpCounts {
+        match &self.metrics {
+            Some(m) => {
+                let k = m.pass_kernel();
+                OpCounts {
+                    fmas: k.fmas,
+                    sincos_pairs: k.sincos_pairs,
+                    dram_bytes: k.dram_bytes,
+                    shared_bytes: k.shared_bytes,
+                    visibilities: k.visibilities,
+                }
+            }
+            None => self.counts,
+        }
     }
 }
 
@@ -145,6 +176,7 @@ mod tests {
             nr_retries: 0,
             backoff_seconds: 0.0,
             fallback_jobs: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -175,6 +207,21 @@ mod tests {
         assert_eq!(r.kernel_tops(), 0.0);
         assert_eq!(r.kernel_fraction(), 0.0);
         assert!(r.to_string().contains("0.00 MVis/s"));
+    }
+
+    #[test]
+    fn effective_counts_prefer_the_measured_snapshot() {
+        let mut r = report();
+        assert_eq!(r.effective_counts(), r.counts, "unobserved: analytic");
+        let mut snap = MetricsSnapshot::new("gridding");
+        snap.gridder.fmas = 34;
+        snap.gridder.sincos_pairs = 2;
+        snap.gridder.visibilities = 1;
+        r.metrics = Some(snap);
+        let eff = r.effective_counts();
+        assert_eq!(eff.fmas, 34);
+        assert_eq!(eff.sincos_pairs, 2);
+        assert_eq!(eff.visibilities, 1);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 use crate::device::Device;
 use crate::fault::{checksum_bytes, FaultConfig, FaultInjector, FaultKind, RetryPolicy};
 use crate::kernels::{degridder_gpu, gridder_gpu};
-use crate::stream::{Engine, FaultPoint, PipelineSim, TraceEntry};
+use crate::stream::{Engine, FaultPoint, OpStatus, PipelineSim, TraceEntry};
 use crate::timing::{adder_time, kernel_time, subgrid_fft_time, transfer_time};
 use idg_fft::Direction;
 use idg_kernels::{add_subgrids, fft_subgrids, split_subgrids, FftNorm, KernelData, SubgridArray};
@@ -251,6 +251,55 @@ fn run_job(
     }
 }
 
+/// Replay the pipeline timeline into the active observability session
+/// as modeled spans: one `job` span per job covering all of its
+/// operations, one `stage` span per scheduled operation (faulted
+/// attempts keep their engine name but carry a `!` suffix), and
+/// `kernel` sub-spans subdividing each *completed* Compute interval
+/// into its constituent kernels. `parts[job]` lists `(name, seconds)`
+/// in execution order and sums to the job's compute time; it is empty
+/// when the session was inactive while the pass ran.
+fn emit_modeled_spans(timeline: &[TraceEntry], parts: &[Vec<(&'static str, f64)>]) {
+    if !idg_obs::is_active() {
+        return;
+    }
+    let nr_jobs = timeline.iter().map(|e| e.job + 1).max().unwrap_or(0);
+    let mut extents: Vec<Option<(f64, f64)>> = vec![None; nr_jobs];
+    for e in timeline {
+        let ext = extents[e.job].get_or_insert((e.start, e.end));
+        ext.0 = ext.0.min(e.start);
+        ext.1 = ext.1.max(e.end);
+    }
+    for (job, ext) in extents.iter().enumerate() {
+        if let Some((start, end)) = ext {
+            idg_obs::modeled_span("job", "job", Some(job as u32), 0, *start, end - start);
+        }
+    }
+    for e in timeline {
+        let (name, faulted_name, lane) = match e.engine {
+            Engine::HtoD => ("HtoD", "HtoD!", 1),
+            Engine::Compute => ("Compute", "Compute!", 2),
+            Engine::DtoH => ("DtoH", "DtoH!", 3),
+        };
+        let completed = e.status == OpStatus::Completed;
+        idg_obs::modeled_span(
+            if completed { name } else { faulted_name },
+            "stage",
+            Some(e.job as u32),
+            lane,
+            e.start,
+            e.end - e.start,
+        );
+        if e.engine == Engine::Compute && completed {
+            let mut t = e.start;
+            for (kernel, dur) in parts.get(e.job).map(Vec::as_slice).unwrap_or(&[]) {
+                idg_obs::modeled_span(kernel, "kernel", Some(e.job as u32), lane, t, *dur);
+                t += dur;
+            }
+        }
+    }
+}
+
 /// Raw bytes of the visibilities a group transfers (HtoD payload of a
 /// gridding job, DtoH payload of a degridding job).
 fn staged_vis_bytes(
@@ -388,6 +437,8 @@ impl GpuExecutor {
         let mut dtoh_seconds = 0.0;
         let mut stats = RetryStats::default();
         let mut failed_jobs = Vec::new();
+        let observing = idg_obs::is_active();
+        let mut compute_parts: Vec<Vec<(&'static str, f64)>> = Vec::new();
 
         for (job, group) in plan.work_groups(self.work_group_size).enumerate() {
             let group_counts = gridder_counts(group, n);
@@ -413,6 +464,13 @@ impl GpuExecutor {
                 let t_add = adder_time(&device, group.len(), n);
                 (t_kernel + t_fft + t_add, 0.0, t_add)
             };
+            if observing {
+                let mut breakdown = vec![("gridder", t_kernel), ("subgrid_fft", t_fft)];
+                if !host_adder {
+                    breakdown.push(("adder", t_add));
+                }
+                compute_parts.push(breakdown);
+            }
 
             let mut subgrids = SubgridArray::new(group.len(), n);
             let grid_ref = &mut grid;
@@ -463,6 +521,8 @@ impl GpuExecutor {
         htod_seconds += stats.htod_seconds;
         kernel_seconds += stats.kernel_seconds;
         dtoh_seconds += stats.dtoh_seconds;
+        idg_obs::add_retries(stats.nr_retries as u64);
+        emit_modeled_spans(&pipeline.timeline, &compute_parts);
 
         device.free(reserved);
         let makespan = pipeline.makespan();
@@ -521,6 +581,8 @@ impl GpuExecutor {
         let mut dtoh_seconds = 0.0;
         let mut stats = RetryStats::default();
         let mut failed_jobs = Vec::new();
+        let observing = idg_obs::is_active();
+        let mut compute_parts: Vec<Vec<(&'static str, f64)>> = Vec::new();
 
         for (job, group) in plan.work_groups(self.work_group_size).enumerate() {
             let group_counts = degridder_counts(group, n);
@@ -537,6 +599,13 @@ impl GpuExecutor {
             let t_fft = subgrid_fft_time(&device, group.len(), n);
             let t_kernel = kernel_time(&device, &group_counts);
             let t_out = transfer_time(&device, out_bytes);
+            if observing {
+                compute_parts.push(vec![
+                    ("splitter", t_split),
+                    ("subgrid_ifft", t_fft),
+                    ("degridder", t_kernel),
+                ]);
+            }
 
             let mut subgrids = SubgridArray::new(group.len(), n);
             let vis_ref = &mut vis_out;
@@ -598,6 +667,8 @@ impl GpuExecutor {
         htod_seconds += stats.htod_seconds;
         kernel_seconds += stats.kernel_seconds;
         dtoh_seconds += stats.dtoh_seconds;
+        idg_obs::add_retries(stats.nr_retries as u64);
+        emit_modeled_spans(&pipeline.timeline, &compute_parts);
 
         device.free(reserved);
         let makespan = pipeline.makespan();
@@ -971,6 +1042,52 @@ mod tests {
         assert!(report.complete());
         assert_eq!(report.nr_retries, 2);
         assert_eq!(pred, gold, "recovered visibilities are bit-identical");
+    }
+
+    #[test]
+    fn instrumented_pass_emits_one_stage_span_per_engine_per_job() {
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
+        let data = kernel_data(&ds, &taper);
+        let exec = GpuExecutor::new(Device::pascal(), 8);
+
+        let session = idg_obs::Session::begin("gridding");
+        let (_, report) = exec.grid(&data, &plan).unwrap();
+        let trace = session.finish();
+
+        let nr_jobs = plan.work_groups(8).count();
+        assert!(nr_jobs > 1, "want a multi-job schedule");
+        assert!(report.complete());
+        for job in 0..nr_jobs as u32 {
+            let stages: Vec<_> = trace
+                .spans
+                .iter()
+                .filter(|s| s.cat == "stage" && s.job == Some(job))
+                .collect();
+            assert_eq!(stages.len(), 3, "HtoD/Compute/DtoH spans for job {job}");
+            let jobs: Vec<_> = trace
+                .spans
+                .iter()
+                .filter(|s| s.cat == "job" && s.job == Some(job))
+                .collect();
+            assert_eq!(jobs.len(), 1);
+            // the job span encloses its stage spans
+            for s in &stages {
+                assert!(jobs[0].start_us <= s.start_us);
+                assert!(s.end_us() <= jobs[0].end_us());
+            }
+            // the device adder keeps everything on the GPU: the Compute
+            // interval subdivides into gridder / subgrid_fft / adder
+            let kernels: Vec<_> = trace
+                .spans
+                .iter()
+                .filter(|s| s.cat == "kernel" && s.job == Some(job))
+                .map(|s| s.name.as_str())
+                .collect();
+            assert_eq!(kernels, ["gridder", "subgrid_fft", "adder"]);
+        }
+        assert_eq!(trace.metrics.nr_retries, 0);
     }
 
     #[test]

@@ -25,10 +25,16 @@ use idg_kernels::buffers::{pixel_index, SubgridArray};
 use idg_kernels::geometry::KernelGeometry;
 use idg_kernels::KernelData;
 use idg_math::{sincos, Accuracy};
+use idg_obs::{KernelCounters, KernelStage};
 use idg_perf::{degridder_counts, gridder_counts, OpCounts};
 use idg_plan::WorkItem;
 use idg_types::{Cf32, IdgError, Jones, Uvw, Visibility};
 use rayon::prelude::*;
+
+/// Bytes of one 4-pol complex-f32 quantity (visibility or pixel).
+const BYTES_POL4: u64 = 32;
+/// Bytes of one staged uvw coordinate (3 × f32).
+const BYTES_UVW: u64 = 12;
 
 /// One staged visibility in the gridder's shared buffer.
 #[derive(Copy, Clone)]
@@ -81,6 +87,15 @@ pub fn gridder_gpu(
             let item_chan = item.nr_channels;
             let tc = item.nr_timesteps * item_chan;
 
+            // Measured op tally for this block, incremented beside the
+            // staging and inner sincos/accumulate loops with their real
+            // trip counts; the uvw track is read once per timestep.
+            let mut tally = KernelCounters {
+                invocations: 1,
+                dram_bytes: item.nr_timesteps as u64 * BYTES_UVW,
+                ..KernelCounters::default()
+            };
+
             // "registers": per-pixel accumulators held across batches
             let mut regs = vec![[Cf32::zero(); 4]; n2];
             // per-pixel geometry, computed once (threads collapse y/x)
@@ -112,6 +127,9 @@ pub fn gridder_gpu(
                         phase_ref: 0.0,
                     });
                 }
+                // each visibility is staged exactly once across batches
+                tally.visibilities += shared.len() as u64;
+                tally.dram_bytes += shared.len() as u64 * BYTES_POL4;
 
                 // __syncthreads(); threads iterate the staged batch
                 for tid in 0..block_size {
@@ -129,6 +147,9 @@ pub fn gridder_gpu(
                                 acc[p].mul_acc(phasor, sv.pols[p]);
                             }
                         }
+                        tally.sincos_pairs += shared.len() as u64;
+                        tally.fmas += 17 * shared.len() as u64; // phase + 4 cmul-acc
+                        tally.shared_bytes += shared.len() as u64 * (BYTES_POL4 + BYTES_UVW);
                         i += block_size;
                     }
                 }
@@ -138,6 +159,7 @@ pub fn gridder_gpu(
             // epilogue: A-term sandwich + taper, coalesced store
             let ap_plane = data.aterms.plane(item.aterm_index, item.baseline.station1);
             let aq_plane = data.aterms.plane(item.aterm_index, item.baseline.station2);
+            tally.dram_bytes += (ap_plane.len() + aq_plane.len()) as u64 * BYTES_POL4;
             for i in 0..n2 {
                 let (y, x) = (i / n, i % n);
                 let pix = Jones::from_pols(regs[i]);
@@ -149,7 +171,9 @@ pub fn gridder_gpu(
                 for (p, v) in corrected.to_pols().into_iter().enumerate() {
                     subgrid[pixel_index(n, p, y, x)] = v;
                 }
+                tally.dram_bytes += BYTES_POL4; // output pixel written once
             }
+            idg_obs::add_kernel(KernelStage::Gridder, &tally);
         });
 
     Ok(gridder_counts(items, n))
@@ -207,6 +231,15 @@ pub fn degridder_gpu(
             let ap_plane = data.aterms.plane(item.aterm_index, item.baseline.station1);
             let aq_plane = data.aterms.plane(item.aterm_index, item.baseline.station2);
 
+            // Measured op tally (see gridder_gpu). The uvw track and
+            // both A-term planes are read once per item.
+            let mut tally = KernelCounters {
+                invocations: 1,
+                dram_bytes: item.nr_timesteps as u64 * BYTES_UVW
+                    + (ap_plane.len() + aq_plane.len()) as u64 * BYTES_POL4,
+                ..KernelCounters::default()
+            };
+
             // "registers": per-visibility accumulators across batches
             let mut regs = vec![[Cf32::zero(); 4]; tc];
             // shared memory: one batch of corrected pixels + geometry
@@ -236,6 +269,8 @@ pub fn degridder_gpu(
                         .scale(data.taper[i])
                         .to_pols();
                 }
+                // each pixel is staged exactly once across batches
+                tally.dram_bytes += (i1 - i0) as u64 * BYTES_POL4;
 
                 // __syncthreads(); visibility role: each thread folds the
                 // batch into its visibilities (first mapping)
@@ -256,11 +291,19 @@ pub fn degridder_gpu(
                                 acc[p].mul_acc(phasor, sh_pix[slot][p]);
                             }
                         }
+                        tally.sincos_pairs += (i1 - i0) as u64;
+                        tally.fmas += 17 * (i1 - i0) as u64; // phase + 4 cmul-acc
+                        tally.shared_bytes += (i1 - i0) as u64 * (BYTES_POL4 + 16 + BYTES_UVW);
                         k += block_size;
                     }
                 }
                 i0 = i1;
             }
+
+            // every register accumulator becomes one predicted visibility
+            tally.visibilities += tc as u64;
+            tally.dram_bytes += tc as u64 * BYTES_POL4;
+            idg_obs::add_kernel(KernelStage::Degridder, &tally);
 
             let out: Vec<Visibility<f32>> =
                 regs.into_iter().map(|pols| Visibility { pols }).collect();
@@ -425,5 +468,46 @@ mod tests {
         let counts = gridder_gpu(&data, &plan.items, &mut sg, &Device::pascal()).unwrap();
         let expect = idg_perf::gridder_counts(&plan.items, ds.obs.subgrid_size);
         assert_eq!(counts, expect);
+    }
+
+    /// The obs-measured counters (incremented at the real call sites)
+    /// must equal the analytic model to the integer, for both kernels.
+    #[test]
+    fn measured_counters_match_analytic_model() {
+        let ds = dataset(true);
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let n = ds.obs.subgrid_size;
+        let taper = idg_math::spheroidal_2d(n);
+        let data = KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper: &taper,
+        };
+
+        let session = idg_obs::Session::begin("gridding");
+        let mut sg = SubgridArray::new(plan.nr_subgrids(), n);
+        gridder_gpu(&data, &plan.items, &mut sg, &Device::pascal()).unwrap();
+        let mut vis = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
+        degridder_gpu(&data, &plan.items, &sg, &mut vis, &Device::pascal()).unwrap();
+        let trace = session.finish();
+
+        let g_expect = idg_perf::gridder_counts(&plan.items, n);
+        let g = trace.metrics.gridder;
+        assert_eq!(g.sincos_pairs, g_expect.sincos_pairs);
+        assert_eq!(g.fmas, g_expect.fmas);
+        assert_eq!(g.dram_bytes, g_expect.dram_bytes);
+        assert_eq!(g.shared_bytes, g_expect.shared_bytes);
+        assert_eq!(g.visibilities, g_expect.visibilities);
+        assert_eq!(g.invocations, plan.items.len() as u64);
+
+        let d_expect = idg_perf::degridder_counts(&plan.items, n);
+        let d = trace.metrics.degridder;
+        assert_eq!(d.sincos_pairs, d_expect.sincos_pairs);
+        assert_eq!(d.fmas, d_expect.fmas);
+        assert_eq!(d.dram_bytes, d_expect.dram_bytes);
+        assert_eq!(d.shared_bytes, d_expect.shared_bytes);
+        assert_eq!(d.visibilities, d_expect.visibilities);
     }
 }

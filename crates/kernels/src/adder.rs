@@ -56,6 +56,7 @@ pub fn add_subgrids(grid: &mut Grid<f32>, items: &[WorkItem], subgrids: &Subgrid
         }
     }
 
+    idg_obs::add_subgrids_added(items.len() as u64);
     grid.as_mut_slice()
         .par_chunks_mut(gsize)
         .enumerate()
@@ -91,6 +92,7 @@ pub fn split_subgrids(grid: &Grid<f32>, items: &[WorkItem], subgrids: &mut Subgr
     let n = subgrids.size();
     let corr = phase_correction(n);
 
+    idg_obs::add_subgrids_split(items.len() as u64);
     items
         .par_iter()
         .zip(

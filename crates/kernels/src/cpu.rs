@@ -22,9 +22,15 @@ use crate::buffers::SubgridArray;
 use crate::geometry::KernelGeometry;
 use crate::KernelData;
 use idg_math::{sincos_batch, Accuracy};
+use idg_obs::{KernelCounters, KernelStage};
 use idg_plan::WorkItem;
 use idg_types::{Jones, Visibility};
 use rayon::prelude::*;
+
+/// Bytes of one 4-pol complex-f32 quantity (visibility or pixel).
+const BYTES_POL4: u64 = 32;
+/// Bytes of one staged uvw coordinate (3 × f32).
+const BYTES_UVW: u64 = 12;
 
 /// Per-worker scratch buffers, reused across work items.
 struct Scratch {
@@ -217,6 +223,14 @@ pub fn gridder_cpu(
             let tc = item.nr_timesteps * item_chan;
             scr.resize(tc.max(n2));
 
+            // Measured op tally, incremented beside the staging loops
+            // and batched-math call sites with their actual lengths;
+            // flushed once per item (no-op without an active session).
+            let mut tally = KernelCounters {
+                invocations: 1,
+                ..KernelCounters::default()
+            };
+
             // stage this item's channel group (SoA, re/im separated)
             let base = item.baseline_index * nr_time + item.time_offset;
             for dt in 0..item.nr_timesteps {
@@ -229,6 +243,8 @@ pub fn gridder_cpu(
                         scr.im[p][k] = v.pols[p].im;
                     }
                 }
+                tally.visibilities += row.len() as u64;
+                tally.dram_bytes += row.len() as u64 * BYTES_POL4 + BYTES_UVW;
             }
 
             let (u0, v0, w0) = geom.subgrid_center_uvw(item);
@@ -236,6 +252,8 @@ pub fn gridder_cpu(
             let ap_plane = data.aterms.plane(item.aterm_index, item.baseline.station1);
             let aq_plane = data.aterms.plane(item.aterm_index, item.baseline.station2);
             let identity_aterms = data.aterms.is_identity();
+            // both station planes are fetched even when identity
+            tally.dram_bytes += (ap_plane.len() + aq_plane.len()) as u64 * BYTES_POL4;
 
             // Per-pixel geometry, computed once (l, m, n, φ₀ in the
             // a/b/c/d scratch planes).
@@ -280,10 +298,14 @@ pub fn gridder_cpu(
                     // one batched sincos call per (pixel, batch) — the
                     // SVML analogue
                     sincos_batch(&scr.phases[..len], &mut scr.sin, &mut scr.cos, accuracy);
+                    tally.sincos_pairs += len as u64;
+                    tally.fmas += len as u64; // phase mul_add per element
 
                     // Listing 1: vectorized 4-pol reduction over the batch
                     let partial =
                         reduce_4pol_offset(&scr.sin, &scr.cos, &scr.re, &scr.im, off, len);
+                    tally.fmas += 16 * len as u64; // 4 pols × 4 mul_adds
+                    tally.shared_bytes += len as u64 * (BYTES_POL4 + BYTES_UVW);
                     for p in 0..4 {
                         acc[p].0 += partial[p].0;
                         acc[p].1 += partial[p].1;
@@ -326,8 +348,10 @@ pub fn gridder_cpu(
                             ],
                         );
                     }
+                    tally.dram_bytes += BYTES_POL4; // output pixel written once
                 }
             }
+            idg_obs::add_kernel(KernelStage::Gridder, &tally);
         });
 }
 
@@ -370,6 +394,14 @@ pub fn degridder_cpu(
             let aq_plane = data.aterms.plane(item.aterm_index, item.baseline.station2);
             let (u0, v0, w0) = geom.subgrid_center_uvw(item);
 
+            // Measured op tally (see gridder_cpu): the staging pass
+            // reads the subgrid and both A-term planes once.
+            let mut tally = KernelCounters {
+                invocations: 1,
+                dram_bytes: (n2 + ap_plane.len() + aq_plane.len()) as u64 * BYTES_POL4,
+                ..KernelCounters::default()
+            };
+
             // Lines 2–3 of Algorithm 2: forward A-term sandwich + taper,
             // staged SoA, together with per-pixel geometry (l, m, n, φ₀).
             for y in 0..n {
@@ -408,6 +440,7 @@ pub fn degridder_cpu(
             let mut out = vec![Visibility::<f32>::zero(); item.nr_timesteps * item_chan];
 
             for (dt, uvw_m) in uvw.iter().enumerate() {
+                tally.dram_bytes += BYTES_UVW;
                 // per-pixel meter-valued phase index (3 FMAs each)
                 for i in 0..n2 {
                     scr.phases[i] = uvw_m
@@ -421,7 +454,15 @@ pub fn degridder_cpu(
                         scr.chan_phases[i] = (-scale).mul_add(scr.phases[i], scr.d[i]);
                     }
                     sincos_batch(&scr.chan_phases[..n2], &mut scr.sin, &mut scr.cos, accuracy);
+                    tally.sincos_pairs += n2 as u64;
+                    tally.fmas += n2 as u64; // phase mul_add per pixel
                     let acc = reduce_4pol(&scr.sin, &scr.cos, &scr.re, &scr.im, n2);
+                    // 4 pols × 4 mul_adds, then staged pixel + geometry +
+                    // accumulator traffic
+                    tally.fmas += 16 * n2 as u64;
+                    tally.shared_bytes += n2 as u64 * (BYTES_POL4 + 16 + BYTES_UVW);
+                    tally.visibilities += 1;
+                    tally.dram_bytes += BYTES_POL4; // predicted vis written once
                     out[dt * item_chan + ci] = Visibility {
                         pols: [
                             idg_types::Cf32::new(acc[0].0, acc[0].1),
@@ -432,6 +473,7 @@ pub fn degridder_cpu(
                     };
                 }
             }
+            idg_obs::add_kernel(KernelStage::Degridder, &tally);
             (item, out)
         })
         .collect();

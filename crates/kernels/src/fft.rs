@@ -26,6 +26,7 @@ pub fn fft_subgrids(array: &mut SubgridArray, direction: Direction, norm: FftNor
     if array.count() == 0 {
         return;
     }
+    record_fft(array.count(), direction);
     let fft = Fft2d::<f32>::new(n);
     fft.process_batch(array.as_mut_slice(), direction);
     if norm == FftNorm::ByPixelCount {
@@ -47,7 +48,16 @@ pub fn fft_subgrids_with_plan(array: &mut SubgridArray, fft: &Fft2d<f32>, direct
     if array.count() == 0 {
         return;
     }
+    record_fft(array.count(), direction);
     fft.process_batch(array.as_mut_slice(), direction);
+}
+
+/// Count a subgrid FFT batch against the active obs session (if any).
+fn record_fft(count: usize, direction: Direction) {
+    match direction {
+        Direction::Forward => idg_obs::add_subgrids_fft(count as u64),
+        Direction::Inverse => idg_obs::add_subgrids_ifft(count as u64),
+    }
 }
 
 /// Total energy helper used by Parseval-style tests.

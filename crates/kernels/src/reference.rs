@@ -9,8 +9,15 @@
 use crate::buffers::{pixel_index, SubgridArray};
 use crate::geometry::KernelGeometry;
 use crate::KernelData;
+use idg_obs::{KernelCounters, KernelStage};
 use idg_plan::WorkItem;
 use idg_types::{Cf64, Jones, Visibility};
+
+/// Bytes of one 4-polarization complex-f32 quantity (visibility sample
+/// or subgrid pixel): 4 × 2 × 4 bytes.
+const BYTES_POL4: u64 = 32;
+/// Bytes of one staged uvw coordinate (3 × f32).
+const BYTES_UVW: u64 = 12;
 
 /// Convert a sampled f32 Jones matrix to f64.
 fn jones64(j: Jones<f32>) -> Jones<f64> {
@@ -42,6 +49,22 @@ pub fn gridder_reference(data: &KernelData<'_>, items: &[WorkItem], subgrids: &m
         let ap_plane = data.aterms.plane(item.aterm_index, item.baseline.station1);
         let aq_plane = data.aterms.plane(item.aterm_index, item.baseline.station2);
 
+        // Measured op tally for this item: incremented beside the real
+        // arithmetic with the real loop trip counts, flushed once per
+        // item (a no-op unless an obs session is active). The reference
+        // kernel has no staging pass, so unique DRAM traffic (each
+        // visibility/uvw read once, each output pixel written once, the
+        // two A-term planes fetched once) is charged at the sites where
+        // the corresponding data is first touched.
+        let mut tally = KernelCounters {
+            invocations: 1,
+            visibilities: item.nr_visibilities() as u64,
+            dram_bytes: item.nr_visibilities() as u64 * BYTES_POL4
+                + item.nr_timesteps as u64 * BYTES_UVW
+                + 2 * (n * n) as u64 * BYTES_POL4,
+            ..KernelCounters::default()
+        };
+
         for y in 0..n {
             let m = geom.pixel_to_lm(y);
             for x in 0..n {
@@ -61,10 +84,14 @@ pub fn gridder_reference(data: &KernelData<'_>, items: &[WorkItem], subgrids: &m
                         let freq = data.obs.frequencies[c];
                         let phase = KernelGeometry::gridding_phase(phase_index, phase_offset, freq);
                         let phasor = Cf64::from_phase(phase);
+                        tally.sincos_pairs += 1;
+                        tally.fmas += 1; // the phase FMA feeding sincos
+                        tally.shared_bytes += BYTES_POL4 + BYTES_UVW; // staged vis + uvw re-read
                         let vis =
                             data.visibilities[(item.baseline_index * nr_time + t) * nr_chan + c];
                         for (p, v) in vis.pols.iter().enumerate() {
                             pix[p].mul_acc(phasor, v.cast());
+                            tally.fmas += 4; // one complex multiply-accumulate
                         }
                     }
                 }
@@ -78,8 +105,10 @@ pub fn gridder_reference(data: &KernelData<'_>, items: &[WorkItem], subgrids: &m
                 for (p, v) in tapered.iter().enumerate() {
                     subgrid[pixel_index(n, p, y, x)] = v.cast();
                 }
+                tally.dram_bytes += BYTES_POL4; // output pixel written once
             }
         }
+        idg_obs::add_kernel(KernelStage::Gridder, &tally);
     }
 }
 
@@ -111,6 +140,15 @@ pub fn degridder_reference(
         let ap_plane = data.aterms.plane(item.aterm_index, item.baseline.station1);
         let aq_plane = data.aterms.plane(item.aterm_index, item.baseline.station2);
 
+        // Measured tally (see gridder_reference): staging reads the
+        // subgrid and both A-term planes once, charged here; uvw and
+        // the predicted visibilities are charged in the prediction loop.
+        let mut tally = KernelCounters {
+            invocations: 1,
+            dram_bytes: 3 * (n * n) as u64 * BYTES_POL4,
+            ..KernelCounters::default()
+        };
+
         // Lines 2–3 of Algorithm 2: taper and forward A-term sandwich,
         // plus the per-pixel geometry, staged once per work item.
         let mut pixels = vec![[Cf64::zero(); 4]; n * n];
@@ -139,6 +177,7 @@ pub fn degridder_reference(
         for dt in 0..item.nr_timesteps {
             let t = item.time_offset + dt;
             let uvw_m = data.uvw[item.baseline_index * nr_time + t];
+            tally.dram_bytes += BYTES_UVW;
             for ci in 0..item.nr_channels {
                 let c = item.channel_offset + ci;
                 let freq = data.obs.frequencies[c];
@@ -150,15 +189,24 @@ pub fn degridder_reference(
                     // degridding phase = −(gridding phase)
                     let phase = -KernelGeometry::gridding_phase(phase_index, phase_offset, freq);
                     let phasor = Cf64::from_phase(phase);
+                    tally.sincos_pairs += 1;
+                    // the phase FMA feeding sincos, then staged pixel +
+                    // geometry cache + accumulator traffic
+                    tally.fmas += 1;
+                    tally.shared_bytes += BYTES_POL4 + 16 + BYTES_UVW;
                     for p in 0..4 {
                         acc[p].mul_acc(phasor, pixels[i][p]);
+                        tally.fmas += 4; // one complex multiply-accumulate
                     }
                 }
                 vis_out[(item.baseline_index * nr_time + t) * nr_chan + c] = Visibility {
                     pols: [acc[0].cast(), acc[1].cast(), acc[2].cast(), acc[3].cast()],
                 };
+                tally.visibilities += 1;
+                tally.dram_bytes += BYTES_POL4; // predicted visibility written once
             }
         }
+        idg_obs::add_kernel(KernelStage::Degridder, &tally);
     }
 }
 

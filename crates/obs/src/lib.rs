@@ -1,0 +1,339 @@
+//! Observability layer for the IDG pipeline: structured spans and
+//! self-validating operation counters.
+//!
+//! The layer is **zero-cost when disabled** (the default). Every
+//! recording site in `kernels`, `plan`, `core` and `gpusim` first
+//! checks a single relaxed atomic flag and returns immediately when no
+//! [`Session`] is active, so uninstrumented runs never take a lock,
+//! never allocate, and — critically — never perturb the numerical
+//! pipeline: observability only *reads* loop trip counts, it does not
+//! change execution order.
+//!
+//! A [`Session`] activates a process-global collector. While it is
+//! alive, the instrumented call sites accumulate:
+//!
+//! - **spans** — hierarchical intervals (`pass` → `job` → `stage` →
+//!   `kernel`) carrying either wall-clock time (CPU back-ends, measured
+//!   with [`std::time::Instant`]) or modeled time (GPU back-ends,
+//!   replayed from the pipeline simulator's deterministic timeline);
+//! - **counters** — per-stage integer registers (sincos pairs, FMAs,
+//!   DRAM/shared bytes, visibilities, subgrids, retries, fallback
+//!   jobs) incremented *at the kernel call sites with the actual loop
+//!   lengths*, so they measure what the kernels really did rather than
+//!   what an analytic model predicts they should have done.
+//!
+//! [`Session::finish`] returns a [`Trace`] bundling the spans with a
+//! flat [`MetricsSnapshot`]. The snapshot is what `idg` cross-validates
+//! against the analytic `perf::ops` model (exact integer equality on
+//! fault-free runs), and [`chrome::chrome_trace_json`] exports the
+//! spans as a Chrome `trace_event` timeline for `chrome://tracing`.
+//!
+//! Only one session can be active per process; concurrent
+//! [`Session::begin`] calls (e.g. parallel instrumented tests)
+//! serialize on an internal gate mutex.
+
+#![deny(missing_docs)]
+
+pub mod chrome;
+pub mod counters;
+pub mod span;
+
+pub use chrome::{chrome_trace_json, normalized_events, validate_json};
+pub use counters::{KernelCounters, KernelStage, MetricsSnapshot};
+pub use span::{Clock, Span};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Everything one active session accumulates.
+#[derive(Debug)]
+struct Collector {
+    pass: String,
+    start: Instant,
+    spans: Vec<Span>,
+    metrics: MetricsSnapshot,
+}
+
+/// A finished observability session: the spans recorded while it was
+/// active plus the flat counter snapshot.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Label of the pass that was traced (e.g. `"gridding"`).
+    pub pass: String,
+    /// All recorded spans, in completion order.
+    pub spans: Vec<Span>,
+    /// Flat per-stage counter snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static COLLECTOR: Mutex<Option<Collector>> = Mutex::new(None);
+static SESSION_GATE: Mutex<()> = Mutex::new(());
+
+/// Whether an observability session is currently active.
+///
+/// This is the single check every recording site performs first; a
+/// relaxed atomic load, so disabled-mode overhead is one predictable
+/// branch.
+#[inline]
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+fn lock_collector() -> MutexGuard<'static, Option<Collector>> {
+    COLLECTOR.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// An active observability session.
+///
+/// Holds the process-wide session gate for its lifetime, so two
+/// sessions never interleave their counters. Dropping the session
+/// without calling [`Session::finish`] deactivates recording and
+/// discards the collected data.
+pub struct Session {
+    _gate: MutexGuard<'static, ()>,
+}
+
+impl Session {
+    /// Activate recording under the given pass label.
+    ///
+    /// Blocks until any other active session finishes.
+    pub fn begin(pass: &str) -> Session {
+        let gate = SESSION_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        *lock_collector() = Some(Collector {
+            pass: pass.to_string(),
+            start: Instant::now(),
+            spans: Vec::new(),
+            metrics: MetricsSnapshot::new(pass),
+        });
+        ACTIVE.store(true, Ordering::SeqCst);
+        Session { _gate: gate }
+    }
+
+    /// Deactivate recording and return everything that was collected.
+    ///
+    /// A closing `pass`-category wall span covering the whole session
+    /// is appended before the trace is sealed.
+    pub fn finish(self) -> Trace {
+        ACTIVE.store(false, Ordering::SeqCst);
+        let collector = lock_collector().take();
+        match collector {
+            Some(c) => {
+                let mut spans = c.spans;
+                spans.push(Span {
+                    name: c.pass.clone(),
+                    cat: "pass".to_string(),
+                    job: None,
+                    lane: 0,
+                    clock: Clock::Wall,
+                    start_us: 0,
+                    dur_us: c.start.elapsed().as_micros() as u64,
+                });
+                Trace {
+                    pass: c.pass,
+                    spans,
+                    metrics: c.metrics,
+                }
+            }
+            // Unreachable in practice (the gate guarantees exclusivity)
+            // but degrade gracefully rather than panic.
+            None => Trace {
+                pass: String::new(),
+                spans: Vec::new(),
+                metrics: MetricsSnapshot::new(""),
+            },
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // `finish` consumes self before Drop runs only via ManuallyDrop
+        // semantics of move; a plain drop (early return / error path)
+        // lands here and must deactivate recording.
+        if is_active() {
+            ACTIVE.store(false, Ordering::SeqCst);
+            *lock_collector() = None;
+        }
+    }
+}
+
+fn with_collector(f: impl FnOnce(&mut Collector)) {
+    if !is_active() {
+        return;
+    }
+    if let Some(c) = lock_collector().as_mut() {
+        f(c);
+    }
+}
+
+/// Merge a kernel tally (accumulated locally inside a kernel at its
+/// real call sites) into the active session's counters. No-op when
+/// disabled. u64 addition is commutative, so concurrent flushes from
+/// rayon workers produce order-independent totals.
+pub fn add_kernel(stage: KernelStage, tally: &KernelCounters) {
+    with_collector(|c| c.metrics.kernel_mut(stage).add(tally));
+}
+
+/// Record `n` subgrids pushed through the forward subgrid FFT.
+pub fn add_subgrids_fft(n: u64) {
+    with_collector(|c| c.metrics.subgrids_fft += n);
+}
+
+/// Record `n` subgrids pushed through the inverse subgrid FFT.
+pub fn add_subgrids_ifft(n: u64) {
+    with_collector(|c| c.metrics.subgrids_ifft += n);
+}
+
+/// Record `n` subgrids added onto the master grid.
+pub fn add_subgrids_added(n: u64) {
+    with_collector(|c| c.metrics.subgrids_added += n);
+}
+
+/// Record `n` subgrids extracted from the master grid by the splitter.
+pub fn add_subgrids_split(n: u64) {
+    with_collector(|c| c.metrics.subgrids_split += n);
+}
+
+/// Record `n` work items emitted by the planner.
+pub fn add_planned_items(n: u64) {
+    with_collector(|c| c.metrics.planned_items += n);
+}
+
+/// Record `n` visibilities the planner skipped (outside the grid).
+pub fn add_skipped_visibilities(n: u64) {
+    with_collector(|c| c.metrics.skipped_visibilities += n);
+}
+
+/// Record `n` retried device operations.
+pub fn add_retries(n: u64) {
+    with_collector(|c| c.metrics.nr_retries += n);
+}
+
+/// Record `n` jobs that fell back to the CPU reference path.
+pub fn add_fallback_jobs(n: u64) {
+    with_collector(|c| c.metrics.fallback_jobs += n);
+}
+
+/// Record a span with *modeled* time (seconds on the device model's
+/// clock, converted to integer microseconds — fully deterministic).
+/// Both *endpoints* are rounded (rather than start and duration
+/// independently) so that nesting in model time survives the integer
+/// conversion: a span contained in another stays contained in µs.
+pub fn modeled_span(name: &str, cat: &str, job: Option<u32>, lane: u32, start_s: f64, dur_s: f64) {
+    let start_us = (start_s * 1e6).round().max(0.0) as u64;
+    let end_us = ((start_s + dur_s) * 1e6).round().max(0.0) as u64;
+    with_collector(|c| {
+        c.spans.push(Span {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            job,
+            lane,
+            clock: Clock::Modeled,
+            start_us,
+            dur_us: end_us.saturating_sub(start_us),
+        })
+    });
+}
+
+/// Start a wall-clock span; the span is recorded when the returned
+/// guard is dropped. Returns a no-op guard when disabled.
+pub fn wall_span(name: &'static str, cat: &'static str, job: Option<u32>) -> WallSpanGuard {
+    WallSpanGuard {
+        name,
+        cat,
+        job,
+        begun: if is_active() {
+            Some(Instant::now())
+        } else {
+            None
+        },
+    }
+}
+
+/// Guard recording a wall-clock span on drop (see [`wall_span`]).
+#[must_use = "the span measures until the guard is dropped"]
+pub struct WallSpanGuard {
+    name: &'static str,
+    cat: &'static str,
+    job: Option<u32>,
+    begun: Option<Instant>,
+}
+
+impl Drop for WallSpanGuard {
+    fn drop(&mut self) {
+        let Some(begun) = self.begun else { return };
+        let (name, cat, job) = (self.name, self.cat, self.job);
+        with_collector(|c| {
+            c.spans.push(Span {
+                name: name.to_string(),
+                cat: cat.to_string(),
+                job,
+                lane: 0,
+                clock: Clock::Wall,
+                start_us: begun.duration_since(c.start).as_micros() as u64,
+                dur_us: begun.elapsed().as_micros() as u64,
+            })
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sites_are_noops() {
+        assert!(!is_active());
+        add_retries(3);
+        add_kernel(KernelStage::Gridder, &KernelCounters::default());
+        modeled_span("x", "stage", None, 0, 0.0, 1.0);
+        let _g = wall_span("y", "stage", None);
+        // No session ⇒ nothing observable happened; beginning a fresh
+        // session must see pristine counters.
+        let s = Session::begin("check");
+        let t = s.finish();
+        assert_eq!(t.metrics.nr_retries, 0);
+        assert_eq!(t.spans.len(), 1); // just the pass span
+    }
+
+    #[test]
+    fn session_collects_counters_and_spans() {
+        let s = Session::begin("gridding");
+        let tally = KernelCounters {
+            sincos_pairs: 10,
+            fmas: 170,
+            ..KernelCounters::default()
+        };
+        add_kernel(KernelStage::Gridder, &tally);
+        add_kernel(KernelStage::Gridder, &tally);
+        add_subgrids_fft(4);
+        modeled_span("compute", "stage", Some(2), 1, 0.5, 0.25);
+        drop(wall_span("gridder", "stage", Some(0)));
+        let t = s.finish();
+        assert_eq!(t.metrics.gridder.sincos_pairs, 20);
+        assert_eq!(t.metrics.gridder.fmas, 340);
+        assert_eq!(t.metrics.subgrids_fft, 4);
+        let modeled: Vec<_> = t
+            .spans
+            .iter()
+            .filter(|s| s.clock == Clock::Modeled)
+            .collect();
+        assert_eq!(modeled.len(), 1);
+        assert_eq!(modeled[0].start_us, 500_000);
+        assert_eq!(modeled[0].dur_us, 250_000);
+        assert_eq!(t.spans.last().map(|s| s.cat.as_str()), Some("pass"));
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn dropped_session_deactivates() {
+        let s = Session::begin("abandoned");
+        assert!(is_active());
+        drop(s);
+        assert!(!is_active());
+        let t = Session::begin("next").finish();
+        assert_eq!(t.pass, "next");
+    }
+}

@@ -1,0 +1,55 @@
+//! The span model: named intervals on either the wall clock or the
+//! device model's deterministic clock.
+
+/// Which clock a span's timestamps come from.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Clock {
+    /// Host wall-clock time (CPU back-ends): real, non-reproducible.
+    Wall,
+    /// Device-model time (GPU back-ends): replayed from the pipeline
+    /// simulator's timeline, bit-reproducible across runs.
+    Modeled,
+}
+
+impl Clock {
+    /// Lower-case label used in exported `args.clock` fields.
+    pub fn label(self) -> &'static str {
+        match self {
+            Clock::Wall => "wall",
+            Clock::Modeled => "modeled",
+        }
+    }
+}
+
+/// One recorded interval.
+///
+/// Spans form the pass → job → stage → kernel hierarchy through their
+/// `cat` field rather than through parent pointers: a `job` span
+/// encloses the `stage` spans sharing its `job` id, and `kernel` spans
+/// subdivide their stage. Consumers (the Chrome exporter, the tests)
+/// reconstruct nesting from the intervals, which keeps recording
+/// lock-free of any tree bookkeeping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Human-readable name (e.g. `"gridder"`, `"HtoD"`).
+    pub name: String,
+    /// Hierarchy level: `"pass"`, `"job"`, `"stage"` or `"kernel"`.
+    pub cat: String,
+    /// Pipeline job (work group) index, when attributable to one.
+    pub job: Option<u32>,
+    /// Display lane (Chrome `tid`); engines map to distinct lanes.
+    pub lane: u32,
+    /// Clock the timestamps were taken on.
+    pub clock: Clock,
+    /// Start offset from the session origin, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+}
+
+impl Span {
+    /// End offset from the session origin, microseconds.
+    pub fn end_us(&self) -> u64 {
+        self.start_us + self.dur_us
+    }
+}

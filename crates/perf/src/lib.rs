@@ -32,5 +32,7 @@ pub mod roofline;
 pub use arch::{ArchKind, Architecture, SincosUnit};
 pub use energy::EnergyModel;
 pub use mix::{attainable_ops_per_sec, mix_curve, modeled_kernel_seconds, IDG_RHO};
-pub use ops::{degridder_counts, gridder_counts, OpCounts};
+pub use ops::{
+    degridder_counts, degridder_item_counts, gridder_counts, gridder_item_counts, OpCounts,
+};
 pub use roofline::{Roofline, RooflinePoint};

@@ -111,6 +111,7 @@ impl Plan {
     /// Build the execution plan for `obs` given uvw coordinates in
     /// `[baseline-major][timestep]` layout, meters.
     pub fn create(obs: &Observation, uvw: &[Uvw]) -> Result<Plan, IdgError> {
+        let _span = idg_obs::wall_span("plan", "stage", None);
         let nr_time = obs.nr_timesteps;
         let expected = obs.nr_baselines() * nr_time;
         if uvw.len() != expected {
@@ -290,6 +291,8 @@ impl Plan {
             }
         }
 
+        idg_obs::add_planned_items(items.len() as u64);
+        idg_obs::add_skipped_visibilities(skipped as u64);
         Ok(Plan {
             items,
             skipped_visibilities: skipped,
