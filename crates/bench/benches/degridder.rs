@@ -35,7 +35,7 @@ fn setup() -> (Dataset, Plan, Vec<f32>, SubgridArray) {
         taper: &taper,
     };
     let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-    gridder_reference(&data, &plan.items, &mut subgrids);
+    gridder_reference(&data, &plan.items, &mut subgrids).expect("kernel run");
     (ds, plan, taper, subgrids)
 }
 

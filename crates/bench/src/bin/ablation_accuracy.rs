@@ -31,6 +31,7 @@ fn image_for(
         None => gridder_reference(data, &plan.items, &mut subgrids),
         Some(acc) => gridder_cpu(data, &plan.items, &mut subgrids, acc),
     }
+    .expect("gridder inputs are consistent");
     let kernel_s = start.elapsed().as_secs_f64();
     fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
     let mut grid = Grid::<f32>::new(obs.grid_size);

@@ -20,8 +20,7 @@ fn main() {
     for run in runs.iter().filter(|r| {
         r.arch
             .as_ref()
-            .map(|a| a.kind == idg_perf::ArchKind::Gpu)
-            .unwrap_or(false)
+            .is_some_and(|a| a.kind == idg_perf::ArchKind::Gpu)
     }) {
         let arch = run.arch.clone().unwrap();
         let mut roofline = Roofline::new(arch.clone(), MemoryLevel::Shared);

@@ -115,9 +115,9 @@ fn main() {
     );
 
     // ---------- measured host CPU ----------
-    let ds = Dataset::representative(scale.max(10), 42);
+    let ds = Dataset::representative(scale.max(10), 42).expect("representative dataset");
     let nr_vis_cap = 40_000usize;
-    println!("\nmeasured host CPU (MVis/s, {} visibilities):", nr_vis_cap);
+    println!("\nmeasured host CPU (MVis/s, {nr_vis_cap} visibilities):");
     println!("{:>5} {:>6} {:>12} {:>12}", "N_W", "Ñ", "WPG", "IDG");
 
     // WPG input samples in wavelengths (band center)

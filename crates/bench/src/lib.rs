@@ -11,6 +11,7 @@
 //! count (default 10 → 15 stations; 1 = the full 150-station,
 //! 8192-time-step set, which needs a large machine).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use idg::telescope::Dataset;
@@ -30,7 +31,7 @@ pub fn bench_scale() -> usize {
 
 /// Build the benchmark data set at the requested scale.
 pub fn benchmark_dataset(scale: usize) -> Dataset {
-    Dataset::representative(scale, 42)
+    Dataset::representative(scale, 42).expect("representative dataset")
 }
 
 /// One back-end's measured/modeled gridding + degridding pass.

@@ -30,10 +30,11 @@
 //! max-abs of the reference. A stage whose reference output is
 //! identically zero only conforms if the candidate is zero too.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 use idg::telescope::{Dataset, GaussianBeam, IdentityATerm, Layout, SkyModel};
-use idg::types::{Observation, Visibility};
+use idg::types::{IdgError, Observation, Visibility};
 use idg::{Backend, Cf32, Proxy};
 
 /// Relative error of one candidate buffer against the reference.
@@ -225,7 +226,7 @@ impl Case {
 ///   counts and a short A-term interval make every work item's
 ///   visibility count miss the optimized kernels' `VIS_BATCH` and SIMD
 ///   `LANES` boundaries, pinning the tail-handling paths.
-pub fn standard_cases() -> Vec<Case> {
+pub fn standard_cases() -> Result<Vec<Case>, IdgError> {
     let nominal = Observation::builder()
         .stations(6)
         .timesteps(48)
@@ -236,8 +237,7 @@ pub fn standard_cases() -> Vec<Case> {
         .aterm_interval(16)
         .image_size(0.05)
         .integration_time(30.0)
-        .build()
-        .unwrap();
+        .build()?;
 
     let mut wstack = Observation::builder()
         .stations(8)
@@ -248,8 +248,7 @@ pub fn standard_cases() -> Vec<Case> {
         .kernel_size(9)
         .aterm_interval(32)
         .image_size(0.05)
-        .build()
-        .unwrap();
+        .build()?;
     wstack.w_step = 30.0;
 
     let ragged = Observation::builder()
@@ -261,10 +260,9 @@ pub fn standard_cases() -> Vec<Case> {
         .kernel_size(5)
         .aterm_interval(7)
         .image_size(0.04)
-        .build()
-        .unwrap();
+        .build()?;
 
-    vec![
+    Ok(vec![
         Case {
             name: "nominal",
             obs: nominal,
@@ -289,7 +287,7 @@ pub fn standard_cases() -> Vec<Case> {
             sky: (3, 0.5, 3303),
             beam_seed: Some(3307),
         },
-    ]
+    ])
 }
 
 /// Run one case through every back-end and compare each stage against
@@ -298,93 +296,81 @@ pub fn standard_cases() -> Vec<Case> {
 /// Gridding stages compare each back-end's own pipeline; degridding
 /// runs every back-end against the *reference* model grid so the
 /// degrid-side comparison is not polluted by grid-side differences.
-pub fn run_case(case: &Case) -> Vec<BackendReport> {
+pub fn run_case(case: &Case) -> Result<Vec<BackendReport>, IdgError> {
     let ds = case.dataset();
 
-    let reference = Proxy::new(Backend::CpuReference, case.obs.clone()).unwrap();
-    let plan = reference.plan(&ds.uvw).unwrap();
-    let ref_grid = reference
-        .grid_stages(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
-        .unwrap();
-    let ref_degrid = reference
-        .degrid_stages(&plan, &ref_grid.grid, &ds.uvw, &ds.aterms)
-        .unwrap();
+    let reference = Proxy::new(Backend::CpuReference, case.obs.clone())?;
+    let plan = reference.plan(&ds.uvw)?;
+    let ref_grid = reference.grid_stages(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)?;
+    let ref_degrid = reference.degrid_stages(&plan, &ref_grid.grid, &ds.uvw, &ds.aterms)?;
 
-    Backend::all()
-        .iter()
-        .map(|&backend| {
-            let budget = StageBudget::for_backend(backend);
-            let proxy = Proxy::new(backend, case.obs.clone()).unwrap();
-            let g = proxy
-                .grid_stages(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
-                .unwrap();
-            let d = proxy
-                .degrid_stages(&plan, &ref_grid.grid, &ds.uvw, &ds.aterms)
-                .unwrap();
+    let mut reports = Vec::with_capacity(Backend::all().len());
+    for backend in Backend::all() {
+        let budget = StageBudget::for_backend(backend);
+        let proxy = Proxy::new(backend, case.obs.clone())?;
+        let g = proxy.grid_stages(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)?;
+        let d = proxy.degrid_stages(&plan, &ref_grid.grid, &ds.uvw, &ds.aterms)?;
 
-            let checks = vec![
-                StageCheck {
-                    stage: "gridder",
-                    error: StageError::between(
-                        g.gridder_subgrids.as_slice(),
-                        ref_grid.gridder_subgrids.as_slice(),
-                    ),
-                    budget,
-                },
-                StageCheck {
-                    stage: "subgrid-fft",
-                    error: StageError::between(
-                        g.fft_subgrids.as_slice(),
-                        ref_grid.fft_subgrids.as_slice(),
-                    ),
-                    budget,
-                },
-                StageCheck {
-                    stage: "grid",
-                    error: StageError::between(g.grid.as_slice(), ref_grid.grid.as_slice()),
-                    budget,
-                },
-                StageCheck {
-                    stage: "splitter",
-                    error: StageError::between(
-                        d.split_subgrids.as_slice(),
-                        ref_degrid.split_subgrids.as_slice(),
-                    ),
-                    budget,
-                },
-                StageCheck {
-                    stage: "subgrid-ifft",
-                    error: StageError::between(
-                        d.ifft_subgrids.as_slice(),
-                        ref_degrid.ifft_subgrids.as_slice(),
-                    ),
-                    budget,
-                },
-                StageCheck {
-                    stage: "visibilities",
-                    error: StageError::between_visibilities(
-                        &d.visibilities,
-                        &ref_degrid.visibilities,
-                    ),
-                    budget,
-                },
-            ];
+        let checks = vec![
+            StageCheck {
+                stage: "gridder",
+                error: StageError::between(
+                    g.gridder_subgrids.as_slice(),
+                    ref_grid.gridder_subgrids.as_slice(),
+                ),
+                budget,
+            },
+            StageCheck {
+                stage: "subgrid-fft",
+                error: StageError::between(
+                    g.fft_subgrids.as_slice(),
+                    ref_grid.fft_subgrids.as_slice(),
+                ),
+                budget,
+            },
+            StageCheck {
+                stage: "grid",
+                error: StageError::between(g.grid.as_slice(), ref_grid.grid.as_slice()),
+                budget,
+            },
+            StageCheck {
+                stage: "splitter",
+                error: StageError::between(
+                    d.split_subgrids.as_slice(),
+                    ref_degrid.split_subgrids.as_slice(),
+                ),
+                budget,
+            },
+            StageCheck {
+                stage: "subgrid-ifft",
+                error: StageError::between(
+                    d.ifft_subgrids.as_slice(),
+                    ref_degrid.ifft_subgrids.as_slice(),
+                ),
+                budget,
+            },
+            StageCheck {
+                stage: "visibilities",
+                error: StageError::between_visibilities(&d.visibilities, &ref_degrid.visibilities),
+                budget,
+            },
+        ];
 
-            BackendReport {
-                backend,
-                case: case.name,
-                checks,
-            }
-        })
-        .collect()
+        reports.push(BackendReport {
+            backend,
+            case: case.name,
+            checks,
+        });
+    }
+    Ok(reports)
 }
 
 /// Run every standard case through every back-end; panic with a full
 /// per-stage table if any budget is violated.
-pub fn assert_conformance() -> Vec<BackendReport> {
+pub fn assert_conformance() -> Result<Vec<BackendReport>, IdgError> {
     let mut reports = Vec::new();
-    for case in standard_cases() {
-        reports.extend(run_case(&case));
+    for case in standard_cases()? {
+        reports.extend(run_case(&case)?);
     }
     let mut failures = String::new();
     for report in &reports {
@@ -393,7 +379,7 @@ pub fn assert_conformance() -> Vec<BackendReport> {
         }
     }
     assert!(failures.is_empty(), "conformance violations:\n{failures}");
-    reports
+    Ok(reports)
 }
 
 #[cfg(test)]
@@ -431,7 +417,7 @@ mod tests {
 
     #[test]
     fn standard_cases_are_three_distinct_shapes() {
-        let cases = standard_cases();
+        let cases = standard_cases().expect("standard cases build");
         assert_eq!(cases.len(), 3);
         assert!(cases.iter().any(|c| c.obs.w_step > 0.0));
         assert!(cases.iter().any(|c| c.beam_seed.is_some()));

@@ -71,7 +71,11 @@ fn transient_chaos(seed: u64) -> FaultConfig {
 fn transient_chaos_recovers_every_standard_case() {
     // alternate the device model per case to cover both architectures
     let backends = [Backend::GpuPascal, Backend::GpuFiji, Backend::GpuPascal];
-    for (case, backend) in standard_cases().iter().zip(backends) {
+    for (case, backend) in standard_cases()
+        .expect("standard cases build")
+        .iter()
+        .zip(backends)
+    {
         let ds = case.dataset();
         let gold_proxy = proxy(backend, case);
         let plan = gold_proxy.plan(&ds.uvw).unwrap();
@@ -113,7 +117,7 @@ fn transient_chaos_recovers_every_standard_case() {
 
 #[test]
 fn transient_chaos_recovers_degridding() {
-    let case = &standard_cases()[0];
+    let case = &standard_cases().expect("standard cases build")[0];
     let ds = case.dataset();
     let gold_proxy = proxy(Backend::GpuPascal, case);
     let plan = gold_proxy.plan(&ds.uvw).unwrap();
@@ -137,7 +141,7 @@ fn transient_chaos_recovers_degridding() {
 
 #[test]
 fn oom_chaos_degrades_gracefully_with_a_flagged_fallback() {
-    let case = &standard_cases()[2]; // ragged-tails: cheapest case
+    let case = &standard_cases().expect("standard cases build")[2]; // ragged-tails: cheapest case
     let ds = case.dataset();
     let gold_proxy = proxy(Backend::GpuFiji, case);
     let plan = gold_proxy.plan(&ds.uvw).unwrap();
@@ -170,7 +174,7 @@ fn oom_chaos_degrades_gracefully_with_a_flagged_fallback() {
 
 #[test]
 fn disabled_fallback_turns_persistent_faults_into_typed_errors() {
-    let case = &standard_cases()[2];
+    let case = &standard_cases().expect("standard cases build")[2];
     let ds = case.dataset();
 
     // every job's kernel faults on every attempt and nothing retries:
@@ -193,7 +197,7 @@ fn disabled_fallback_turns_persistent_faults_into_typed_errors() {
 
 #[test]
 fn total_kernel_failure_still_produces_the_full_grid_via_fallback() {
-    let case = &standard_cases()[2];
+    let case = &standard_cases().expect("standard cases build")[2];
     let ds = case.dataset();
     let gold = {
         let reference = Proxy::new(Backend::CpuReference, case.obs.clone()).unwrap();

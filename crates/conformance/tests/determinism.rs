@@ -28,7 +28,7 @@ fn transient_chaos(seed: u64) -> FaultConfig {
 
 /// One observed chaotic gridding pass → (metrics JSON, normalized trace).
 fn observed_chaos_run(seed: u64) -> (String, Vec<String>) {
-    let case = &standard_cases()[2]; // ragged-tails: cheapest case
+    let case = &standard_cases().expect("standard cases build")[2]; // ragged-tails: cheapest case
     let ds = case.dataset();
     let mut proxy = Proxy::new(Backend::GpuPascal, case.obs.clone())
         .unwrap()

@@ -10,7 +10,7 @@
 //! use idg_telescope::Dataset;
 //!
 //! // a scaled-down version of the paper's SKA1-low benchmark set
-//! let ds = Dataset::representative(10, 42);
+//! let ds = Dataset::representative(10, 42).unwrap();
 //! let proxy = Proxy::new(Backend::CpuOptimized, ds.obs.clone()).unwrap();
 //! let plan = proxy.plan(&ds.uvw).unwrap();
 //! let (grid, report) = proxy
@@ -34,6 +34,7 @@
 //! back-ends additionally report Table-I-derived times and energies,
 //! which is the substitution DESIGN.md documents.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod proxy;

@@ -147,21 +147,24 @@ impl Proxy {
         Plan::create(&self.obs, uvw)
     }
 
-    pub(crate) fn device(&self) -> Device {
+    pub(crate) fn device(&self) -> Result<Device, IdgError> {
         match self.backend {
-            Backend::GpuPascal => Device::pascal(),
-            Backend::GpuFiji => Device::fiji(),
-            _ => unreachable!("device() is only called for GPU back-ends"),
+            Backend::GpuPascal => Ok(Device::pascal()),
+            Backend::GpuFiji => Ok(Device::fiji()),
+            _ => Err(IdgError::InvalidParameter(format!(
+                "device() requires a GPU back-end, got {:?}",
+                self.backend
+            ))),
         }
     }
 
-    fn executor(&self) -> GpuExecutor {
-        let executor = GpuExecutor::new(self.device(), self.work_group_size)
+    fn executor(&self) -> Result<GpuExecutor, IdgError> {
+        let executor = GpuExecutor::new(self.device()?, self.work_group_size)
             .with_retry_policy(self.retry_policy);
-        match &self.fault_config {
+        Ok(match &self.fault_config {
             Some(f) => executor.with_faults(f.clone()),
             None => executor,
-        }
+        })
     }
 
     /// Graceful degradation after a device pass: re-execute the
@@ -186,7 +189,7 @@ impl Proxy {
             let _span = idg_obs::wall_span("cpu_fallback", "job", Some(failure.job as u32));
             let items = &plan.items[failure.first_item..failure.first_item + failure.nr_items];
             let mut subgrids = SubgridArray::new(items.len(), self.obs.subgrid_size);
-            gridder_reference(data, items, &mut subgrids);
+            gridder_reference(data, items, &mut subgrids)?;
             fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
             add_subgrids(grid, items, &subgrids);
         }
@@ -216,7 +219,7 @@ impl Proxy {
             let mut subgrids = SubgridArray::new(items.len(), self.obs.subgrid_size);
             split_subgrids(grid, items, &mut subgrids);
             fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
-            degridder_reference(data, items, &subgrids, vis);
+            degridder_reference(data, items, &subgrids, vis)?;
         }
         Ok(report.failed_jobs.clone())
     }
@@ -248,9 +251,9 @@ impl Proxy {
                     let _span = idg_obs::wall_span("gridder", "stage", None);
                     match self.backend {
                         Backend::CpuReference => {
-                            gridder_reference(&data, &plan.items, &mut subgrids)
+                            gridder_reference(&data, &plan.items, &mut subgrids)?;
                         }
-                        _ => gridder_cpu(&data, &plan.items, &mut subgrids, Accuracy::Medium),
+                        _ => gridder_cpu(&data, &plan.items, &mut subgrids, Accuracy::Medium)?,
                     }
                 }
                 let t1 = Instant::now();
@@ -289,7 +292,7 @@ impl Proxy {
                 ))
             }
             Backend::GpuPascal | Backend::GpuFiji => {
-                let (mut grid, report) = self.executor().grid(&data, plan)?;
+                let (mut grid, report) = self.executor()?.grid(&data, plan)?;
                 let fallback_jobs = self.fallback_grid(&data, plan, &mut grid, &report)?;
                 Ok((
                     grid,
@@ -456,10 +459,16 @@ impl Proxy {
                     let _span = idg_obs::wall_span("degridder", "stage", None);
                     match self.backend {
                         Backend::CpuReference => {
-                            degridder_reference(&data, &plan.items, &subgrids, &mut vis)
+                            degridder_reference(&data, &plan.items, &subgrids, &mut vis)?;
                         }
                         _ => {
-                            degridder_cpu(&data, &plan.items, &subgrids, &mut vis, Accuracy::Medium)
+                            degridder_cpu(
+                                &data,
+                                &plan.items,
+                                &subgrids,
+                                &mut vis,
+                                Accuracy::Medium,
+                            )?;
                         }
                     }
                 }
@@ -488,7 +497,7 @@ impl Proxy {
                 ))
             }
             Backend::GpuPascal | Backend::GpuFiji => {
-                let (mut vis, report) = self.executor().degrid(&data, plan, grid)?;
+                let (mut vis, report) = self.executor()?.degrid(&data, plan, grid)?;
                 let fallback_jobs = self.fallback_degrid(&data, plan, grid, &mut vis, &report)?;
                 Ok((
                     vis,

@@ -74,12 +74,12 @@ impl Proxy {
 
         let mut subgrids = SubgridArray::new(plan.nr_subgrids(), self.observation().subgrid_size);
         match self.backend() {
-            Backend::CpuReference => gridder_reference(&data, &plan.items, &mut subgrids),
+            Backend::CpuReference => gridder_reference(&data, &plan.items, &mut subgrids)?,
             Backend::CpuOptimized => {
-                gridder_cpu(&data, &plan.items, &mut subgrids, Accuracy::Medium)
+                gridder_cpu(&data, &plan.items, &mut subgrids, Accuracy::Medium)?;
             }
             Backend::GpuPascal | Backend::GpuFiji => {
-                gridder_gpu(&data, &plan.items, &mut subgrids, &self.device())?;
+                gridder_gpu(&data, &plan.items, &mut subgrids, &self.device()?)?;
             }
         }
         let gridder_subgrids = subgrids.clone();
@@ -131,12 +131,12 @@ impl Proxy {
 
         let mut vis = vec![Visibility::<f32>::zero(); self.observation().nr_visibilities()];
         match self.backend() {
-            Backend::CpuReference => degridder_reference(&data, &plan.items, &subgrids, &mut vis),
+            Backend::CpuReference => degridder_reference(&data, &plan.items, &subgrids, &mut vis)?,
             Backend::CpuOptimized => {
-                degridder_cpu(&data, &plan.items, &subgrids, &mut vis, Accuracy::Medium)
+                degridder_cpu(&data, &plan.items, &subgrids, &mut vis, Accuracy::Medium)?;
             }
             Backend::GpuPascal | Backend::GpuFiji => {
-                degridder_gpu(&data, &plan.items, &subgrids, &mut vis, &self.device())?;
+                degridder_gpu(&data, &plan.items, &subgrids, &mut vis, &self.device()?)?;
             }
         }
 

@@ -61,7 +61,7 @@ impl<T: Float> BluesteinPlan<T> {
         }
         inner.forward(&mut b);
         let inv_m = T::ONE / T::from_usize(m);
-        for v in b.iter_mut() {
+        for v in &mut b {
             *v = v.scale(inv_m);
         }
 
@@ -89,7 +89,7 @@ impl<T: Float> BluesteinPlan<T> {
         for j in 0..self.n {
             work[j] = data[j] * self.chirp[j];
         }
-        for v in work[self.n..].iter_mut() {
+        for v in &mut work[self.n..] {
             *v = Complex::zero();
         }
 

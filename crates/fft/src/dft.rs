@@ -32,7 +32,7 @@ pub fn dft<T: Float>(input: &[Complex<T>], dir: Direction) -> Vec<Complex<T>> {
     }
     if matches!(dir, Direction::Inverse) {
         let scale = T::ONE / T::from_usize(n);
-        for v in out.iter_mut() {
+        for v in &mut out {
             *v = v.scale(scale);
         }
     }

@@ -179,7 +179,7 @@ mod tests {
         let plane_a = signal2d(n);
         let plane_b: Vec<Cf64> = signal2d(n).iter().map(|c| c.conj()).collect();
 
-        let mut batch: Vec<Cf64> = plane_a.iter().chain(plane_b.iter()).cloned().collect();
+        let mut batch: Vec<Cf64> = plane_a.iter().chain(plane_b.iter()).copied().collect();
         fft.process_batch(&mut batch, Direction::Forward);
 
         let mut ea = plane_a;
@@ -207,7 +207,7 @@ mod tests {
         let n = 12;
         let fft = Fft2d::<f64>::new(n);
         let x = signal2d(n);
-        let sum: Cf64 = x.iter().cloned().sum();
+        let sum: Cf64 = x.iter().copied().sum();
         let mut got = x;
         fft.process(&mut got, Direction::Forward);
         assert!((got[0] - sum).abs() < 1e-10);

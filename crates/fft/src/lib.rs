@@ -25,6 +25,7 @@
 //! `inverse` applies the conjugate transform scaled by `1/N`, so
 //! `inverse(forward(x)) == x`.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod bluestein;

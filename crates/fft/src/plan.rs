@@ -29,6 +29,9 @@ struct Stage<T> {
     /// Twiddles `ω_{n_cur}^{p·j}` stored as `tw[p·radix + j]`,
     /// `p ∈ [0, m)`, `j ∈ [0, radix)`.
     twiddles: Vec<Complex<T>>,
+    /// DFT matrix ω_r^{jk} for the generic butterfly; empty for the
+    /// hardcoded radix-2/4 stages.
+    table: Vec<Complex<T>>,
 }
 
 enum Backend<T> {
@@ -44,8 +47,6 @@ enum Backend<T> {
 pub struct FftPlan<T> {
     n: usize,
     backend: Backend<T>,
-    /// DFT matrices ω_r^{jk} for the radices in use, indexed by radix.
-    butterfly_tables: Vec<(usize, Vec<Complex<T>>)>,
 }
 
 /// Factor `n` into the radix sequence used by the Stockham pipeline:
@@ -80,7 +81,6 @@ impl<T: Float> FftPlan<T> {
             return Self {
                 n,
                 backend: Backend::Identity,
-                butterfly_tables: Vec::new(),
             };
         }
         match factorize(n) {
@@ -95,35 +95,33 @@ impl<T: Float> FftPlan<T> {
                             tw.push(twiddle((p * j) as i64, n_cur as i64));
                         }
                     }
+                    // Generic stages carry their own ω_r^{jk} DFT matrix;
+                    // radix 2 and 4 use hardcoded butterflies instead.
+                    let mut table = Vec::new();
+                    if radix != 2 && radix != 4 {
+                        table.reserve(radix * radix);
+                        for j in 0..radix {
+                            for k in 0..radix {
+                                table.push(twiddle((j * k) as i64, radix as i64));
+                            }
+                        }
+                    }
                     stages.push(Stage {
                         radix,
                         m,
                         twiddles: tw,
+                        table,
                     });
                     n_cur = m;
-                }
-                let mut tables = Vec::new();
-                for r in [2usize, 3, 4, 5] {
-                    if factors.contains(&r) {
-                        let mut t = Vec::with_capacity(r * r);
-                        for j in 0..r {
-                            for k in 0..r {
-                                t.push(twiddle((j * k) as i64, r as i64));
-                            }
-                        }
-                        tables.push((r, t));
-                    }
                 }
                 Self {
                     n,
                     backend: Backend::Stockham(stages),
-                    butterfly_tables: tables,
                 }
             }
             None => Self {
                 n,
                 backend: Backend::Bluestein(Box::new(BluesteinPlan::new(n))),
-                butterfly_tables: Vec::new(),
             },
         }
     }
@@ -196,15 +194,6 @@ impl<T: Float> FftPlan<T> {
         self.process(data, Direction::Inverse);
     }
 
-    fn butterfly_table(&self, radix: usize) -> &[Complex<T>] {
-        &self
-            .butterfly_tables
-            .iter()
-            .find(|(r, _)| *r == radix)
-            .expect("butterfly table present for every factor")
-            .1
-    }
-
     fn forward_inner(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
         match &self.backend {
             Backend::Identity => {}
@@ -222,7 +211,7 @@ impl<T: Float> FftPlan<T> {
                         match stage.radix {
                             2 => stage_radix2(src, dst, stage, s),
                             4 => stage_radix4(src, dst, stage, s),
-                            r => stage_generic(src, dst, stage, s, self.butterfly_table(r)),
+                            _ => stage_generic(src, dst, stage, s, &stage.table),
                         }
                     }
                     s *= stage.radix;

@@ -208,7 +208,17 @@ fn run_job(
                     FaultSite::HtoD => Engine::HtoD,
                     FaultSite::Kernel => Engine::Compute,
                     FaultSite::DtoH => Engine::DtoH,
-                    FaultSite::Alloc => unreachable!("handled above"),
+                    // alloc faults take the persistent-failure return
+                    // above; classify an escapee as an internal error
+                    // rather than panicking mid-pass
+                    FaultSite::Alloc => {
+                        return Err((
+                            IdgError::Internal(
+                                "allocation fault reached the stream path".to_string(),
+                            ),
+                            attempt + 1,
+                        ));
+                    }
                 };
                 let outcome = pipeline.submit_attempt(
                     job,
@@ -224,18 +234,17 @@ fn run_job(
                 );
                 // the chain truncates at the faulting engine; charge
                 // the engine time the faulted attempt actually held
-                match site {
-                    FaultSite::HtoD => stats.htod_seconds += t_in + extra,
-                    FaultSite::Kernel => {
+                match engine {
+                    Engine::HtoD => stats.htod_seconds += t_in + extra,
+                    Engine::Compute => {
                         stats.htod_seconds += t_in;
                         stats.kernel_seconds += t_compute + extra;
                     }
-                    FaultSite::DtoH => {
+                    Engine::DtoH => {
                         stats.htod_seconds += t_in;
                         stats.kernel_seconds += t_compute;
                         stats.dtoh_seconds += t_out + extra;
                     }
-                    FaultSite::Alloc => unreachable!("handled above"),
                 }
                 let err = kind.to_error(job, site, extra);
                 attempt += 1;
@@ -292,7 +301,7 @@ fn emit_modeled_spans(timeline: &[TraceEntry], parts: &[Vec<(&'static str, f64)>
         );
         if e.engine == Engine::Compute && completed {
             let mut t = e.start;
-            for (kernel, dur) in parts.get(e.job).map(Vec::as_slice).unwrap_or(&[]) {
+            for (kernel, dur) in parts.get(e.job).map_or(&[] as &[_], Vec::as_slice) {
                 idg_obs::modeled_span(kernel, "kernel", Some(e.job as u32), lane, t, *dur);
                 t += dur;
             }
@@ -776,7 +785,7 @@ mod tests {
         let (gpu_grid, _) = exec.grid(&data, &plan).unwrap();
 
         let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        idg_kernels::gridder_reference(&data, &plan.items, &mut subgrids);
+        idg_kernels::gridder_reference(&data, &plan.items, &mut subgrids).expect("kernel run");
         fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
         let mut cpu_grid = Grid::<f32>::new(ds.obs.grid_size);
         add_subgrids(&mut cpu_grid, &plan.items, &subgrids);
@@ -811,7 +820,8 @@ mod tests {
         split_subgrids(&grid, &plan.items, &mut subgrids);
         fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
         let mut gold = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
-        idg_kernels::degridder_reference(&data, &plan.items, &subgrids, &mut gold);
+        idg_kernels::degridder_reference(&data, &plan.items, &subgrids, &mut gold)
+            .expect("kernel run");
 
         let scale = gold
             .iter()

@@ -376,7 +376,7 @@ mod tests {
             taper: &taper,
         };
         let mut gold = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_reference(&data, &plan.items, &mut gold);
+        gridder_reference(&data, &plan.items, &mut gold).expect("kernel run");
 
         for device in [Device::pascal(), Device::fiji()] {
             let mut sim = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
@@ -400,10 +400,10 @@ mod tests {
             taper: &taper,
         };
         let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_reference(&data, &plan.items, &mut subgrids);
+        gridder_reference(&data, &plan.items, &mut subgrids).expect("kernel run");
 
         let mut gold = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
-        degridder_reference(&data, &plan.items, &subgrids, &mut gold);
+        degridder_reference(&data, &plan.items, &subgrids, &mut gold).expect("kernel run");
 
         let device = Device::pascal();
         let mut sim = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
@@ -446,7 +446,7 @@ mod tests {
         assert!(tiny.gridder_batch_size() < 16);
 
         let mut gold = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_reference(&data, &plan.items, &mut gold);
+        gridder_reference(&data, &plan.items, &mut gold).expect("kernel run");
         let mut sim = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
         gridder_gpu(&data, &plan.items, &mut sim, &tiny).unwrap();
         close_subgrids(&sim, &gold, 5e-4);

@@ -288,7 +288,7 @@ impl PipelineSim {
                 OpStatus::Completed => b"0123456789"[t.job % 10],
                 OpStatus::Faulted => b'x',
             };
-            for cell in rows[row][a..b].iter_mut() {
+            for cell in &mut rows[row][a..b] {
                 *cell = glyph;
             }
         }

@@ -91,7 +91,7 @@ impl<'a> ImagingCycle<'a> {
     ) -> Result<MajorCycleReport, IdgError> {
         let obs = self.proxy.observation();
         let weight = self.plan.nr_gridded_visibilities();
-        let psf = psf_image(self.proxy, self.plan, self.uvw, self.aterms);
+        let psf = psf_image(self.proxy, self.plan, self.uvw, self.aterms)?;
 
         let mut components: Vec<CleanComponent> = Vec::new();
         let mut residual_vis: Vec<Visibility<f32>> = visibilities.to_vec();

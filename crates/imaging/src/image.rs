@@ -208,19 +208,19 @@ pub fn psf_image(
     plan: &idg::Plan,
     uvw: &[idg::Uvw],
     aterms: &idg::telescope::ATerms,
-) -> Image {
+) -> Result<Image, idg::types::IdgError> {
     let one = Cf32::new(1.0, 0.0);
     let unit = idg::Visibility {
         pols: [one, Cf32::zero(), Cf32::zero(), one],
     };
     let vis = vec![unit; proxy.observation().nr_visibilities()];
-    let (grid, _) = proxy.grid(plan, uvw, &vis, aterms).expect("psf gridding");
-    image_from_grid(
+    let (grid, _) = proxy.grid(plan, uvw, &vis, aterms)?;
+    Ok(image_from_grid(
         &grid,
         proxy.observation(),
         plan.nr_gridded_visibilities(),
         false,
-    )
+    ))
 }
 
 /// The beam-weight image of a sampled A-term set at grid resolution.
@@ -248,7 +248,7 @@ pub fn beam_weight_image(aterms: &idg::telescope::ATerms, obs: &Observation, flo
             }
         }
     }
-    for v in mean.iter_mut() {
+    for v in &mut mean {
         *v /= count;
     }
 
@@ -396,7 +396,7 @@ mod tests {
         let ds = dataset(SkyModel::empty());
         let proxy = Proxy::new(Backend::CpuOptimized, ds.obs.clone()).unwrap();
         let plan = proxy.plan(&ds.uvw).unwrap();
-        let psf = psf_image(&proxy, &plan, &ds.uvw, &ds.aterms);
+        let psf = psf_image(&proxy, &plan, &ds.uvw, &ds.aterms).expect("psf gridding");
         let (px, py, peak) = psf.peak();
         assert_eq!((px, py), (128, 128));
         assert!((peak - 1.0).abs() < 0.05, "psf peak {peak}");

@@ -23,7 +23,7 @@
 use crate::buffers::SubgridArray;
 use idg_fft::shift::fftshift_source;
 use idg_plan::WorkItem;
-use idg_types::{Cf32, Complex, Grid, NR_POLARIZATIONS};
+use idg_types::{Cf32, Complex, Float, Grid, NR_POLARIZATIONS};
 use rayon::prelude::*;
 
 /// Per-axis phase-correction table: `corr[j] = e^{iπ(j−Ñ/2)(Ñ−1)/Ñ}`.
@@ -32,7 +32,7 @@ fn phase_correction(n: usize) -> Vec<Cf32> {
         .map(|j| {
             let p = j as f64 - n as f64 / 2.0;
             let phase = std::f64::consts::PI * p * (n as f64 - 1.0) / n as f64;
-            Complex::new(phase.cos() as f32, phase.sin() as f32)
+            Complex::new(f32::from_f64(phase.cos()), f32::from_f64(phase.sin()))
         })
         .collect()
 }
@@ -46,7 +46,7 @@ pub fn add_subgrids(grid: &mut Grid<f32>, items: &[WorkItem], subgrids: &Subgrid
     let n = subgrids.size();
     let gsize = grid.size();
     let corr = phase_correction(n);
-    let scale = 1.0f32 / (n * n) as f32;
+    let scale = 1.0f32 / f32::from_usize(n * n);
 
     // Row index: which (item, j_y) pairs touch each grid row.
     let mut rows: Vec<Vec<(u32, u16)>> = vec![Vec::new(); gsize];
@@ -193,7 +193,7 @@ mod tests {
         let items = [item_covering(&obs, px, py)];
 
         let mut subgrids = SubgridArray::new(1, obs.subgrid_size);
-        gridder_reference(&data, &items, &mut subgrids);
+        gridder_reference(&data, &items, &mut subgrids).expect("kernel run");
         fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
 
         let mut grid = Grid::<f32>::new(obs.grid_size);
@@ -248,7 +248,7 @@ mod tests {
         fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
 
         let mut out = vec![Visibility::<f32>::zero(); 1];
-        degridder_reference(&data, &items, &subgrids, &mut out);
+        degridder_reference(&data, &items, &subgrids, &mut out).expect("kernel run");
 
         assert!(
             (out[0].pols[0] - model_val).abs() < 1e-4,

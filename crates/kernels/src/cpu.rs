@@ -24,7 +24,7 @@ use crate::KernelData;
 use idg_math::{sincos_batch, Accuracy};
 use idg_obs::{KernelCounters, KernelStage};
 use idg_plan::WorkItem;
-use idg_types::{Jones, Visibility};
+use idg_types::{Float, IdgError, Jones, Visibility};
 use rayon::prelude::*;
 
 /// Bytes of one 4-pol complex-f32 quantity (visibility or pixel).
@@ -197,10 +197,8 @@ pub fn gridder_cpu(
     items: &[WorkItem],
     subgrids: &mut SubgridArray,
     accuracy: Accuracy,
-) {
-    assert_eq!(subgrids.count(), items.len(), "one subgrid per work item");
-    assert_eq!(subgrids.size(), data.obs.subgrid_size);
-    data.validate().expect("kernel inputs must be consistent");
+) -> Result<(), IdgError> {
+    crate::check_launch(data, items, subgrids)?;
 
     let geom = KernelGeometry::new(data.obs);
     let n = geom.subgrid_size;
@@ -212,7 +210,7 @@ pub fn gridder_cpu(
         .obs
         .frequencies
         .iter()
-        .map(|f| KernelGeometry::phase_scale(*f) as f32)
+        .map(|f| f32::from_f64(KernelGeometry::phase_scale(*f)))
         .collect();
 
     items
@@ -263,11 +261,11 @@ pub fn gridder_cpu(
                     let i = y * n + x;
                     let l = geom.pixel_to_lm(x);
                     let n_term = KernelGeometry::compute_n(l, m);
-                    scr.a[i] = l as f32;
-                    scr.b[i] = m as f32;
-                    scr.c[i] = n_term as f32;
+                    scr.a[i] = f32::from_f64(l);
+                    scr.b[i] = f32::from_f64(m);
+                    scr.c[i] = f32::from_f64(n_term);
                     scr.d[i] =
-                        (2.0 * std::f64::consts::PI * (u0 * l + v0 * m + w0 * n_term)) as f32;
+                        f32::from_f64(2.0 * std::f64::consts::PI * (u0 * l + v0 * m + w0 * n_term));
                 }
             }
 
@@ -353,6 +351,7 @@ pub fn gridder_cpu(
             }
             idg_obs::add_kernel(KernelStage::Gridder, &tally);
         });
+    Ok(())
 }
 
 /// Optimized degridder: Algorithm 2 over all work items.
@@ -366,11 +365,15 @@ pub fn degridder_cpu(
     subgrids: &SubgridArray,
     vis_out: &mut [Visibility<f32>],
     accuracy: Accuracy,
-) {
-    assert_eq!(subgrids.count(), items.len(), "one subgrid per work item");
-    assert_eq!(subgrids.size(), data.obs.subgrid_size);
-    assert_eq!(vis_out.len(), data.obs.nr_visibilities());
-    data.validate().expect("kernel inputs must be consistent");
+) -> Result<(), IdgError> {
+    crate::check_launch(data, items, subgrids)?;
+    if vis_out.len() != data.obs.nr_visibilities() {
+        return Err(IdgError::ShapeMismatch {
+            what: "visibility output buffer",
+            expected: data.obs.nr_visibilities(),
+            actual: vis_out.len(),
+        });
+    }
 
     let geom = KernelGeometry::new(data.obs);
     let n = geom.subgrid_size;
@@ -381,7 +384,7 @@ pub fn degridder_cpu(
         .obs
         .frequencies
         .iter()
-        .map(|f| KernelGeometry::phase_scale(*f) as f32)
+        .map(|f| f32::from_f64(KernelGeometry::phase_scale(*f)))
         .collect();
 
     let results: Vec<(&WorkItem, Vec<Visibility<f32>>)> = items
@@ -410,11 +413,11 @@ pub fn degridder_cpu(
                     let i = y * n + x;
                     let l = geom.pixel_to_lm(x);
                     let n_term = KernelGeometry::compute_n(l, m);
-                    scr.a[i] = l as f32;
-                    scr.b[i] = m as f32;
-                    scr.c[i] = n_term as f32;
+                    scr.a[i] = f32::from_f64(l);
+                    scr.b[i] = f32::from_f64(m);
+                    scr.c[i] = f32::from_f64(n_term);
                     scr.d[i] =
-                        (2.0 * std::f64::consts::PI * (u0 * l + v0 * m + w0 * n_term)) as f32;
+                        f32::from_f64(2.0 * std::f64::consts::PI * (u0 * l + v0 * m + w0 * n_term));
 
                     let raw = Jones::from_pols([
                         subgrid[(y) * n + x],
@@ -489,6 +492,7 @@ pub fn degridder_cpu(
                 .copy_from_slice(&block[dt * item_chan..(dt + 1) * item_chan]);
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -550,8 +554,8 @@ mod tests {
         };
         let mut fast = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
         let mut gold = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_cpu(&data, &plan.items, &mut fast, Accuracy::Medium);
-        gridder_reference(&data, &plan.items, &mut gold);
+        gridder_cpu(&data, &plan.items, &mut fast, Accuracy::Medium).expect("kernel run");
+        gridder_reference(&data, &plan.items, &mut gold).expect("kernel run");
         assert_subgrids_close(&fast, &gold, 2e-4);
     }
 
@@ -569,8 +573,8 @@ mod tests {
         };
         let mut fast = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
         let mut gold = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_cpu(&data, &plan.items, &mut fast, Accuracy::Medium);
-        gridder_reference(&data, &plan.items, &mut gold);
+        gridder_cpu(&data, &plan.items, &mut fast, Accuracy::Medium).expect("kernel run");
+        gridder_reference(&data, &plan.items, &mut gold).expect("kernel run");
         assert_subgrids_close(&fast, &gold, 2e-4);
     }
 
@@ -588,12 +592,13 @@ mod tests {
         };
         // grid something non-trivial first, then degrid it both ways
         let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_reference(&data, &plan.items, &mut subgrids);
+        gridder_reference(&data, &plan.items, &mut subgrids).expect("kernel run");
 
         let mut fast = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
         let mut gold = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
-        degridder_cpu(&data, &plan.items, &subgrids, &mut fast, Accuracy::Medium);
-        degridder_reference(&data, &plan.items, &subgrids, &mut gold);
+        degridder_cpu(&data, &plan.items, &subgrids, &mut fast, Accuracy::Medium)
+            .expect("kernel run");
+        degridder_reference(&data, &plan.items, &subgrids, &mut gold).expect("kernel run");
 
         let scale = gold
             .iter()
@@ -626,8 +631,8 @@ mod tests {
         };
         let mut med = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
         let mut fast = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_cpu(&data, &plan.items, &mut med, Accuracy::Medium);
-        gridder_cpu(&data, &plan.items, &mut fast, Accuracy::Fast);
+        gridder_cpu(&data, &plan.items, &mut med, Accuracy::Medium).expect("kernel run");
+        gridder_cpu(&data, &plan.items, &mut fast, Accuracy::Fast).expect("kernel run");
         assert_subgrids_close(&fast, &med, 1e-3);
     }
 
@@ -645,8 +650,8 @@ mod tests {
         };
         let mut a = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
         let mut b = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_cpu(&data, &plan.items, &mut a, Accuracy::Medium);
-        gridder_cpu(&data, &plan.items, &mut b, Accuracy::Medium);
+        gridder_cpu(&data, &plan.items, &mut a, Accuracy::Medium).expect("kernel run");
+        gridder_cpu(&data, &plan.items, &mut b, Accuracy::Medium).expect("kernel run");
         assert_eq!(
             a.as_slice(),
             b.as_slice(),
@@ -668,14 +673,14 @@ mod tests {
         };
         let mut fast = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
         let mut gold = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_cpu(&data, &plan.items, &mut fast, Accuracy::Medium);
-        gridder_reference(&data, &plan.items, &mut gold);
+        gridder_cpu(&data, &plan.items, &mut fast, Accuracy::Medium).expect("kernel run");
+        gridder_reference(&data, &plan.items, &mut gold).expect("kernel run");
         assert_subgrids_close(&fast, &gold, 2e-4);
 
         let mut vfast = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
         let mut vgold = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
-        degridder_cpu(&data, &plan.items, &gold, &mut vfast, Accuracy::Medium);
-        degridder_reference(&data, &plan.items, &gold, &mut vgold);
+        degridder_cpu(&data, &plan.items, &gold, &mut vfast, Accuracy::Medium).expect("kernel run");
+        degridder_reference(&data, &plan.items, &gold, &mut vgold).expect("kernel run");
         let scale = vgold
             .iter()
             .flat_map(|v| v.pols.iter())

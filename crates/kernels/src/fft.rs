@@ -8,7 +8,7 @@
 
 use crate::buffers::SubgridArray;
 use idg_fft::{Direction, Fft2d};
-use idg_types::Complex;
+use idg_types::{Complex, Float};
 
 /// Extra normalization applied after the transform.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -30,7 +30,7 @@ pub fn fft_subgrids(array: &mut SubgridArray, direction: Direction, norm: FftNor
     let fft = Fft2d::<f32>::new(n);
     fft.process_batch(array.as_mut_slice(), direction);
     if norm == FftNorm::ByPixelCount {
-        let scale = 1.0 / (n * n) as f32;
+        let scale = 1.0 / f32::from_usize(n * n);
         for v in array.as_mut_slice() {
             *v = v.scale(scale);
         }

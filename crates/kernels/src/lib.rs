@@ -33,6 +33,7 @@
 //!   FFT runs unshifted and the adder/splitter fold the fftshift and the
 //!   half-pixel phase ramp into their index/phase arithmetic.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![allow(clippy::needless_range_loop)] // index loops mirror the paper's kernels
 
@@ -107,4 +108,30 @@ impl<'a> KernelData<'a> {
         }
         Ok(())
     }
+}
+
+/// Launch-time shape checks shared by the gridder/degridder entry
+/// points: inputs consistent with the observation, one subgrid per work
+/// item, subgrids sized to the observation.
+pub(crate) fn check_launch(
+    data: &KernelData<'_>,
+    items: &[idg_plan::WorkItem],
+    subgrids: &SubgridArray,
+) -> Result<(), idg_types::IdgError> {
+    data.validate()?;
+    if subgrids.count() != items.len() {
+        return Err(idg_types::IdgError::ShapeMismatch {
+            what: "subgrid count",
+            expected: items.len(),
+            actual: subgrids.count(),
+        });
+    }
+    if subgrids.size() != data.obs.subgrid_size {
+        return Err(idg_types::IdgError::ShapeMismatch {
+            what: "subgrid size",
+            expected: data.obs.subgrid_size,
+            actual: subgrids.size(),
+        });
+    }
+    Ok(())
 }

@@ -11,7 +11,7 @@ use crate::geometry::KernelGeometry;
 use crate::KernelData;
 use idg_obs::{KernelCounters, KernelStage};
 use idg_plan::WorkItem;
-use idg_types::{Cf64, Jones, Visibility};
+use idg_types::{Cf64, IdgError, Jones, Visibility};
 
 /// Bytes of one 4-polarization complex-f32 quantity (visibility sample
 /// or subgrid pixel): 4 × 2 × 4 bytes.
@@ -34,10 +34,12 @@ fn jones64(j: Jones<f32>) -> Jones<f64> {
 /// sandwich and the taper.
 ///
 /// `subgrids` must hold `items.len()` subgrids of `obs.subgrid_size`.
-pub fn gridder_reference(data: &KernelData<'_>, items: &[WorkItem], subgrids: &mut SubgridArray) {
-    assert_eq!(subgrids.count(), items.len(), "one subgrid per work item");
-    assert_eq!(subgrids.size(), data.obs.subgrid_size);
-    data.validate().expect("kernel inputs must be consistent");
+pub fn gridder_reference(
+    data: &KernelData<'_>,
+    items: &[WorkItem],
+    subgrids: &mut SubgridArray,
+) -> Result<(), IdgError> {
+    crate::check_launch(data, items, subgrids)?;
 
     let geom = KernelGeometry::new(data.obs);
     let n = geom.subgrid_size;
@@ -110,6 +112,7 @@ pub fn gridder_reference(data: &KernelData<'_>, items: &[WorkItem], subgrids: &m
         }
         idg_obs::add_kernel(KernelStage::Gridder, &tally);
     }
+    Ok(())
 }
 
 /// Algorithm 2 for every work item: apply the forward A-term sandwich and
@@ -124,11 +127,15 @@ pub fn degridder_reference(
     items: &[WorkItem],
     subgrids: &SubgridArray,
     vis_out: &mut [Visibility<f32>],
-) {
-    assert_eq!(subgrids.count(), items.len(), "one subgrid per work item");
-    assert_eq!(subgrids.size(), data.obs.subgrid_size);
-    assert_eq!(vis_out.len(), data.obs.nr_visibilities());
-    data.validate().expect("kernel inputs must be consistent");
+) -> Result<(), IdgError> {
+    crate::check_launch(data, items, subgrids)?;
+    if vis_out.len() != data.obs.nr_visibilities() {
+        return Err(IdgError::ShapeMismatch {
+            what: "visibility output buffer",
+            expected: data.obs.nr_visibilities(),
+            actual: vis_out.len(),
+        });
+    }
 
     let geom = KernelGeometry::new(data.obs);
     let n = geom.subgrid_size;
@@ -208,6 +215,7 @@ pub fn degridder_reference(
         }
         idg_obs::add_kernel(KernelStage::Degridder, &tally);
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -276,11 +284,11 @@ mod tests {
         };
 
         let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_reference(&data, &plan.items, &mut subgrids);
+        gridder_reference(&data, &plan.items, &mut subgrids).expect("kernel run");
 
         let n2 = (ds.obs.subgrid_size * ds.obs.subgrid_size) as f32;
         let mut out = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
-        degridder_reference(&data, &plan.items, &subgrids, &mut out);
+        degridder_reference(&data, &plan.items, &subgrids, &mut out).expect("kernel run");
 
         let mut checked = 0usize;
         for item in &plan.items {
@@ -316,7 +324,7 @@ mod tests {
             taper: &taper,
         };
         let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_reference(&data, &plan.items, &mut subgrids);
+        gridder_reference(&data, &plan.items, &mut subgrids).expect("kernel run");
         assert_eq!(subgrids.power(), 0.0);
     }
 
@@ -337,7 +345,7 @@ mod tests {
             aterms: &ds.aterms,
             taper: &taper,
         };
-        gridder_reference(&data1, items, &mut sub1);
+        gridder_reference(&data1, items, &mut sub1).expect("kernel run");
 
         let mut sub2 = SubgridArray::new(items.len(), ds.obs.subgrid_size);
         let data2 = KernelData {
@@ -347,7 +355,7 @@ mod tests {
             aterms: &ds.aterms,
             taper: &taper,
         };
-        gridder_reference(&data2, items, &mut sub2);
+        gridder_reference(&data2, items, &mut sub2).expect("kernel run");
 
         for (a, b) in sub1.as_slice().iter().zip(sub2.as_slice()) {
             assert!((b.scale(0.5) - *a).abs() < 1e-4 * (1.0 + a.abs()));
@@ -376,7 +384,7 @@ mod tests {
                 taper,
             };
             let mut sub = SubgridArray::new(1, n);
-            gridder_reference(&data, items, &mut sub);
+            gridder_reference(&data, items, &mut sub).expect("kernel run");
             sub
         };
         let s_flat = mk(&flat);
@@ -443,7 +451,7 @@ mod tests {
             aterms: &corrupted.aterms, // sampled unitary gains
             taper: &taper,
         };
-        gridder_reference(&data_corr, &plan.items, &mut sub_corr);
+        gridder_reference(&data_corr, &plan.items, &mut sub_corr).expect("kernel run");
 
         let mut sub_clean = SubgridArray::new(plan.nr_subgrids(), obs.subgrid_size);
         let ident = ATerms::identity(&obs);
@@ -454,7 +462,7 @@ mod tests {
             aterms: &ident,
             taper: &taper,
         };
-        gridder_reference(&data_clean, &plan.items, &mut sub_clean);
+        gridder_reference(&data_clean, &plan.items, &mut sub_clean).expect("kernel run");
 
         // The gains are direction-independent so the correction is exact.
         let mut max_rel = 0.0f64;
@@ -470,8 +478,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one subgrid per work item")]
-    fn mismatched_subgrid_count_panics() {
+    fn mismatched_subgrid_count_is_a_shape_error() {
         let ds = small_dataset();
         let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
         let taper = flat_taper(ds.obs.subgrid_size);
@@ -483,6 +490,14 @@ mod tests {
             taper: &taper,
         };
         let mut subgrids = SubgridArray::new(plan.nr_subgrids() + 1, ds.obs.subgrid_size);
-        gridder_reference(&data, &plan.items, &mut subgrids);
+        let err = gridder_reference(&data, &plan.items, &mut subgrids)
+            .expect_err("count mismatch must be rejected");
+        assert!(matches!(
+            err,
+            IdgError::ShapeMismatch {
+                what: "subgrid count",
+                ..
+            }
+        ));
     }
 }

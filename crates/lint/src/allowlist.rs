@@ -1,0 +1,181 @@
+//! The shrink-only allowlist ratchet (`tools/lint-allowlist.toml`).
+//!
+//! Residual violations are budgeted per `(rule, file)` pair. The file is
+//! a ratchet in both directions:
+//!
+//! * a file **over** its budget fails the build with every offending
+//!   span listed — new violations cannot land;
+//! * a file **under** its budget also fails, telling the author to run
+//!   `--update-allowlist` — fixed sites are locked in and cannot
+//!   silently regress later.
+//!
+//! Serialization is deterministic (entries sorted by path, then rule;
+//! one canonical formatting) so CI failures always show a stable,
+//! reviewable delta.
+
+use crate::{LintError, Rule};
+use std::collections::BTreeMap;
+
+/// Budget key: repo-relative path plus rule. Ordered by path first so
+/// the serialized file and all diff output group by file.
+pub type Key = (String, Rule);
+
+/// A parsed allowlist: budget per `(path, rule)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Allowlist {
+    /// Violation budget per key.
+    pub budgets: BTreeMap<Key, usize>,
+}
+
+const HEADER: &str = "\
+# idg-lint allowlist — the shrink-only ratchet for residual rule
+# violations (see DESIGN.md §9). Regenerate with
+#
+#     cargo run -p idg-lint -- --update-allowlist
+#
+# Entries are sorted by path, then rule; counts may only go down.
+";
+
+impl Allowlist {
+    /// Parse the committed allowlist. The format is the `[[allow]]`
+    /// array-of-tables subset of TOML written by [`Allowlist::to_toml`].
+    pub fn parse(text: &str) -> Result<Self, LintError> {
+        let mut budgets = BTreeMap::new();
+        let mut cur: Option<(Option<String>, Option<Rule>, Option<usize>)> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let bad = |msg: &str| LintError::Allowlist {
+                line: lineno + 1,
+                message: msg.to_string(),
+            };
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                Self::finish_entry(&mut cur, &mut budgets, lineno)?;
+                cur = Some((None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(bad("expected `key = value`"));
+            };
+            let entry = cur.as_mut().ok_or_else(|| bad("value outside [[allow]]"))?;
+            let value = value.trim();
+            match key.trim() {
+                "path" => entry.0 = Some(unquote(value).ok_or_else(|| bad("bad path string"))?),
+                "rule" => {
+                    let name = unquote(value).ok_or_else(|| bad("bad rule string"))?;
+                    entry.1 = Some(Rule::parse(&name).ok_or_else(|| bad("unknown rule"))?);
+                }
+                "count" => {
+                    entry.2 = Some(value.parse::<usize>().map_err(|_| bad("bad count"))?);
+                }
+                _ => return Err(bad("unknown key")),
+            }
+        }
+        let last_line = text.lines().count();
+        Self::finish_entry(&mut cur, &mut budgets, last_line)?;
+        Ok(Allowlist { budgets })
+    }
+
+    fn finish_entry(
+        cur: &mut Option<(Option<String>, Option<Rule>, Option<usize>)>,
+        budgets: &mut BTreeMap<Key, usize>,
+        lineno: usize,
+    ) -> Result<(), LintError> {
+        let Some((path, rule, count)) = cur.take() else {
+            return Ok(());
+        };
+        match (path, rule, count) {
+            (Some(p), Some(r), Some(c)) => {
+                budgets.insert((p, r), c);
+                Ok(())
+            }
+            _ => Err(LintError::Allowlist {
+                line: lineno,
+                message: "incomplete [[allow]] entry (need path, rule, count)".to_string(),
+            }),
+        }
+    }
+
+    /// Serialize deterministically (sorted by path, then rule).
+    pub fn to_toml(&self) -> String {
+        let mut out = String::from(HEADER);
+        for ((path, rule), count) in &self.budgets {
+            out.push_str("\n[[allow]]\n");
+            out.push_str(&format!("path = \"{path}\"\n"));
+            out.push_str(&format!("rule = \"{rule}\"\n"));
+            out.push_str(&format!("count = {count}\n"));
+        }
+        out
+    }
+
+    /// Build an allowlist exactly covering the given per-key counts.
+    pub fn from_counts(counts: &BTreeMap<Key, usize>) -> Self {
+        Allowlist {
+            budgets: counts
+                .iter()
+                .filter(|(_, &c)| c > 0)
+                .map(|(k, &c)| (k.clone(), c))
+                .collect(),
+        }
+    }
+
+    /// Total budgeted violation count.
+    pub fn total(&self) -> usize {
+        self.budgets.values().sum()
+    }
+}
+
+fn unquote(v: &str) -> Option<String> {
+    let inner = v.strip_prefix('"')?.strip_suffix('"')?;
+    // Paths and rule names never contain escapes; reject rather than
+    // mis-parse if one ever does.
+    if inner.contains('\\') || inner.contains('"') {
+        return None;
+    }
+    Some(inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_canonical_and_sorted() {
+        let mut counts = BTreeMap::new();
+        counts.insert(("crates/b/src/lib.rs".to_string(), Rule::L1), 2);
+        counts.insert(("crates/a/src/lib.rs".to_string(), Rule::L2), 7);
+        counts.insert(("crates/a/src/lib.rs".to_string(), Rule::L1), 1);
+        counts.insert(("crates/z/src/lib.rs".to_string(), Rule::L4), 0); // dropped
+        let al = Allowlist::from_counts(&counts);
+        let text = al.to_toml();
+        // a/L1 before a/L2 before b/L1; zero-count entry dropped
+        let pos = |needle: &str| text.find(needle).expect("serialized");
+        assert!(
+            pos("crates/a/src/lib.rs\"\nrule = \"L1") < pos("crates/a/src/lib.rs\"\nrule = \"L2")
+        );
+        assert!(pos("rule = \"L2") < pos("crates/b/src/lib.rs"));
+        assert!(!text.contains("crates/z"));
+        let back = Allowlist::parse(&text).expect("canonical text parses");
+        assert_eq!(back, al);
+        // serialization is a fixed point
+        assert_eq!(back.to_toml(), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        assert!(Allowlist::parse("count = 3\n").is_err());
+        assert!(Allowlist::parse("[[allow]]\npath = \"a\"\n").is_err());
+        assert!(Allowlist::parse("[[allow]]\npath = \"a\"\nrule = \"L9\"\ncount = 1\n").is_err());
+        assert!(Allowlist::parse("[[allow]]\npath = \"a\"\nrule = \"L1\"\ncount = x\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let al = Allowlist::parse("# hi\n\n[[allow]]\npath = \"p\"\nrule = \"L3\"\ncount = 4\n")
+            .expect("parses");
+        assert_eq!(al.budgets.len(), 1);
+        assert_eq!(al.budgets[&("p".to_string(), Rule::L3)], 4);
+    }
+}

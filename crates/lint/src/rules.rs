@@ -1,0 +1,501 @@
+//! The five workspace invariants (L1–L5).
+//!
+//! Each rule is a pure function from a parsed file (plus the scope
+//! [`Config`](crate::Config)) to diagnostics. All rules are
+//! test-module-aware: nothing fires inside `#[cfg(test)]` items,
+//! `#[test]`/`#[should_panic]` functions, or after an inner
+//! `#![cfg(test)]` — the exemption the old grep ratchet approximated by
+//! truncating files at the first `#[cfg(test)]` line.
+
+use crate::model::{collect_fns, contains_ident, for_each_token, Cx, FnItem};
+use crate::{Config, Diagnostic, Rule};
+use syn::{Delimiter, LitKind, TokenTree};
+
+/// Run every applicable rule on one parsed file.
+pub fn lint_file(path: &str, file: &syn::File, cfg: &Config) -> Vec<Diagnostic> {
+    let krate = crate_of(path);
+    let mut diags = Vec::new();
+    let fns = collect_fns(&file.tokens);
+    // L1, L2 float-equality and L4 cover every walked crate by default,
+    // so a freshly added crate is in scope before anyone remembers it.
+    l1_panic_freedom(path, file, cfg, &mut diags);
+    l2_float_eq(path, file, &mut diags);
+    if cfg.l2_cast_crates.iter().any(|c| c == krate) {
+        l2_narrowing_casts(path, file, cfg, &mut diags);
+    }
+    if cfg.l3_crates.iter().any(|c| c == krate) {
+        l3_kernel_counters(path, &fns, cfg, &mut diags);
+    }
+    if !cfg.l4_exempt_crates.iter().any(|c| c == krate) {
+        l4_typed_errors(path, &fns, cfg, &mut diags);
+    }
+    if is_crate_root(path) {
+        l5_forbid_unsafe(path, file, &mut diags);
+    }
+    diags
+}
+
+/// Is this path a library crate root (`src/lib.rs` of the root package
+/// or of any `crates/*` member)?
+pub fn is_crate_root(path: &str) -> bool {
+    path == "src/lib.rs" || (path.starts_with("crates/") && path.ends_with("/src/lib.rs"))
+}
+
+/// The crate directory name a repo-relative source path belongs to
+/// (`crates/<name>/src/...` → `<name>`; the root package → `idg-repro`).
+pub fn crate_of(path: &str) -> &str {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or(""),
+        Some("src") => "idg-repro",
+        _ => "",
+    }
+}
+
+fn diag(path: &str, t: &TokenTree, rule: Rule, message: String) -> Diagnostic {
+    let span = t.span();
+    Diagnostic {
+        rule,
+        path: path.to_string(),
+        line: span.start().line,
+        column: span.start().column + 1,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L1 — panic freedom
+// ---------------------------------------------------------------------------
+
+/// Macros whose expansion is an unconditional panic.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that put a following `[...]` group in pattern/type position
+/// rather than index position.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "as", "return", "if", "else", "match", "where", "impl", "dyn",
+    "move", "pub", "fn", "use", "mod", "crate", "super", "static", "const", "type", "struct",
+    "enum", "union", "break", "continue", "while", "loop", "for", "unsafe", "await", "yield",
+];
+
+fn l1_panic_freedom(path: &str, file: &syn::File, cfg: &Config, diags: &mut Vec<Diagnostic>) {
+    let boundary = cfg.boundary_index_files.iter().any(|p| p == path);
+    for_each_token(&file.tokens, &mut |toks: &[TokenTree], i, cx: &Cx| {
+        if cx.in_test {
+            return;
+        }
+        match &toks[i] {
+            TokenTree::Ident(id) if id.text == "unwrap" || id.text == "expect" => {
+                let after_dot =
+                    matches!(toks.get(i.wrapping_sub(1)), Some(TokenTree::Punct(p)) if p.ch == '.');
+                let called = matches!(
+                    toks.get(i + 1),
+                    Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
+                );
+                if after_dot && called {
+                    diags.push(diag(
+                        path,
+                        &toks[i],
+                        Rule::L1,
+                        format!(
+                            ".{}() in library code — return a typed IdgError instead (DESIGN.md §9)",
+                            id.text
+                        ),
+                    ));
+                }
+            }
+            TokenTree::Ident(id) if PANIC_MACROS.contains(&id.text.as_str()) => {
+                if matches!(toks.get(i + 1), Some(TokenTree::Punct(p)) if p.ch == '!') {
+                    diags.push(diag(
+                        path,
+                        &toks[i],
+                        Rule::L1,
+                        format!(
+                            "{}! in library code — return a typed IdgError instead (DESIGN.md §9)",
+                            id.text
+                        ),
+                    ));
+                }
+            }
+            TokenTree::Group(g) if boundary && g.delimiter == Delimiter::Bracket => {
+                // Index expression on externally-controlled data: a
+                // bracket group directly following an expression.
+                let indexes = match toks.get(i.wrapping_sub(1)) {
+                    Some(TokenTree::Ident(prev)) => {
+                        !NON_INDEX_KEYWORDS.contains(&prev.text.as_str())
+                    }
+                    Some(TokenTree::Group(prev)) => prev.delimiter != Delimiter::Brace,
+                    _ => false,
+                };
+                if indexes && !g.tokens.is_empty() {
+                    diags.push(diag(
+                        path,
+                        &toks[i],
+                        Rule::L1,
+                        "unchecked indexing in an input-boundary module — use .get() and return \
+                         a typed IdgError on miss"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// L2 — numeric discipline
+// ---------------------------------------------------------------------------
+
+fn l2_float_eq(path: &str, file: &syn::File, diags: &mut Vec<Diagnostic>) {
+    for_each_token(&file.tokens, &mut |toks: &[TokenTree], i, cx: &Cx| {
+        if cx.in_test {
+            return;
+        }
+        let TokenTree::Punct(p) = &toks[i] else {
+            return;
+        };
+        // `==` is ('=' joint, '='); `!=` is ('!' joint, '='). Detect at
+        // the first character so the second never double-reports; a
+        // preceding joint punct would make this the tail of `<=`, `+=`…
+        let op = match (p.ch, p.joint, toks.get(i + 1)) {
+            ('=', true, Some(TokenTree::Punct(q))) if q.ch == '=' => {
+                let prev_joint = matches!(
+                    toks.get(i.wrapping_sub(1)),
+                    Some(TokenTree::Punct(r)) if r.joint
+                );
+                // `x === y` is not Rust; `a <== b` neither. The only
+                // legal joint-prev case is `!=`, handled below.
+                if prev_joint {
+                    return;
+                }
+                "=="
+            }
+            ('!', true, Some(TokenTree::Punct(q))) if q.ch == '=' => "!=",
+            _ => return,
+        };
+        let float_lhs = matches!(
+            toks.get(i.wrapping_sub(1)),
+            Some(TokenTree::Literal(l)) if l.kind == LitKind::Float
+        );
+        let float_rhs = matches!(
+            toks.get(i + 2),
+            Some(TokenTree::Literal(l)) if l.kind == LitKind::Float
+        );
+        if float_lhs || float_rhs {
+            diags.push(diag(
+                path,
+                &toks[i],
+                Rule::L2,
+                format!(
+                    "float `{op}` against a literal — compare with an explicit tolerance \
+                     or bit-pattern (DESIGN.md §6)"
+                ),
+            ));
+        }
+    });
+}
+
+/// Cast targets that lose precision from the workspace's working types
+/// (`f64`, `usize`, `u64`, `i64`).
+const NARROW_TARGETS: &[&str] = &["f32", "u32", "u16", "u8", "i32", "i16", "i8"];
+
+fn l2_narrowing_casts(path: &str, file: &syn::File, cfg: &Config, diags: &mut Vec<Diagnostic>) {
+    for_each_token(&file.tokens, &mut |toks: &[TokenTree], i, cx: &Cx| {
+        if cx.in_test {
+            return;
+        }
+        let TokenTree::Ident(id) = &toks[i] else {
+            return;
+        };
+        if id.text != "as" {
+            return;
+        }
+        let Some(TokenTree::Ident(target)) = toks.get(i + 1) else {
+            return;
+        };
+        if !NARROW_TARGETS.contains(&target.text.as_str()) {
+            return;
+        }
+        if let Some(f) = cx.current_fn() {
+            if cfg.narrowing_helpers.iter().any(|h| h == f) {
+                return;
+            }
+        }
+        diags.push(diag(
+            path,
+            &toks[i + 1],
+            Rule::L2,
+            format!(
+                "precision-losing `as {}` outside a named narrowing helper — go through \
+                 one of [{}] (DESIGN.md §9)",
+                target.text,
+                cfg.narrowing_helpers.join(", ")
+            ),
+        ));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// L3 — kernel ↔ observability contract
+// ---------------------------------------------------------------------------
+
+/// A kernel-entry-point naming contract: a `pub fn` whose name matches
+/// `name_prefix` (exactly, or prefix + `_…`) and whose signature
+/// mentions `signature_marker` must increment one of `required_any`.
+pub struct KernelContract {
+    /// Entry-point name prefix (`gridder` matches `gridder_cpu`…).
+    pub name_prefix: &'static str,
+    /// Type that must appear in the argument list for the contract to
+    /// apply (filters out unrelated helpers sharing the prefix).
+    pub signature_marker: &'static str,
+    /// `idg-obs` counter calls, any one of which satisfies the contract.
+    pub required_any: &'static [&'static str],
+}
+
+/// The kernel naming contracts enforced in `crates/kernels`/`crates/gpusim`.
+pub const KERNEL_CONTRACTS: &[KernelContract] = &[
+    KernelContract {
+        name_prefix: "gridder",
+        signature_marker: "KernelData",
+        required_any: &["add_kernel"],
+    },
+    KernelContract {
+        name_prefix: "degridder",
+        signature_marker: "KernelData",
+        required_any: &["add_kernel"],
+    },
+    KernelContract {
+        name_prefix: "fft_subgrids",
+        signature_marker: "SubgridArray",
+        required_any: &["add_subgrids_fft", "add_subgrids_ifft"],
+    },
+    KernelContract {
+        name_prefix: "add_subgrids",
+        signature_marker: "SubgridArray",
+        required_any: &["add_subgrids_added"],
+    },
+    KernelContract {
+        name_prefix: "split_subgrids",
+        signature_marker: "SubgridArray",
+        required_any: &["add_subgrids_split"],
+    },
+];
+
+fn matches_prefix(name: &str, prefix: &str) -> bool {
+    name == prefix
+        || name
+            .strip_prefix(prefix)
+            .is_some_and(|r| r.starts_with('_'))
+}
+
+fn l3_kernel_counters(path: &str, fns: &[FnItem], _cfg: &Config, diags: &mut Vec<Diagnostic>) {
+    for f in fns {
+        if !f.is_pub || f.in_test {
+            continue;
+        }
+        let Some(contract) = KERNEL_CONTRACTS.iter().find(|c| {
+            matches_prefix(&f.name, c.name_prefix)
+                && contains_ident(&f.arg_tokens, c.signature_marker)
+        }) else {
+            continue;
+        };
+        let Some(body) = &f.body else { continue };
+        let direct = contract
+            .required_any
+            .iter()
+            .any(|r| contains_ident(&body.tokens, r));
+        // One level of delegation: the body calls a sibling fn in this
+        // file that performs the increment (e.g. a shared `record_fft`).
+        let delegated = !direct
+            && fns.iter().any(|g| {
+                g.name != f.name
+                    && contains_ident(&body.tokens, &g.name)
+                    && g.body.as_ref().is_some_and(|b| {
+                        contract
+                            .required_any
+                            .iter()
+                            .any(|r| contains_ident(&b.tokens, r))
+                    })
+            });
+        if !direct && !delegated {
+            diags.push(Diagnostic {
+                rule: Rule::L3,
+                path: path.to_string(),
+                line: f.line,
+                column: f.column + 1,
+                message: format!(
+                    "kernel entry point `{}` lacks its idg-obs counter increment (one of [{}]) \
+                     — the analytic≡measured contract of DESIGN.md §8 would rot silently",
+                    f.name,
+                    contract.required_any.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L4 — typed fallibility
+// ---------------------------------------------------------------------------
+
+/// Verb prefixes that mark a function as fallible by intent: returning
+/// `Option`/`bool` from these is error-signaling without an error type.
+const FALLIBLE_VERBS: &[&str] = &["try", "parse", "load", "read", "open", "write", "validate"];
+
+fn l4_typed_errors(path: &str, fns: &[FnItem], _cfg: &Config, diags: &mut Vec<Diagnostic>) {
+    for f in fns {
+        if !f.is_pub || f.in_test || f.ret_tokens.is_empty() {
+            continue;
+        }
+        let mut push = |message: String| {
+            diags.push(Diagnostic {
+                rule: Rule::L4,
+                path: path.to_string(),
+                line: f.line,
+                column: f.column + 1,
+                message,
+            });
+        };
+        match outer_type(&f.ret_tokens) {
+            Outer::Result { error_last_ident } => {
+                if error_last_ident.as_deref() != Some("IdgError") {
+                    push(format!(
+                        "pub fn `{}` returns Result<_, {}> — library errors must be IdgError",
+                        f.name,
+                        error_last_ident.as_deref().unwrap_or("?")
+                    ));
+                }
+            }
+            Outer::BareResult { fmt_alias } => {
+                if !fmt_alias {
+                    push(format!(
+                        "pub fn `{}` returns a bare `Result` alias — spell the error type \
+                         (IdgError) out",
+                        f.name
+                    ));
+                }
+            }
+            Outer::Option | Outer::Bool => {
+                let fallible = FALLIBLE_VERBS.iter().any(|v| matches_prefix(&f.name, v));
+                if fallible {
+                    push(format!(
+                        "pub fn `{}` signals failure via {} — return Result<_, IdgError>",
+                        f.name,
+                        if matches!(outer_type(&f.ret_tokens), Outer::Bool) {
+                            "bool"
+                        } else {
+                            "Option"
+                        }
+                    ));
+                }
+            }
+            Outer::Other => {}
+        }
+    }
+}
+
+enum Outer {
+    Result { error_last_ident: Option<String> },
+    BareResult { fmt_alias: bool },
+    Option,
+    Bool,
+    Other,
+}
+
+/// Classify the outermost type of a return-type token run.
+fn outer_type(ret: &[TokenTree]) -> Outer {
+    // Path head: idents separated by `::` up to the first `<` (or end).
+    let mut head: Vec<&str> = Vec::new();
+    let mut lt = None;
+    for (i, t) in ret.iter().enumerate() {
+        match t {
+            TokenTree::Ident(id) if id.text == "dyn" || id.text == "impl" => return Outer::Other,
+            TokenTree::Ident(id) => head.push(id.text.as_str()),
+            TokenTree::Punct(p) if p.ch == ':' => {}
+            TokenTree::Punct(p) if p.ch == '<' => {
+                lt = Some(i);
+                break;
+            }
+            TokenTree::Punct(p) if p.ch == '&' => {} // references to the payload
+            _ => return Outer::Other,
+        }
+    }
+    let Some(name) = head.last() else {
+        return Outer::Other;
+    };
+    match (*name, lt) {
+        ("bool", None) => Outer::Bool,
+        ("Result", None) => Outer::BareResult {
+            fmt_alias: head.contains(&"fmt"),
+        },
+        ("Option", Some(_)) => Outer::Option,
+        ("Result", Some(open)) => {
+            // Find the last top-level comma inside the angle brackets.
+            let mut depth = 0i32;
+            let mut last_comma = None;
+            let mut end = ret.len();
+            for (i, t) in ret.iter().enumerate().skip(open) {
+                match t {
+                    TokenTree::Punct(p) if p.ch == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.ch == '>' => {
+                        let arrow = matches!(
+                            ret.get(i.wrapping_sub(1)),
+                            Some(TokenTree::Punct(d)) if d.ch == '-' && d.joint
+                        );
+                        if !arrow {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = i;
+                                break;
+                            }
+                        }
+                    }
+                    TokenTree::Punct(p) if p.ch == ',' && depth == 1 => last_comma = Some(i),
+                    _ => {}
+                }
+            }
+            let error_last_ident = last_comma.and_then(|c| {
+                ret[c + 1..end].iter().rev().find_map(|t| match t {
+                    TokenTree::Ident(id) => Some(id.text.clone()),
+                    _ => None,
+                })
+            });
+            Outer::Result { error_last_ident }
+        }
+        _ => Outer::Other,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L5 — forbid(unsafe_code) in crate roots
+// ---------------------------------------------------------------------------
+
+fn l5_forbid_unsafe(path: &str, file: &syn::File, diags: &mut Vec<Diagnostic>) {
+    let toks = &file.tokens;
+    let mut found = false;
+    for i in 0..toks.len() {
+        if let (Some(TokenTree::Punct(h)), Some(TokenTree::Punct(b)), Some(TokenTree::Group(g))) =
+            (toks.get(i), toks.get(i + 1), toks.get(i + 2))
+        {
+            if h.ch == '#'
+                && b.ch == '!'
+                && g.delimiter == Delimiter::Bracket
+                && contains_ident(&g.tokens, "forbid")
+                && contains_ident(&g.tokens, "unsafe_code")
+            {
+                found = true;
+                break;
+            }
+        }
+    }
+    if !found {
+        diags.push(Diagnostic {
+            rule: Rule::L5,
+            path: path.to_string(),
+            line: 1,
+            column: 1,
+            message: "library crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}

@@ -1,0 +1,10 @@
+//! L1 fixture: the same lookup with typed fallibility — clean even
+//! under the boundary-indexing path.
+
+use idg_types::IdgError;
+
+pub fn first(v: &[u32]) -> Result<u32, IdgError> {
+    v.first()
+        .copied()
+        .ok_or_else(|| IdgError::InvalidParameter("empty input".to_string()))
+}

@@ -1,0 +1,19 @@
+//! L1 fixture: panic sites plus boundary indexing (lint this under the
+//! boundary path to get all four diagnostics).
+
+pub fn first(v: &[u32]) -> u32 {
+    let x = v.first().unwrap();
+    let y = v.last().expect("non-empty");
+    if *x > *y {
+        panic!("inverted");
+    }
+    v[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        Some(1).unwrap();
+    }
+}

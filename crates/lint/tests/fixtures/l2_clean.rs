@@ -1,0 +1,11 @@
+//! L2 fixture: tolerance comparison and the named narrowing helpers.
+
+use idg_types::Float;
+
+pub fn scale(x: f64, n: usize) -> f32 {
+    let v = f32::from_f64(x);
+    if v.abs() < 1e-6 {
+        return 0.0;
+    }
+    v / f32::from_usize(n)
+}

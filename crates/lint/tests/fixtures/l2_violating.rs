@@ -1,0 +1,15 @@
+//! L2 fixture: float literal equality plus a raw narrowing cast (lint
+//! under a numeric-core crate path for both; only the equality fires
+//! elsewhere).
+
+pub fn scale(x: f64, n: usize) -> f32 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    (x / n as f64) as f32
+}
+
+/// Named helper: narrowing here is the blessed path.
+pub fn narrow_f32(x: f64) -> f32 {
+    x as f32
+}

@@ -1,0 +1,8 @@
+//! L4 fixture: fallibility through `Result<_, IdgError>`.
+
+use idg_types::IdgError;
+
+pub fn parse_scale(s: &str) -> Result<u32, IdgError> {
+    s.parse()
+        .map_err(|_| IdgError::InvalidParameter(s.to_string()))
+}

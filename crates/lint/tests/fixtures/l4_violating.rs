@@ -1,0 +1,9 @@
+//! L4 fixture: failure signaled without a typed error.
+
+pub fn parse_scale(s: &str) -> Option<u32> {
+    s.parse().ok()
+}
+
+pub fn load_table(path: &str) -> Result<Vec<u8>, String> {
+    Err(path.to_string())
+}

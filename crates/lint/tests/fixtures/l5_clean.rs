@@ -1,0 +1,5 @@
+//! L5 fixture: a crate root carrying the forbid attribute.
+
+#![forbid(unsafe_code)]
+
+pub struct Marker;

@@ -1,0 +1,3 @@
+//! L5 fixture: a crate root without the forbid attribute.
+
+pub struct Marker;

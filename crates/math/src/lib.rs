@@ -15,6 +15,7 @@
 //! * [`mix`] — the FMA/sincos instruction-mix microkernel behind the
 //!   paper's Fig. 12 (throughput as a function of ρ = #FMA / #sincos).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod kahan;

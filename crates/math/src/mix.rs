@@ -64,7 +64,7 @@ pub fn mix_kernel(rho: u32, iterations: u64, accuracy: Accuracy) -> MixResult {
         }
         // Keep accumulators bounded so the loop cannot saturate to inf.
         if acc[0][0].abs() > 1e6 {
-            for a in acc.iter_mut() {
+            for a in &mut acc {
                 a[0] *= 1e-6;
                 a[1] *= 1e-6;
             }

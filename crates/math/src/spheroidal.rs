@@ -8,6 +8,8 @@
 //! with support m = 6, α = 1, evaluated with F. Schwab's rational
 //! approximation (the `grdsf` routine that CASA/WSClean also use).
 
+use idg_types::Float;
+
 /// Schwab's rational approximation of the prolate spheroidal wave function
 /// ψ(η) for m = 6, α = 1, on η ∈ [−1, 1]; returns 0 outside.
 ///
@@ -63,7 +65,7 @@ pub fn spheroidal_1d(n: usize) -> Vec<f32> {
     (0..n)
         .map(|i| {
             let eta = 2.0 * (i as f64 + 0.5 - n as f64 / 2.0) / n as f64;
-            spheroidal_eta(eta) as f32
+            f32::from_f64(spheroidal_eta(eta))
         })
         .collect()
 }

@@ -86,7 +86,11 @@ pub fn normalized_events(trace: &Trace) -> Vec<String> {
 /// A small recursive-descent checker (the workspace has no JSON
 /// dependency): used by the exporter tests and the golden-file suite
 /// to guarantee emitted files are loadable by real tooling.
-pub fn validate_json(input: &str) -> Result<(), String> {
+pub fn validate_json(input: &str) -> Result<(), idg_types::IdgError> {
+    validate_json_inner(input).map_err(idg_types::IdgError::InvalidParameter)
+}
+
+fn validate_json_inner(input: &str) -> Result<(), String> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
     skip_ws(bytes, &mut pos);

@@ -32,6 +32,7 @@
 //! [`Session::begin`] calls (e.g. parallel instrumented tests)
 //! serialize on an internal gate mutex.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod chrome;
@@ -233,7 +234,7 @@ pub fn modeled_span(name: &str, cat: &str, job: Option<u32>, lane: u32, start_s:
             clock: Clock::Modeled,
             start_us,
             dur_us: end_us.saturating_sub(start_us),
-        })
+        });
     });
 }
 
@@ -274,7 +275,7 @@ impl Drop for WallSpanGuard {
                 clock: Clock::Wall,
                 start_us: begun.duration_since(c.start).as_micros() as u64,
                 dur_us: begun.elapsed().as_micros() as u64,
-            })
+            });
         });
     }
 }

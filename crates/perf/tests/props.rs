@@ -149,8 +149,8 @@ proptest! {
         let mut vis = vec![idg_types::Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
 
         let session = idg_obs::Session::begin("props");
-        idg_kernels::gridder_reference(&data, &plan.items, &mut subgrids);
-        idg_kernels::degridder_reference(&data, &plan.items, &subgrids, &mut vis);
+        idg_kernels::gridder_reference(&data, &plan.items, &mut subgrids).expect("kernel run");
+        idg_kernels::degridder_reference(&data, &plan.items, &subgrids, &mut vis).expect("kernel run");
         let trace = session.finish();
 
         let analytic_g = gridder_counts(&plan.items, subgrid_size);

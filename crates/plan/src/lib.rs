@@ -13,6 +13,7 @@
 //! `m ≤ n` work items yields the *work groups* in which the kernels
 //! process them (Fig. 6).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod stats;
@@ -132,9 +133,9 @@ impl Plan {
         let f_min = obs
             .frequencies
             .iter()
-            .cloned()
+            .copied()
             .fold(f64::INFINITY, f64::min);
-        let f_max = obs.frequencies.iter().cloned().fold(0.0f64, f64::max);
+        let f_max = obs.frequencies.iter().copied().fold(0.0f64, f64::max);
 
         let mut items = Vec::new();
         let mut skipped = 0usize;

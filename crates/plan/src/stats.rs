@@ -47,8 +47,8 @@ impl PlanStats {
             };
         }
         let total_t: usize = plan.items.iter().map(|i| i.nr_timesteps).sum();
-        let min_t = plan.items.iter().map(|i| i.nr_timesteps).min().unwrap();
-        let max_t = plan.items.iter().map(|i| i.nr_timesteps).max().unwrap();
+        let min_t = plan.items.iter().map(|i| i.nr_timesteps).min().unwrap_or(0);
+        let max_t = plan.items.iter().map(|i| i.nr_timesteps).max().unwrap_or(0);
         let nr_vis = plan.nr_gridded_visibilities();
         let planes: std::collections::HashSet<i32> = plan.items.iter().map(|i| i.w_plane).collect();
         Self {

@@ -11,7 +11,7 @@ use crate::layout::Layout;
 use crate::predict::predict_visibilities;
 use crate::sky::SkyModel;
 use crate::uvw::UvwGenerator;
-use idg_types::{Baseline, Observation, Uvw, Visibility};
+use idg_types::{Baseline, IdgError, Observation, Uvw, Visibility};
 
 /// A complete in-memory observation: parameters, coordinates, data.
 #[derive(Clone, Debug)]
@@ -64,7 +64,7 @@ impl Dataset {
     /// (150/scale) and time steps (8192/scale²-ish) to keep laptop-sized
     /// runs tractable while preserving the configuration structure
     /// (24² subgrids, channel count, A-term cadence).
-    pub fn representative(scale: usize, seed: u64) -> Self {
+    pub fn representative(scale: usize, seed: u64) -> Result<Self, IdgError> {
         let scale = scale.max(1);
         let nr_stations = (150 / scale).max(4);
         let nr_timesteps = (8192 / (scale * scale)).max(32);
@@ -77,8 +77,7 @@ impl Dataset {
             .subgrid_size(24)
             .aterm_interval(aterm_interval)
             .image_size(0.05)
-            .build()
-            .expect("representative configuration is valid");
+            .build()?;
         // Scale the spiral-arm extent with the grid so every baseline
         // stays representable (max |uvw| rotation-safe: the w-component
         // can reach the full baseline length, so budget for it too).
@@ -88,7 +87,7 @@ impl Dataset {
         let core_radius = (arm_radius / 10.0).min(1_000.0);
         let layout = Layout::ska1_low(nr_stations, core_radius, arm_radius, seed);
         let sky = SkyModel::random(&obs, 16, 0.7, seed ^ 0x5137);
-        Self::simulate(obs, &layout, sky, &IdentityATerm)
+        Ok(Self::simulate(obs, &layout, sky, &IdentityATerm))
     }
 
     /// uvw of `(baseline_index, timestep)`.
@@ -128,7 +127,7 @@ mod tests {
 
     #[test]
     fn representative_scales_down() {
-        let ds = Dataset::representative(10, 1);
+        let ds = Dataset::representative(10, 1).expect("representative dataset");
         assert_eq!(ds.obs.nr_stations, 15);
         assert_eq!(ds.obs.subgrid_size, 24);
         assert_eq!(ds.obs.nr_channels(), 16);
@@ -139,7 +138,7 @@ mod tests {
 
     #[test]
     fn indexing_helpers_agree_with_layout() {
-        let ds = Dataset::representative(15, 2);
+        let ds = Dataset::representative(15, 2).expect("representative dataset");
         let nr_chan = ds.obs.nr_channels();
         let bl = 3;
         let t = 5;
@@ -153,8 +152,8 @@ mod tests {
 
     #[test]
     fn simulation_is_seeded() {
-        let a = Dataset::representative(15, 3);
-        let b = Dataset::representative(15, 3);
+        let a = Dataset::representative(15, 3).expect("representative dataset");
+        let b = Dataset::representative(15, 3).expect("representative dataset");
         assert_eq!(a.uvw, b.uvw);
         assert_eq!(a.visibilities[0].pols, b.visibilities[0].pols);
         assert_eq!(a.sky, b.sky);
@@ -162,7 +161,7 @@ mod tests {
 
     #[test]
     fn visibilities_are_finite_and_nonzero() {
-        let ds = Dataset::representative(15, 4);
+        let ds = Dataset::representative(15, 4).expect("representative dataset");
         let mut power = 0.0f64;
         for v in &ds.visibilities {
             for p in v.pols {

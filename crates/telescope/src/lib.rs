@@ -21,6 +21,7 @@
 //! * [`dataset`] — ties everything together into the in-memory
 //!   visibility set consumed by the gridders.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod aterm;

@@ -48,7 +48,7 @@ impl NoiseModel {
             (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
         };
         for vis in visibilities.iter_mut() {
-            for pol in vis.pols.iter_mut() {
+            for pol in &mut vis.pols {
                 *pol += Cf32::new(sigma * gauss(), sigma * gauss());
             }
         }

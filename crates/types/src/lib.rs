@@ -11,6 +11,7 @@
 //! can be audited down to primitive operations — important for a paper
 //! reproduction whose headline analysis is about *operation counts*.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![allow(clippy::should_implement_trait)] // add/sub/mul/div methods on math types are deliberate
 

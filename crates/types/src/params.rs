@@ -107,14 +107,14 @@ impl Observation {
         let f_min = self
             .frequencies
             .iter()
-            .cloned()
+            .copied()
             .fold(f64::INFINITY, f64::min);
         SPEED_OF_LIGHT / f_min
     }
 
     /// Shortest wavelength, meters.
     pub fn min_wavelength(&self) -> f64 {
-        let f_max = self.frequencies.iter().cloned().fold(0.0f64, f64::max);
+        let f_max = self.frequencies.iter().copied().fold(0.0f64, f64::max);
         SPEED_OF_LIGHT / f_max
     }
 

@@ -227,7 +227,7 @@ mod tests {
         let skipped = wpg_grid(&mut grid, &[unit_sample(u, v, 0.0)], &kernels, image_size);
         assert_eq!(skipped, 0);
         // flux conservation: taps sum to 1
-        let total: Cf32 = grid.plane(0).iter().cloned().sum();
+        let total: Cf32 = grid.plane(0).iter().copied().sum();
         assert!((total.re - 1.0).abs() < 1e-3, "total {total}");
         assert!(total.im.abs() < 1e-3);
         // energy concentrated at the stamp center (the 2-D spheroidal
@@ -339,8 +339,7 @@ mod tests {
         assert_eq!(
             (best.0, best.1),
             (gsize / 2, gsize / 2),
-            "dirty image peak at {:?}",
-            best
+            "dirty image peak at {best:?}"
         );
     }
 

@@ -101,7 +101,7 @@ impl WKernel {
         let norm = kernel.tap_sum(oversampling / 2, oversampling / 2);
         let inv = 1.0 / norm.abs().max(1e-300);
         let phase_fix = norm.conj().scale(inv);
-        for v in kernel.taps.iter_mut() {
+        for v in &mut kernel.taps {
             *v = (*v * phase_fix).scale(inv);
         }
         kernel
@@ -138,7 +138,7 @@ impl WKernel {
 
     /// Sum of taps for a given sub-pixel offset (≈1 for all offsets).
     pub fn tap_sum(&self, sub_y: usize, sub_x: usize) -> Cf64 {
-        self.tap_table(sub_y, sub_x).iter().cloned().sum()
+        self.tap_table(sub_y, sub_x).iter().copied().sum()
     }
 }
 

@@ -10,7 +10,7 @@ use idg::{Backend, Proxy};
 
 fn main() {
     // simulate + corrupt with thermal noise
-    let mut ds = Dataset::representative(15, 7);
+    let mut ds = Dataset::representative(15, 7).expect("representative dataset");
     let noise = NoiseModel {
         sefd_jy: 2000.0,
         seed: 99,

@@ -12,7 +12,7 @@ use idg::{Backend, Proxy};
 
 fn main() {
     // scale 12 → 12 stations, 56 time steps, 16 channels, 24² subgrids
-    let ds = Dataset::representative(12, 2026);
+    let ds = Dataset::representative(12, 2026).expect("representative dataset");
     println!(
         "SKA1-low-like benchmark: {} stations ({} baselines), {} steps, {} channels, {}² grid",
         ds.obs.nr_stations,
@@ -50,10 +50,7 @@ fn main() {
             .zip(reference.as_slice())
             .map(|(a, b)| (*a - *b).abs() / scale)
             .fold(0.0f32, f32::max);
-        println!(
-            "{:?} vs reference: max relative grid error {:.2e}",
-            backend, max_err
-        );
+        println!("{backend:?} vs reference: max relative grid error {max_err:.2e}");
         assert!(max_err < 5e-3);
     }
     println!("\nOK: all four back-ends produced numerically equivalent grids.");

@@ -1,0 +1,870 @@
+//! In-repo stand-in for the `syn` parsing surface used by `idg-lint`.
+//!
+//! The build environment is fully offline, so upstream `syn` is not
+//! available. This shim reproduces the layer of it that the workspace
+//! static-analysis pass actually consumes: [`parse_file`] lexes a Rust
+//! source file into a **spanned, comment-free, delimiter-matched token
+//! tree** (the `proc-macro2` token model that upstream `syn` is built
+//! on). Upstream's typed item AST is *not* reproduced — `idg-lint`
+//! performs its own lightweight item recognition over the token tree,
+//! which is all the workspace invariants need.
+//!
+//! What the lexer understands, because getting these wrong would produce
+//! phantom diagnostics:
+//!
+//! * line comments (`//`, `///`, `//!`) and arbitrarily **nested** block
+//!   comments (`/* /* */ */`), all dropped;
+//! * string, raw-string (`r#"…"#`, any number of `#`s), byte-string,
+//!   C-string, char and byte literals, including escapes — so panic
+//!   keywords *inside strings* are never tokens;
+//! * the char-literal vs. lifetime ambiguity (`'a'` vs. `'a`);
+//! * numeric literals with underscores, radix prefixes, exponents and
+//!   type suffixes, classified int vs. float;
+//! * raw identifiers (`r#fn`).
+//!
+//! Every token carries a [`Span`] with 1-based line and 0-based UTF-8
+//! column (`LineColumn`, matching upstream `proc-macro2`).
+
+#![forbid(unsafe_code)]
+
+/// A line/column position in the source file.
+///
+/// `line` is 1-based; `column` is a 0-based count of `char`s from the
+/// start of the line (the upstream `proc_macro2::LineColumn` convention).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LineColumn {
+    /// 1-based source line.
+    pub line: usize,
+    /// 0-based UTF-8 character column.
+    pub column: usize,
+}
+
+/// Source region of a token: start and end positions.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    start: LineColumn,
+    end: LineColumn,
+}
+
+impl Span {
+    /// Position of the token's first character.
+    pub fn start(&self) -> LineColumn {
+        self.start
+    }
+
+    /// Position one past the token's last character.
+    pub fn end(&self) -> LineColumn {
+        self.end
+    }
+}
+
+/// The delimiter kind of a [`Group`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Delimiter {
+    /// `( … )`
+    Parenthesis,
+    /// `{ … }`
+    Brace,
+    /// `[ … ]`
+    Bracket,
+}
+
+/// A delimited token sequence: `( … )`, `{ … }` or `[ … ]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Group {
+    /// Which delimiter pair encloses the group.
+    pub delimiter: Delimiter,
+    /// The tokens between the delimiters.
+    pub tokens: Vec<TokenTree>,
+    /// Span of the opening delimiter character.
+    pub span_open: Span,
+    /// Span of the closing delimiter character.
+    pub span_close: Span,
+}
+
+/// An identifier or keyword (keywords are not distinguished here;
+/// `idg-lint` matches on the text).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ident {
+    /// The identifier text (raw identifiers keep their `r#` prefix).
+    pub text: String,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A single punctuation character.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Punct {
+    /// The character.
+    pub ch: char,
+    /// `true` when the next source character is also punctuation with no
+    /// whitespace between — i.e. this punct may be the first half of a
+    /// multi-character operator such as `==`, `->` or `::`.
+    pub joint: bool,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Classification of a [`Literal`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LitKind {
+    /// Integer literal (any radix, possibly suffixed).
+    Int,
+    /// Floating-point literal (decimal point, exponent, or f32/f64 suffix).
+    Float,
+    /// String-ish literal (`"…"`, `r"…"`, `b"…"`, `c"…"` and raw forms).
+    Str,
+    /// Char or byte literal (`'x'`, `b'x'`).
+    Char,
+}
+
+/// A literal token. The text is kept verbatim (suffix included).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Literal {
+    /// Verbatim literal text.
+    pub text: String,
+    /// What kind of literal this is.
+    pub kind: LitKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// One node of the token tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenTree {
+    /// A delimited subtree.
+    Group(Group),
+    /// An identifier or keyword.
+    Ident(Ident),
+    /// A punctuation character.
+    Punct(Punct),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl TokenTree {
+    /// The span of this token (a group answers with its opening
+    /// delimiter's span).
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Group(g) => g.span_open,
+            TokenTree::Ident(i) => i.span,
+            TokenTree::Punct(p) => p.span,
+            TokenTree::Literal(l) => l.span,
+        }
+    }
+}
+
+/// A parsed source file: the top-level token stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct File {
+    /// Top-level tokens (items appear as flat token runs with their
+    /// bodies as [`Group`]s).
+    pub tokens: Vec<TokenTree>,
+}
+
+/// A lex/parse failure with the position it occurred at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    /// Where the problem was detected.
+    pub span: LineColumn,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}",
+            self.span.line,
+            self.span.column + 1,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parse a Rust source file into its token tree.
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let mut lexer = Lexer::new(src);
+    let tokens = lexer.lex_stream(None)?;
+    Ok(File { tokens })
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+    /// Span of the most recent closing delimiter, written by the
+    /// recursive `lex_stream` just before returning to its caller.
+    last_close_span: Span,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        let zero = LineColumn { line: 1, column: 0 };
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 0,
+            last_close_span: Span {
+                start: zero,
+                end: zero,
+            },
+        }
+    }
+
+    fn here(&self) -> LineColumn {
+        LineColumn {
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 0;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, at: LineColumn, message: &str) -> Error {
+        Error {
+            span: at,
+            message: message.to_string(),
+        }
+    }
+
+    /// Lex tokens until EOF (closing == None) or until the matching
+    /// closing delimiter (closing == Some(ch)), which is consumed.
+    /// Returns the tokens; the caller records the close span via
+    /// `self.last_close_span`.
+    fn lex_stream(&mut self, closing: Option<char>) -> Result<Vec<TokenTree>, Error> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.here();
+            let Some(c) = self.peek() else {
+                return match closing {
+                    None => Ok(out),
+                    Some(cl) => {
+                        Err(self.error(start, &format!("unexpected end of file, expected `{cl}`")))
+                    }
+                };
+            };
+            match c {
+                '(' | '{' | '[' => {
+                    let (close, delim) = match c {
+                        '(' => (')', Delimiter::Parenthesis),
+                        '{' => ('}', Delimiter::Brace),
+                        _ => (']', Delimiter::Bracket),
+                    };
+                    self.bump();
+                    let span_open = Span {
+                        start,
+                        end: self.here(),
+                    };
+                    let tokens = self.lex_stream(Some(close))?;
+                    let span_close = self.last_close_span;
+                    out.push(TokenTree::Group(Group {
+                        delimiter: delim,
+                        tokens,
+                        span_open,
+                        span_close,
+                    }));
+                }
+                ')' | '}' | ']' => {
+                    self.bump();
+                    let span = Span {
+                        start,
+                        end: self.here(),
+                    };
+                    return match closing {
+                        Some(cl) if cl == c => {
+                            self.last_close_span = span;
+                            Ok(out)
+                        }
+                        _ => Err(self.error(start, &format!("unbalanced `{c}`"))),
+                    };
+                }
+                '"' => out.push(self.lex_string(start, "string literal")?),
+                '\'' => out.push(self.lex_quote(start)?),
+                'r' if matches!(self.peek_at(1), Some('"' | '#')) && self.is_raw_string(0) => {
+                    out.push(self.lex_raw_string(start)?);
+                }
+                'b' | 'c'
+                    if matches!(self.peek_at(1), Some('"'))
+                        || (c == 'b' && self.peek_at(1) == Some('\''))
+                        || (self.peek_at(1) == Some('r') && self.is_raw_string(1)) =>
+                {
+                    out.push(self.lex_bytes_or_cstr(start)?);
+                }
+                c if c.is_ascii_digit() => out.push(self.lex_number(start)),
+                c if is_ident_start(c) => out.push(self.lex_ident(start)),
+                _ => {
+                    self.bump();
+                    let joint = self
+                        .peek()
+                        .map(|n| {
+                            is_punct_char(n) && !matches!(n, '(' | ')' | '{' | '}' | '[' | ']')
+                        })
+                        .unwrap_or(false);
+                    out.push(TokenTree::Punct(Punct {
+                        ch: c,
+                        joint,
+                        span: Span {
+                            start,
+                            end: self.here(),
+                        },
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Whether position `pos + offset` starts a raw (byte/C) string body:
+    /// `r` followed by zero or more `#` then `"`.
+    fn is_raw_string(&self, offset: usize) -> bool {
+        debug_assert_eq!(self.peek_at(offset), Some('r'));
+        let mut i = offset + 1;
+        while self.peek_at(i) == Some('#') {
+            i += 1;
+        }
+        self.peek_at(i) == Some('"')
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Error> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek_at(1) == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek_at(1) == Some('*') => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    loop {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some('/'), Some('*')) => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            (Some('*'), Some('/')) => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(self.error(start, "unterminated block comment"));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_ident(&mut self, start: LineColumn) -> TokenTree {
+        let mut text = String::new();
+        // raw identifier prefix r# (reached via is_ident_start('r'))
+        if self.peek() == Some('r') && self.peek_at(1) == Some('#') {
+            let after = self.peek_at(2);
+            if after.map(is_ident_start).unwrap_or(false) {
+                text.push('r');
+                text.push('#');
+                self.bump();
+                self.bump();
+            }
+        }
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenTree::Ident(Ident {
+            text,
+            span: Span {
+                start,
+                end: self.here(),
+            },
+        })
+    }
+
+    fn lex_number(&mut self, start: LineColumn) -> TokenTree {
+        let mut text = String::new();
+        let mut is_float = false;
+        let radix_prefixed = self.peek() == Some('0')
+            && matches!(self.peek_at(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'));
+        // digits, underscores, radix prefix and suffix letters
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                // exponent with a sign: 1e+5 / 2.5E-3 (decimal only)
+                if !radix_prefixed
+                    && matches!(c, 'e' | 'E')
+                    && matches!(self.peek_at(1), Some('+' | '-'))
+                    && self.peek_at(2).map(|d| d.is_ascii_digit()).unwrap_or(false)
+                {
+                    is_float = true;
+                    text.push(c);
+                    self.bump();
+                    text.push(self.peek().unwrap_or('+'));
+                    self.bump();
+                    continue;
+                }
+                if !radix_prefixed && matches!(c, 'e' | 'E') {
+                    is_float = true;
+                }
+                text.push(c);
+                self.bump();
+            } else if c == '.' {
+                // `1.5` and trailing `1.` are float continuations;
+                // `1..2` (range) and `1.foo` (field/method) are not.
+                let next = self.peek_at(1);
+                let continues = match next {
+                    Some(d) if d.is_ascii_digit() => true,
+                    Some('.') => false,
+                    Some(n) if is_ident_start(n) => false,
+                    _ => true, // `1.` at end of expression
+                };
+                if continues && !is_float && !radix_prefixed {
+                    is_float = true;
+                    text.push('.');
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        if text.ends_with("f32") || text.ends_with("f64") {
+            is_float = true;
+        }
+        TokenTree::Literal(Literal {
+            text,
+            kind: if is_float {
+                LitKind::Float
+            } else {
+                LitKind::Int
+            },
+            span: Span {
+                start,
+                end: self.here(),
+            },
+        })
+    }
+
+    fn lex_string(&mut self, start: LineColumn, what: &str) -> Result<TokenTree, Error> {
+        let mut text = String::new();
+        text.push(self.bump().unwrap_or('"')); // opening quote
+        loop {
+            match self.peek() {
+                Some('\\') => {
+                    text.push(self.bump().unwrap_or('\\'));
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                Some('"') => {
+                    text.push(self.bump().unwrap_or('"'));
+                    break;
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+                None => return Err(self.error(start, &format!("unterminated {what}"))),
+            }
+        }
+        self.eat_suffix(&mut text);
+        Ok(TokenTree::Literal(Literal {
+            text,
+            kind: LitKind::Str,
+            span: Span {
+                start,
+                end: self.here(),
+            },
+        }))
+    }
+
+    fn lex_raw_string(&mut self, start: LineColumn) -> Result<TokenTree, Error> {
+        let mut text = String::new();
+        text.push(self.bump().unwrap_or('r')); // `r`
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            text.push(self.bump().unwrap_or('#'));
+            hashes += 1;
+        }
+        if self.peek() != Some('"') {
+            return Err(self.error(start, "malformed raw string"));
+        }
+        text.push(self.bump().unwrap_or('"'));
+        // scan to `"` followed by `hashes` hash characters
+        loop {
+            match self.peek() {
+                Some('"') => {
+                    text.push(self.bump().unwrap_or('"'));
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek() == Some('#') {
+                        text.push(self.bump().unwrap_or('#'));
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+                None => return Err(self.error(start, "unterminated raw string")),
+            }
+        }
+        self.eat_suffix(&mut text);
+        Ok(TokenTree::Literal(Literal {
+            text,
+            kind: LitKind::Str,
+            span: Span {
+                start,
+                end: self.here(),
+            },
+        }))
+    }
+
+    fn lex_bytes_or_cstr(&mut self, start: LineColumn) -> Result<TokenTree, Error> {
+        let prefix = self.bump().unwrap_or('b'); // `b` or `c`
+        match self.peek() {
+            Some('"') => {
+                let tok = self.lex_string(start, "byte string literal")?;
+                Ok(prefix_literal(tok, prefix, start))
+            }
+            Some('r') => {
+                let tok = self.lex_raw_string(start)?;
+                Ok(prefix_literal(tok, prefix, start))
+            }
+            Some('\'') => {
+                let tok = self.lex_quote(start)?;
+                Ok(prefix_literal(tok, prefix, start))
+            }
+            _ => Err(self.error(start, "malformed byte/C-string literal")),
+        }
+    }
+
+    /// Lex a token starting with `'`: either a char literal or a
+    /// lifetime. `'a'` (closing quote after one char / escape) is a char
+    /// literal; `'a` followed by ident characters and no closing quote
+    /// is a lifetime, emitted as an [`Ident`] with the leading `'`.
+    fn lex_quote(&mut self, start: LineColumn) -> Result<TokenTree, Error> {
+        // Lifetime: quote, ident-start, then NOT a closing quote.
+        let second = self.peek_at(1);
+        let third = self.peek_at(2);
+        let is_lifetime = second.map(is_ident_start).unwrap_or(false) && third != Some('\'');
+        if is_lifetime {
+            let mut text = String::new();
+            text.push(self.bump().unwrap_or('\'')); // `'`
+            while let Some(c) = self.peek() {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return Ok(TokenTree::Ident(Ident {
+                text,
+                span: Span {
+                    start,
+                    end: self.here(),
+                },
+            }));
+        }
+        // Char literal.
+        let mut text = String::new();
+        text.push(self.bump().unwrap_or('\'')); // opening `'`
+        match self.peek() {
+            Some('\\') => {
+                text.push(self.bump().unwrap_or('\\'));
+                // escape body up to the closing quote (covers \n, \x7f, \u{…})
+                while let Some(c) = self.peek() {
+                    text.push(c);
+                    self.bump();
+                    if c == '\'' {
+                        return Ok(char_lit(text, start, self.here()));
+                    }
+                }
+                Err(self.error(start, "unterminated char literal"))
+            }
+            Some(_) => {
+                text.push(self.bump().unwrap_or(' '));
+                match self.peek() {
+                    Some('\'') => {
+                        text.push(self.bump().unwrap_or('\''));
+                        Ok(char_lit(text, start, self.here()))
+                    }
+                    _ => Err(self.error(start, "unterminated char literal")),
+                }
+            }
+            None => Err(self.error(start, "unterminated char literal")),
+        }
+    }
+
+    /// Consume a literal type suffix (e.g. `"…"suffix` is legal in macro
+    /// input); keeps diagnostics aligned if one ever appears.
+    fn eat_suffix(&mut self, text: &mut String) {
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn char_lit(text: String, start: LineColumn, end: LineColumn) -> TokenTree {
+    TokenTree::Literal(Literal {
+        text,
+        kind: LitKind::Char,
+        span: Span { start, end },
+    })
+}
+
+fn prefix_literal(tok: TokenTree, prefix: char, start: LineColumn) -> TokenTree {
+    match tok {
+        TokenTree::Literal(mut lit) => {
+            lit.text.insert(0, prefix);
+            // kind unchanged: byte strings count as Str, byte chars as Char
+            lit.span = Span {
+                start,
+                end: lit.span.end(),
+            };
+            TokenTree::Literal(lit)
+        }
+        other => other,
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn is_punct_char(c: char) -> bool {
+    matches!(
+        c,
+        '!' | '#'
+            | '$'
+            | '%'
+            | '&'
+            | '*'
+            | '+'
+            | ','
+            | '-'
+            | '.'
+            | '/'
+            | ':'
+            | ';'
+            | '<'
+            | '='
+            | '>'
+            | '?'
+            | '@'
+            | '^'
+            | '|'
+            | '~'
+            | '\''
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(tokens: &[TokenTree]) -> Vec<String> {
+        let mut out = Vec::new();
+        for t in tokens {
+            match t {
+                TokenTree::Ident(i) => out.push(i.text.clone()),
+                TokenTree::Group(g) => out.extend(idents(&g.tokens)),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r#"
+// not_a_token_a
+/* not_b /* nested */ still_comment */
+fn real() { let s = "not_c .unwrap()"; }
+"#;
+        let f = parse_file(src).unwrap();
+        let ids = idents(&f.tokens);
+        assert!(ids.contains(&"real".to_string()));
+        assert!(ids.contains(&"s".to_string()));
+        assert!(!ids.iter().any(|i| i.contains("not_")));
+        assert!(!ids.iter().any(|i| i == "unwrap"));
+    }
+
+    #[test]
+    fn spans_are_line_and_column_accurate() {
+        let src = "fn f() {\n    x.unwrap();\n}\n";
+        let f = parse_file(src).unwrap();
+        // find the `unwrap` ident
+        fn find<'a>(ts: &'a [TokenTree], name: &str) -> Option<&'a Ident> {
+            for t in ts {
+                match t {
+                    TokenTree::Ident(i) if i.text == name => return Some(i),
+                    TokenTree::Group(g) => {
+                        if let Some(i) = find(&g.tokens, name) {
+                            return Some(i);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        let u = find(&f.tokens, "unwrap").expect("unwrap token present");
+        assert_eq!(u.span.start().line, 2);
+        assert_eq!(u.span.start().column, 6);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let f = parse_file(src).unwrap();
+        let ids = idents(&f.tokens);
+        assert!(ids.iter().filter(|i| *i == "'a").count() == 2);
+        fn lits(ts: &[TokenTree], out: &mut Vec<(String, LitKind)>) {
+            for t in ts {
+                match t {
+                    TokenTree::Literal(l) => out.push((l.text.clone(), l.kind)),
+                    TokenTree::Group(g) => lits(&g.tokens, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut ls = Vec::new();
+        lits(&f.tokens, &mut ls);
+        assert_eq!(ls, vec![("'x'".to_string(), LitKind::Char)]);
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let src = "let a = 1.5; let b = 1..2; let c = 2e3; let d = 7; let e = 1.0f32;";
+        let f = parse_file(src).unwrap();
+        let mut kinds = Vec::new();
+        for t in &f.tokens {
+            if let TokenTree::Literal(l) = t {
+                kinds.push((l.text.clone(), l.kind));
+            }
+        }
+        assert_eq!(
+            kinds,
+            vec![
+                ("1.5".to_string(), LitKind::Float),
+                ("1".to_string(), LitKind::Int),
+                ("2".to_string(), LitKind::Int),
+                ("2e3".to_string(), LitKind::Float),
+                ("7".to_string(), LitKind::Int),
+                ("1.0f32".to_string(), LitKind::Float),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"contains "quotes" and .unwrap()"#;"###;
+        let f = parse_file(src).unwrap();
+        assert!(!idents(&f.tokens).iter().any(|i| i == "unwrap"));
+    }
+
+    #[test]
+    fn groups_nest_and_close_spans_are_tracked() {
+        let src = "mod m { fn f(a: [u8; 4]) {} }";
+        let f = parse_file(src).unwrap();
+        let TokenTree::Group(outer) = f.tokens.last().unwrap() else {
+            panic!("expected brace group");
+        };
+        assert_eq!(outer.delimiter, Delimiter::Brace);
+        assert_eq!(outer.span_close.start().column, 28);
+    }
+
+    #[test]
+    fn unbalanced_delimiters_error() {
+        assert!(parse_file("fn f() {").is_err());
+        assert!(parse_file("fn f() }").is_err());
+        assert!(parse_file("let s = \"unterminated").is_err());
+    }
+
+    #[test]
+    fn joint_puncts_mark_multichar_operators() {
+        let src = "a == b; c = d;";
+        let f = parse_file(src).unwrap();
+        let puncts: Vec<(char, bool)> = f
+            .tokens
+            .iter()
+            .filter_map(|t| match t {
+                TokenTree::Punct(p) => Some((p.ch, p.joint)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            puncts,
+            vec![
+                ('=', true),
+                ('=', false),
+                (';', false),
+                ('=', false),
+                (';', false)
+            ]
+        );
+    }
+}

@@ -141,7 +141,7 @@ fn claim_sfu_keeps_pascal_flat_in_rho() {
 fn claim_subgrid_count_matches_benchmark_structure() {
     // Sec. VI-A parameters at reduced scale: the plan must cover every
     // visibility with 24² subgrids and respect the A-term cadence.
-    let ds = Dataset::representative(15, 7);
+    let ds = Dataset::representative(15, 7).expect("representative dataset");
     let plan = idg::Plan::create(&ds.obs, &ds.uvw).unwrap();
     assert_eq!(plan.skipped_visibilities, 0);
     assert_eq!(plan.nr_gridded_visibilities(), ds.obs.nr_visibilities());
