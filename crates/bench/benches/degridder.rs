@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use idg::kernels::{
-    degridder_cpu, degridder_reference, gridder_reference, KernelData, SubgridArray,
+    degridder_cpu, degridder_reference, gridder_reference, KernelCache, KernelData, SubgridArray,
 };
 use idg::math::Accuracy;
 use idg::telescope::{Dataset, IdentityATerm, Layout, SkyModel};
@@ -61,12 +61,23 @@ fn bench_degridders(c: &mut Criterion) {
     });
     group.bench_function("optimized_cpu_medium", |b| {
         let mut out = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
-        b.iter(|| degridder_cpu(&data, &plan.items, &subgrids, &mut out, Accuracy::Medium));
+        let cache = KernelCache::new();
+        b.iter(|| {
+            degridder_cpu(
+                &data,
+                &plan.items,
+                &subgrids,
+                &mut out,
+                Accuracy::Medium,
+                &cache,
+            )
+        });
     });
     group.bench_function("gpu_mapping_pascal", |b| {
         let device = Device::pascal();
         let mut out = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
-        b.iter(|| degridder_gpu(&data, &plan.items, &subgrids, &mut out, &device));
+        let cache = KernelCache::new();
+        b.iter(|| degridder_gpu(&data, &plan.items, &subgrids, &mut out, &device, &cache));
     });
     group.finish();
 }

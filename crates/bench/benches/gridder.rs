@@ -6,7 +6,7 @@
 //! the CPU path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use idg::kernels::{gridder_cpu, gridder_reference, KernelData, SubgridArray};
+use idg::kernels::{gridder_cpu, gridder_reference, KernelCache, KernelData, SubgridArray};
 use idg::math::Accuracy;
 use idg::telescope::{Dataset, IdentityATerm, Layout, SkyModel};
 use idg::types::Observation;
@@ -59,13 +59,15 @@ fn bench_gridders(c: &mut Criterion) {
     ] {
         group.bench_function(BenchmarkId::new("optimized", name), |b| {
             let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-            b.iter(|| gridder_cpu(&data, &plan.items, &mut subgrids, acc));
+            let cache = KernelCache::new();
+            b.iter(|| gridder_cpu(&data, &plan.items, &mut subgrids, acc, &cache));
         });
     }
     group.bench_function("gpu_mapping_pascal", |b| {
         let device = Device::pascal();
         let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        b.iter(|| gridder_gpu(&data, &plan.items, &mut subgrids, &device));
+        let cache = KernelCache::new();
+        b.iter(|| gridder_gpu(&data, &plan.items, &mut subgrids, &device, &cache));
     });
     group.finish();
 }

@@ -2,7 +2,7 @@
 //! adder/splitter data movement.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use idg::kernels::{add_subgrids, split_subgrids, SubgridArray};
+use idg::kernels::{add_subgrids, split_subgrids, KernelCache, SubgridArray};
 use idg::telescope::{Layout, UvwGenerator};
 use idg::types::{Grid, Observation};
 use idg_plan::Plan;
@@ -48,12 +48,14 @@ fn bench_adder_splitter(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("adder_row_parallel", |b| {
         let mut grid = Grid::<f32>::new(obs.grid_size);
-        b.iter(|| add_subgrids(&mut grid, &plan.items, &subgrids));
+        let cache = KernelCache::new();
+        b.iter(|| add_subgrids(&mut grid, &plan.items, &subgrids, &cache).unwrap());
     });
     group.bench_function("splitter_subgrid_parallel", |b| {
         let grid = Grid::<f32>::new(obs.grid_size);
         let mut out = SubgridArray::new(plan.nr_subgrids(), obs.subgrid_size);
-        b.iter(|| split_subgrids(&grid, &plan.items, &mut out));
+        let cache = KernelCache::new();
+        b.iter(|| split_subgrids(&grid, &plan.items, &mut out, &cache).unwrap());
     });
     group.finish();
 }

@@ -9,7 +9,8 @@
 //! resulting dirty image from the f64 reference.
 
 use idg::kernels::{
-    add_subgrids, fft_subgrids, gridder_cpu, gridder_reference, FftNorm, KernelData, SubgridArray,
+    add_subgrids, fft_subgrids, gridder_cpu, gridder_reference, FftNorm, KernelCache, KernelData,
+    SubgridArray,
 };
 use idg::math::Accuracy;
 use idg::telescope::{Dataset, IdentityATerm, Layout, SkyModel};
@@ -29,13 +30,14 @@ fn image_for(
     let start = Instant::now();
     match accuracy {
         None => gridder_reference(data, &plan.items, &mut subgrids),
-        Some(acc) => gridder_cpu(data, &plan.items, &mut subgrids, acc),
+        Some(acc) => gridder_cpu(data, &plan.items, &mut subgrids, acc, &KernelCache::new()),
     }
     .expect("gridder inputs are consistent");
     let kernel_s = start.elapsed().as_secs_f64();
     fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
     let mut grid = Grid::<f32>::new(obs.grid_size);
-    add_subgrids(&mut grid, &plan.items, &subgrids);
+    add_subgrids(&mut grid, &plan.items, &subgrids, &KernelCache::new())
+        .expect("subgrid placement is consistent");
     (
         dirty_image(&grid, obs, plan.nr_gridded_visibilities()),
         kernel_s,

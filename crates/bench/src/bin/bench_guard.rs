@@ -1,0 +1,94 @@
+//! Wall-clock benchmark guard.
+//!
+//! Runs the measured host pass (`host_measured_run`, optimized CPU
+//! kernels under an observability session) at the current
+//! `IDG_BENCH_SCALE`, exports `results/BENCH_gridder.json` and
+//! `results/BENCH_degridder.json`, and compares the measured wall-clock
+//! against the committed baselines under `crates/bench/baselines/`.
+//!
+//! Exit is non-zero when either pass regresses by more than the
+//! tolerance (`IDG_BENCH_TOLERANCE`, default 0.20 = 20%) against the
+//! baseline's `kernel-cache` row at the same scale. Scales with no
+//! committed baseline row only report (first runs on a new scale are
+//! not failures). `IDG_BENCH_BASELINE_DIR` overrides the baseline
+//! directory (the CI smoke points it at a runner-local warmup export so
+//! the guard compares like with like instead of against another
+//! machine's clock).
+
+use idg_bench::{bench_json, bench_pass_row, bench_row_value, bench_scale, benchmark_dataset};
+
+fn tolerance() -> f64 {
+    std::env::var("IDG_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.20)
+}
+
+fn baseline_dir() -> std::path::PathBuf {
+    std::env::var_os("IDG_BENCH_BASELINE_DIR").map_or_else(
+        || std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines"),
+        std::path::PathBuf::from,
+    )
+}
+
+fn main() {
+    let scale = bench_scale();
+    let tol = tolerance();
+    let ds = benchmark_dataset(scale);
+    let run = idg_bench::host_measured_run(&ds);
+
+    let mut failed = false;
+    for (pass, report) in [("gridder", &run.gridding), ("degridder", &run.degridding)] {
+        let rows = vec![bench_pass_row("kernel-cache", scale, report)];
+        let json = bench_json(pass, &rows, false);
+        idg_obs::validate_json(&json).expect("BENCH export is valid JSON");
+        let out = idg_bench::write_results(&format!("BENCH_{pass}.json"), &json)
+            .expect("write BENCH export");
+        println!(
+            "{pass:<10} scale={scale} vis={} total_s={:.4} mvis_s={:.3} -> {}",
+            report.counts.visibilities,
+            report.total_seconds,
+            report.mvis_per_sec(),
+            out.display()
+        );
+
+        let baseline_path = baseline_dir().join(format!("BENCH_{pass}.json"));
+        let Ok(baseline) = std::fs::read_to_string(&baseline_path) else {
+            println!(
+                "{pass:<10} no committed baseline at {}",
+                baseline_path.display()
+            );
+            continue;
+        };
+        idg_obs::validate_json(&baseline)
+            .unwrap_or_else(|e| panic!("baseline {} invalid: {e}", baseline_path.display()));
+        let Some(reference) = bench_row_value(&baseline, "kernel-cache", scale, "total_s_wall")
+        else {
+            println!("{pass:<10} baseline has no kernel-cache row at scale {scale}; skipping");
+            continue;
+        };
+        let ratio = report.total_seconds / reference;
+        let verdict = if ratio > 1.0 + tol {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "{pass:<10} baseline_s={reference:.4} ratio={ratio:.3} (tolerance +{:.0}%) {verdict}",
+            tol * 100.0
+        );
+        // the committed seed row documents what the kernel cache bought
+        if let Some(seed) = bench_row_value(&baseline, "seed", scale, "total_s_wall") {
+            println!(
+                "{pass:<10} seed_s={seed:.4} speedup_vs_seed={:.2}x",
+                seed / report.total_seconds
+            );
+        }
+    }
+
+    if failed {
+        eprintln!("bench_guard: wall-clock regression beyond tolerance");
+        std::process::exit(1);
+    }
+}

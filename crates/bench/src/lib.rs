@@ -402,6 +402,55 @@ pub fn fig12_rows(host_iterations: u64) -> Vec<FigRow> {
         .collect()
 }
 
+/// One BENCH_*.json row from one pass of a measured host run.
+///
+/// Deterministic columns (`scale`, `visibilities`) pin the workload the
+/// timing belongs to; every timing column carries the `_wall` suffix so
+/// the golden suite masks it (wall-clock is machine-specific) while
+/// committed baselines keep the real values for the regression guard.
+pub fn bench_pass_row(label: &str, scale: usize, report: &ExecutionReport) -> FigRow {
+    FigRow {
+        label: label.to_string(),
+        wall_clock: false,
+        values: vec![
+            ("scale", scale as f64),
+            ("visibilities", report.counts.visibilities as f64),
+            ("kernel_s_wall", report.kernel_seconds),
+            ("fft_s_wall", report.fft_seconds),
+            ("adder_s_wall", report.adder_seconds),
+            ("total_s_wall", report.total_seconds),
+            ("mvis_s_wall", report.mvis_per_sec()),
+        ],
+    }
+}
+
+/// Serialize one pass's BENCH rows (`pass` is `"gridder"` or
+/// `"degridder"`; the figure tag becomes `BENCH_<pass>`).
+pub fn bench_json(pass: &str, rows: &[FigRow], mask_wall_clock: bool) -> String {
+    fig_json(&format!("BENCH_{pass}"), rows, mask_wall_clock)
+}
+
+/// Extract one named column of one row from a BENCH_*.json document
+/// (hand-rolled like every other JSON path in this offline workspace:
+/// the format is our own line-oriented `fig_json` output, one row
+/// object per line). Returns the value of `column` in the first row
+/// whose label and `scale` column match.
+pub fn bench_row_value(json: &str, label: &str, scale: usize, column: &str) -> Option<f64> {
+    let label_pat = format!("\"label\": \"{label}\"");
+    let scale_pat = format!("\"scale\": {:?}", scale as f64);
+    let col_pat = format!("\"{column}\": ");
+    for line in json.lines() {
+        if !(line.contains(&label_pat) && line.contains(&scale_pat)) {
+            continue;
+        }
+        let start = line.find(&col_pat)? + col_pat.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}'])?;
+        return rest[..end].trim().parse().ok();
+    }
+    None
+}
+
 /// Render a horizontal ASCII bar chart (used for the "distribution"
 /// figures): `rows` are `(label, segments)` where each segment is
 /// `(name, value)`.
@@ -524,6 +573,59 @@ mod tests {
         assert!(masked.contains("1.5"));
         assert!(!masked.contains("4.25") && !masked.contains("3.75") && !masked.contains("8.5"));
         assert_eq!(masked.matches("<wall-clock>").count(), 3);
+    }
+
+    #[test]
+    fn bench_rows_round_trip_through_the_hand_rolled_parser() {
+        let report = ExecutionReport {
+            backend: "cpu-optimized".into(),
+            pass: "gridding",
+            modeled: false,
+            kernel_seconds: 0.125,
+            fft_seconds: 0.5,
+            adder_seconds: 0.25,
+            transfer_seconds: 0.0,
+            total_seconds: 0.875,
+            counts: OpCounts {
+                visibilities: 1000,
+                ..OpCounts::default()
+            },
+            device_energy_j: None,
+            host_energy_j: None,
+            nr_retries: 0,
+            backoff_seconds: 0.0,
+            fallback_jobs: Vec::new(),
+            metrics: None,
+        };
+        let rows = vec![
+            bench_pass_row("seed", 15, &report),
+            bench_pass_row("kernel-cache", 15, &report),
+        ];
+        let json = bench_json("gridder", &rows, false);
+        idg_obs::validate_json(&json).expect("bench json is valid");
+        assert!(json.contains("\"figure\": \"BENCH_gridder\""));
+        assert_eq!(
+            bench_row_value(&json, "kernel-cache", 15, "total_s_wall"),
+            Some(0.875)
+        );
+        assert_eq!(
+            bench_row_value(&json, "seed", 15, "visibilities"),
+            Some(1000.0)
+        );
+        // wrong scale or label: no row
+        assert_eq!(
+            bench_row_value(&json, "kernel-cache", 8, "total_s_wall"),
+            None
+        );
+        assert_eq!(bench_row_value(&json, "missing", 15, "total_s_wall"), None);
+        // masked export stays parseable JSON but hides the wall columns
+        let masked = bench_json("gridder", &rows, true);
+        idg_obs::validate_json(&masked).expect("masked bench json");
+        assert_eq!(bench_row_value(&masked, "seed", 15, "total_s_wall"), None);
+        assert_eq!(
+            bench_row_value(&masked, "seed", 15, "visibilities"),
+            Some(1000.0)
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!
 //! and commit the updated files with the change that motivated them.
 
-use idg_bench::{benchmark_dataset, fig10_rows, fig12_rows, fig_json};
+use idg_bench::{
+    bench_json, bench_pass_row, bench_row_value, benchmark_dataset, fig10_rows, fig12_rows,
+    fig_json, host_measured_run,
+};
 use idg_obs::validate_json;
 use std::path::PathBuf;
 
@@ -66,6 +69,51 @@ fn fig10_throughput_json_matches_golden_snapshot() {
         "fig10_throughput.json",
         &fig_json("fig10_throughput", &rows, true),
     );
+}
+
+#[test]
+fn bench_guard_json_matches_golden_snapshot() {
+    // The BENCH_*.json schema the wall-clock guard exports: the masked
+    // form pins the deterministic columns (scale, visibility count —
+    // these change only when the workload itself changes) while the
+    // `_wall` timing columns are machine-specific and masked out.
+    let ds = benchmark_dataset(GOLDEN_SCALE);
+    let run = host_measured_run(&ds);
+    for (pass, report) in [("gridder", &run.gridding), ("degridder", &run.degridding)] {
+        let rows = vec![bench_pass_row("kernel-cache", GOLDEN_SCALE, report)];
+        let masked = bench_json(pass, &rows, true);
+        // wall columns are masked, deterministic columns survive
+        assert_eq!(
+            bench_row_value(&masked, "kernel-cache", GOLDEN_SCALE, "total_s_wall"),
+            None
+        );
+        assert!(bench_row_value(&masked, "kernel-cache", GOLDEN_SCALE, "visibilities").is_some());
+        check_golden(&format!("BENCH_{pass}.json"), &masked);
+    }
+}
+
+#[test]
+fn committed_baselines_parse_and_carry_the_speedup_contract() {
+    // The committed scale-15 baselines must stay parseable and must
+    // document a >= 1.2x kernel-cache improvement over the seed row —
+    // the acceptance criterion of the kernel-cache change.
+    for pass in ["gridder", "degridder"] {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("baselines")
+            .join(format!("BENCH_{pass}.json"));
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing baseline {}: {e}", path.display()));
+        validate_json(&baseline).unwrap_or_else(|e| panic!("{pass} baseline invalid: {e}"));
+        let seed = bench_row_value(&baseline, "seed", 15, "total_s_wall")
+            .unwrap_or_else(|| panic!("{pass} baseline lacks a seed row at scale 15"));
+        let cached = bench_row_value(&baseline, "kernel-cache", 15, "total_s_wall")
+            .unwrap_or_else(|| panic!("{pass} baseline lacks a kernel-cache row at scale 15"));
+        assert!(
+            seed / cached >= 1.2,
+            "{pass}: committed speedup {:.2}x below the 1.2x acceptance floor",
+            seed / cached
+        );
+    }
 }
 
 #[test]

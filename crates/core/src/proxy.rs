@@ -11,13 +11,14 @@ use idg_fft::Direction;
 use idg_gpusim::{Device, FaultConfig, GpuExecutor, GpuRunReport, JobFailure, RetryPolicy};
 use idg_kernels::{
     add_subgrids, degridder_cpu, degridder_reference, fft_subgrids, gridder_cpu, gridder_reference,
-    split_subgrids, FftNorm, KernelData, SubgridArray,
+    split_subgrids, FftNorm, KernelCache, KernelData, SubgridArray,
 };
 use idg_math::Accuracy;
 use idg_perf::{degridder_counts, gridder_counts};
 use idg_plan::Plan;
 use idg_telescope::ATerms;
 use idg_types::{Grid, IdgError, Observation, Uvw, Visibility};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which implementation executes the kernels.
@@ -101,6 +102,10 @@ pub struct Proxy {
     /// fallback is flagged in the report). When disabled, a persistent
     /// device fault fails the whole pass with its classified error.
     pub cpu_fallback: bool,
+    /// Pass-level kernel cache: geometry planes and adder/splitter
+    /// phasor tables, built on the first pass and reused by every later
+    /// one (shared with GPU executors).
+    cache: Arc<KernelCache>,
 }
 
 impl Proxy {
@@ -116,7 +121,13 @@ impl Proxy {
             fault_config: None,
             retry_policy: RetryPolicy::default(),
             cpu_fallback: true,
+            cache: Arc::new(KernelCache::new()),
         })
+    }
+
+    /// The proxy's pass-level kernel cache (hit/miss inspection).
+    pub fn kernel_cache(&self) -> &KernelCache {
+        &self.cache
     }
 
     /// Attach a device fault-injection schedule (GPU back-ends; CPU
@@ -160,7 +171,8 @@ impl Proxy {
 
     fn executor(&self) -> Result<GpuExecutor, IdgError> {
         let executor = GpuExecutor::new(self.device()?, self.work_group_size)
-            .with_retry_policy(self.retry_policy);
+            .with_retry_policy(self.retry_policy)
+            .with_cache(Arc::clone(&self.cache));
         Ok(match &self.fault_config {
             Some(f) => executor.with_faults(f.clone()),
             None => executor,
@@ -191,7 +203,7 @@ impl Proxy {
             let mut subgrids = SubgridArray::new(items.len(), self.obs.subgrid_size);
             gridder_reference(data, items, &mut subgrids)?;
             fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
-            add_subgrids(grid, items, &subgrids);
+            add_subgrids(grid, items, &subgrids, &self.cache)?;
         }
         Ok(report.failed_jobs.clone())
     }
@@ -217,7 +229,7 @@ impl Proxy {
             let _span = idg_obs::wall_span("cpu_fallback", "job", Some(failure.job as u32));
             let items = &plan.items[failure.first_item..failure.first_item + failure.nr_items];
             let mut subgrids = SubgridArray::new(items.len(), self.obs.subgrid_size);
-            split_subgrids(grid, items, &mut subgrids);
+            split_subgrids(grid, items, &mut subgrids, &self.cache)?;
             fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
             degridder_reference(data, items, &subgrids, vis)?;
         }
@@ -253,7 +265,13 @@ impl Proxy {
                         Backend::CpuReference => {
                             gridder_reference(&data, &plan.items, &mut subgrids)?;
                         }
-                        _ => gridder_cpu(&data, &plan.items, &mut subgrids, Accuracy::Medium)?,
+                        _ => gridder_cpu(
+                            &data,
+                            &plan.items,
+                            &mut subgrids,
+                            Accuracy::Medium,
+                            &self.cache,
+                        )?,
                     }
                 }
                 let t1 = Instant::now();
@@ -265,7 +283,7 @@ impl Proxy {
                 let mut grid = Grid::<f32>::new(self.obs.grid_size);
                 {
                     let _span = idg_obs::wall_span("adder", "stage", None);
-                    add_subgrids(&mut grid, &plan.items, &subgrids);
+                    add_subgrids(&mut grid, &plan.items, &subgrids, &self.cache)?;
                 }
                 let t3 = Instant::now();
 
@@ -398,6 +416,27 @@ impl Proxy {
                 )));
             }
         }
+        // Kernel-cache lookups are as deterministic as the op counts:
+        // the reference path consults the cache once per pass (the
+        // adder/splitter phasor tables), the optimized CPU path twice
+        // (geometry planes + phasor tables) and the GPU path twice per
+        // work group (each job's compute and commit phases look up
+        // independently).
+        let lookups = metrics.cache_hits + metrics.cache_misses;
+        let expected_lookups = match self.backend {
+            Backend::CpuReference => 1,
+            Backend::CpuOptimized => 2,
+            Backend::GpuPascal | Backend::GpuFiji => {
+                2 * plan.work_groups(self.work_group_size).count() as u64
+            }
+        };
+        if lookups != expected_lookups {
+            return Err(IdgError::Internal(format!(
+                "observability self-validation failed: {} cache lookups measured {lookups} \
+                 != expected {expected_lookups}",
+                report.pass
+            )));
+        }
         Ok(())
     }
 
@@ -446,7 +485,7 @@ impl Proxy {
                 let t0 = Instant::now();
                 {
                     let _span = idg_obs::wall_span("splitter", "stage", None);
-                    split_subgrids(grid, &plan.items, &mut subgrids);
+                    split_subgrids(grid, &plan.items, &mut subgrids, &self.cache)?;
                 }
                 let t1 = Instant::now();
                 {
@@ -468,6 +507,7 @@ impl Proxy {
                                 &subgrids,
                                 &mut vis,
                                 Accuracy::Medium,
+                                &self.cache,
                             )?;
                         }
                     }
@@ -884,6 +924,59 @@ mod tests {
         // failed job's by the CPU fallback, the rest on the device
         let analytic = gridder_counts(&plan.items, ds.obs.subgrid_size);
         assert_eq!(trace.metrics.gridder.visibilities, analytic.visibilities);
+    }
+
+    #[test]
+    fn second_pass_reuses_the_kernel_cache_bit_identically() {
+        // The tables built by the first pass serve every later one: the
+        // second gridding pass reports only cache hits, and its grid is
+        // bit-identical to the first (cached tables hold the very same
+        // values the cold path computed).
+        let ds = dataset();
+        let proxy = Proxy::new(Backend::CpuOptimized, ds.obs.clone()).unwrap();
+        let plan = proxy.plan(&ds.uvw).unwrap();
+
+        let (first, _, trace1) = proxy
+            .grid_observed(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        assert_eq!(trace1.metrics.cache_misses, 2, "cold pass builds tables");
+        assert_eq!(trace1.metrics.cache_hits, 0);
+
+        let (second, _, trace2) = proxy
+            .grid_observed(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        assert_eq!(trace2.metrics.cache_hits, 2, "warm pass reuses tables");
+        assert_eq!(trace2.metrics.cache_misses, 0);
+        assert_eq!(first.as_slice(), second.as_slice());
+
+        // the cache itself agrees with the per-session counters
+        assert_eq!(proxy.kernel_cache().misses(), 2);
+        assert_eq!(proxy.kernel_cache().hits(), 2);
+    }
+
+    #[test]
+    fn gpu_passes_share_the_proxy_cache_across_executors() {
+        // Each grid() call builds a fresh GpuExecutor, but the cache is
+        // the proxy's: the second pass is all hits.
+        let ds = dataset();
+        let mut proxy = Proxy::new(Backend::GpuPascal, ds.obs.clone()).unwrap();
+        proxy.work_group_size = 8;
+        let plan = proxy.plan(&ds.uvw).unwrap();
+        let jobs = plan.work_groups(8).count() as u64;
+        assert!(jobs > 1);
+
+        let (first, _, trace1) = proxy
+            .grid_observed(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        assert_eq!(trace1.metrics.cache_misses, 2, "one build per table kind");
+        assert_eq!(trace1.metrics.cache_hits, 2 * jobs - 2);
+
+        let (second, _, trace2) = proxy
+            .grid_observed(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        assert_eq!(trace2.metrics.cache_misses, 0);
+        assert_eq!(trace2.metrics.cache_hits, 2 * jobs);
+        assert_eq!(first.as_slice(), second.as_slice());
     }
 
     #[test]

@@ -76,10 +76,22 @@ impl Proxy {
         match self.backend() {
             Backend::CpuReference => gridder_reference(&data, &plan.items, &mut subgrids)?,
             Backend::CpuOptimized => {
-                gridder_cpu(&data, &plan.items, &mut subgrids, Accuracy::Medium)?;
+                gridder_cpu(
+                    &data,
+                    &plan.items,
+                    &mut subgrids,
+                    Accuracy::Medium,
+                    self.kernel_cache(),
+                )?;
             }
             Backend::GpuPascal | Backend::GpuFiji => {
-                gridder_gpu(&data, &plan.items, &mut subgrids, &self.device()?)?;
+                gridder_gpu(
+                    &data,
+                    &plan.items,
+                    &mut subgrids,
+                    &self.device()?,
+                    self.kernel_cache(),
+                )?;
             }
         }
         let gridder_subgrids = subgrids.clone();
@@ -88,7 +100,7 @@ impl Proxy {
         let fft_snapshot = subgrids.clone();
 
         let mut grid = Grid::<f32>::new(self.observation().grid_size);
-        add_subgrids(&mut grid, &plan.items, &subgrids);
+        add_subgrids(&mut grid, &plan.items, &subgrids, self.kernel_cache())?;
 
         Ok(GridStages {
             gridder_subgrids,
@@ -123,7 +135,7 @@ impl Proxy {
         }
 
         let mut subgrids = SubgridArray::new(plan.nr_subgrids(), self.observation().subgrid_size);
-        split_subgrids(grid, &plan.items, &mut subgrids);
+        split_subgrids(grid, &plan.items, &mut subgrids, self.kernel_cache())?;
         let split_snapshot = subgrids.clone();
 
         fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
@@ -133,10 +145,24 @@ impl Proxy {
         match self.backend() {
             Backend::CpuReference => degridder_reference(&data, &plan.items, &subgrids, &mut vis)?,
             Backend::CpuOptimized => {
-                degridder_cpu(&data, &plan.items, &subgrids, &mut vis, Accuracy::Medium)?;
+                degridder_cpu(
+                    &data,
+                    &plan.items,
+                    &subgrids,
+                    &mut vis,
+                    Accuracy::Medium,
+                    self.kernel_cache(),
+                )?;
             }
             Backend::GpuPascal | Backend::GpuFiji => {
-                degridder_gpu(&data, &plan.items, &subgrids, &mut vis, &self.device()?)?;
+                degridder_gpu(
+                    &data,
+                    &plan.items,
+                    &subgrids,
+                    &mut vis,
+                    &self.device()?,
+                    self.kernel_cache(),
+                )?;
             }
         }
 

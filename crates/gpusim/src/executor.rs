@@ -30,10 +30,13 @@ use crate::kernels::{degridder_gpu, gridder_gpu};
 use crate::stream::{Engine, FaultPoint, OpStatus, PipelineSim, TraceEntry};
 use crate::timing::{adder_time, kernel_time, subgrid_fft_time, transfer_time};
 use idg_fft::Direction;
-use idg_kernels::{add_subgrids, fft_subgrids, split_subgrids, FftNorm, KernelData, SubgridArray};
+use idg_kernels::{
+    add_subgrids, fft_subgrids, split_subgrids, FftNorm, KernelCache, KernelData, SubgridArray,
+};
 use idg_perf::{degridder_counts, gridder_counts, EnergyModel, OpCounts};
 use idg_plan::{Plan, WorkItem};
 use idg_types::{FaultSite, Grid, IdgError, Visibility};
+use std::sync::Arc;
 
 /// A job that failed persistently: its outputs are absent from the pass
 /// result and the proxy layer may re-execute it on the CPU backend.
@@ -367,6 +370,10 @@ pub struct GpuExecutor {
     pub faults: Option<FaultConfig>,
     /// Retry policy for transient device faults.
     pub retry: RetryPolicy,
+    /// Pass-level kernel cache (geometry planes, adder/splitter phasor
+    /// tables), shared with the owning proxy so tables persist across
+    /// passes.
+    pub cache: Arc<KernelCache>,
 }
 
 impl GpuExecutor {
@@ -379,12 +386,20 @@ impl GpuExecutor {
             work_group_size: work_group_size.max(1),
             faults: None,
             retry: RetryPolicy::default(),
+            cache: Arc::new(KernelCache::new()),
         }
     }
 
     /// Attach a fault-injection schedule to the device model.
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Share a pass-level kernel cache (normally the proxy's) instead of
+    /// the executor's own fresh one.
+    pub fn with_cache(mut self, cache: Arc<KernelCache>) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -490,13 +505,13 @@ impl GpuExecutor {
                     }
                     JobOp::Compute => {
                         subgrids = SubgridArray::new(group.len(), n);
-                        gridder_gpu(data, group, &mut subgrids, &device)?;
+                        gridder_gpu(data, group, &mut subgrids, &device, &self.cache)?;
                         fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
                         Ok(Vec::new())
                     }
                     JobOp::StageOutput => Ok(staged_subgrid_bytes(&subgrids)),
                     JobOp::Commit => {
-                        add_subgrids(grid_ref, group, &subgrids);
+                        add_subgrids(grid_ref, group, &subgrids, &self.cache)?;
                         Ok(Vec::new())
                     }
                 }
@@ -623,9 +638,9 @@ impl GpuExecutor {
                     JobOp::StageInput => Ok(staged_uvw_bytes(data, group)),
                     JobOp::Compute => {
                         subgrids = SubgridArray::new(group.len(), n);
-                        split_subgrids(grid, group, &mut subgrids);
+                        split_subgrids(grid, group, &mut subgrids, &self.cache)?;
                         fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
-                        degridder_gpu(data, group, &subgrids, vis_ref, &device)?;
+                        degridder_gpu(data, group, &subgrids, vis_ref, &device, &self.cache)?;
                         Ok(Vec::new())
                     }
                     JobOp::StageOutput => Ok(staged_vis_bytes(vis_ref, nr_time, nr_chan, group)),
@@ -788,7 +803,7 @@ mod tests {
         idg_kernels::gridder_reference(&data, &plan.items, &mut subgrids).expect("kernel run");
         fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
         let mut cpu_grid = Grid::<f32>::new(ds.obs.grid_size);
-        add_subgrids(&mut cpu_grid, &plan.items, &subgrids);
+        add_subgrids(&mut cpu_grid, &plan.items, &subgrids, &KernelCache::new()).unwrap();
 
         let scale = cpu_grid
             .as_slice()
@@ -817,7 +832,7 @@ mod tests {
         assert!(report.dtoh_seconds > 0.0);
 
         let mut subgrids = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        split_subgrids(&grid, &plan.items, &mut subgrids);
+        split_subgrids(&grid, &plan.items, &mut subgrids, &KernelCache::new()).unwrap();
         fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
         let mut gold = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
         idg_kernels::degridder_reference(&data, &plan.items, &subgrids, &mut gold)

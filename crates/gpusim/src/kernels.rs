@@ -22,6 +22,7 @@
 
 use crate::device::Device;
 use idg_kernels::buffers::{pixel_index, SubgridArray};
+use idg_kernels::cache::{GeometryKey, KernelCache};
 use idg_kernels::geometry::KernelGeometry;
 use idg_kernels::KernelData;
 use idg_math::{sincos, Accuracy};
@@ -45,6 +46,23 @@ struct SharedVis {
     phase_ref: f32, // reserved: per-channel φ-offset base (unused; offsets are per-pixel)
 }
 
+/// Per-thread gridder state, reused across work items (`for_each_init`):
+/// register accumulators, per-item phase offsets and the shared-memory
+/// staging buffer.
+struct GridderScratch {
+    regs: Vec<[Cf32; 4]>,
+    offs: Vec<f32>,
+    shared: Vec<SharedVis>,
+}
+
+/// Per-thread degridder state, reused across work items: register
+/// accumulators plus the shared-memory pixel/geometry batch.
+struct DegridderScratch {
+    regs: Vec<[Cf32; 4]>,
+    sh_pix: Vec<[Cf32; 4]>,
+    sh_geo: Vec<(f32, f32, f32, f32)>,
+}
+
 /// Execute the gridder with the GPU thread-block mapping; returns the
 /// operation counters of the launch, or a typed error when the launch
 /// configuration is inconsistent with its inputs.
@@ -53,6 +71,7 @@ pub fn gridder_gpu(
     items: &[WorkItem],
     subgrids: &mut SubgridArray,
     device: &Device,
+    cache: &KernelCache,
 ) -> Result<OpCounts, IdgError> {
     if subgrids.count() != items.len() {
         return Err(IdgError::ShapeMismatch {
@@ -70,6 +89,7 @@ pub fn gridder_gpu(
     let nr_chan = data.obs.nr_channels();
     let block_size = device.gridder_block_size;
     let batch_size = device.gridder_batch_size();
+    let planes = cache.geometry(GeometryKey::new(n, geom.image_size));
     let scales: Vec<f32> = data
         .obs
         .frequencies
@@ -81,100 +101,109 @@ pub fn gridder_gpu(
     items
         .par_iter()
         .zip(subgrids.as_mut_slice().par_chunks_exact_mut(4 * n2))
-        .for_each(|(item, subgrid)| {
-            let (u0, v0, w0) = geom.subgrid_center_uvw(item);
-            let base = item.baseline_index * nr_time + item.time_offset;
-            let item_chan = item.nr_channels;
-            let tc = item.nr_timesteps * item_chan;
+        .for_each_init(
+            || GridderScratch {
+                regs: Vec::new(),
+                offs: Vec::new(),
+                shared: Vec::new(),
+            },
+            |scr, (item, subgrid)| {
+                let (u0, v0, w0) = geom.subgrid_center_uvw(item);
+                let base = item.baseline_index * nr_time + item.time_offset;
+                let item_chan = item.nr_channels;
+                let tc = item.nr_timesteps * item_chan;
 
-            // Measured op tally for this block, incremented beside the
-            // staging and inner sincos/accumulate loops with their real
-            // trip counts; the uvw track is read once per timestep.
-            let mut tally = KernelCounters {
-                invocations: 1,
-                dram_bytes: item.nr_timesteps as u64 * BYTES_UVW,
-                ..KernelCounters::default()
-            };
+                // Measured op tally for this block, incremented beside the
+                // staging and inner sincos/accumulate loops with their real
+                // trip counts; the uvw track is read once per timestep.
+                let mut tally = KernelCounters {
+                    invocations: 1,
+                    dram_bytes: item.nr_timesteps as u64 * BYTES_UVW,
+                    ..KernelCounters::default()
+                };
 
-            // "registers": per-pixel accumulators held across batches
-            let mut regs = vec![[Cf32::zero(); 4]; n2];
-            // per-pixel geometry, computed once (threads collapse y/x)
-            let mut lmn = vec![(0.0f32, 0.0f32, 0.0f32, 0.0f32); n2];
-            for i in 0..n2 {
-                let (y, x) = (i / n, i % n);
-                let l = geom.pixel_to_lm(x);
-                let m = geom.pixel_to_lm(y);
-                let nt = KernelGeometry::compute_n(l, m);
-                let off = (2.0 * std::f64::consts::PI * (u0 * l + v0 * m + w0 * nt)) as f32;
-                lmn[i] = (l as f32, m as f32, nt as f32, off);
-            }
+                // "registers": per-pixel accumulators held across batches
+                scr.regs.resize(n2, [Cf32::zero(); 4]);
+                scr.regs[..n2].fill([Cf32::zero(); 4]);
+                // per-item phase offsets (l/m/n come from the cached planes)
+                scr.offs.resize(n2, 0.0);
+                for i in 0..n2 {
+                    scr.offs[i] = (2.0
+                        * std::f64::consts::PI
+                        * (u0 * planes.l[i] + v0 * planes.m[i] + w0 * planes.n_term[i]))
+                        as f32;
+                }
 
-            // shared-memory staging buffer, capacity-limited
-            let mut shared: Vec<SharedVis> = Vec::with_capacity(batch_size.min(tc));
-
-            let mut k0 = 0usize;
-            while k0 < tc {
-                let k1 = (k0 + batch_size).min(tc);
-                // cooperative load + transpose into shared memory
+                // shared-memory staging buffer, capacity-limited
+                let shared = &mut scr.shared;
                 shared.clear();
-                for k in k0..k1 {
-                    let (dt, ci) = (k / item_chan, k % item_chan);
-                    let c = item.channel_offset + ci;
-                    shared.push(SharedVis {
-                        uvw: data.uvw[base + dt],
-                        freq_scale: scales[c],
-                        pols: data.visibilities[(base + dt) * nr_chan + c].pols,
-                        phase_ref: 0.0,
-                    });
-                }
-                // each visibility is staged exactly once across batches
-                tally.visibilities += shared.len() as u64;
-                tally.dram_bytes += shared.len() as u64 * BYTES_POL4;
+                shared.reserve(batch_size.min(tc));
 
-                // __syncthreads(); threads iterate the staged batch
-                for tid in 0..block_size {
-                    let mut i = tid;
-                    while i < n2 {
-                        let (l, m, nt, off) = lmn[i];
-                        let acc = &mut regs[i];
-                        for sv in &shared {
-                            let phase_index =
-                                sv.uvw.u.mul_add(l, sv.uvw.v.mul_add(m, sv.uvw.w * nt));
-                            let phase = sv.freq_scale.mul_add(phase_index, -off) + sv.phase_ref;
-                            let (s, c) = sincos(phase, Accuracy::Fast);
-                            let phasor = Cf32::new(c, s);
-                            for p in 0..4 {
-                                acc[p].mul_acc(phasor, sv.pols[p]);
-                            }
-                        }
-                        tally.sincos_pairs += shared.len() as u64;
-                        tally.fmas += 17 * shared.len() as u64; // phase + 4 cmul-acc
-                        tally.shared_bytes += shared.len() as u64 * (BYTES_POL4 + BYTES_UVW);
-                        i += block_size;
+                let mut k0 = 0usize;
+                while k0 < tc {
+                    let k1 = (k0 + batch_size).min(tc);
+                    // cooperative load + transpose into shared memory
+                    shared.clear();
+                    for k in k0..k1 {
+                        let (dt, ci) = (k / item_chan, k % item_chan);
+                        let c = item.channel_offset + ci;
+                        shared.push(SharedVis {
+                            uvw: data.uvw[base + dt],
+                            freq_scale: scales[c],
+                            pols: data.visibilities[(base + dt) * nr_chan + c].pols,
+                            phase_ref: 0.0,
+                        });
                     }
-                }
-                k0 = k1;
-            }
+                    // each visibility is staged exactly once across batches
+                    tally.visibilities += shared.len() as u64;
+                    tally.dram_bytes += shared.len() as u64 * BYTES_POL4;
 
-            // epilogue: A-term sandwich + taper, coalesced store
-            let ap_plane = data.aterms.plane(item.aterm_index, item.baseline.station1);
-            let aq_plane = data.aterms.plane(item.aterm_index, item.baseline.station2);
-            tally.dram_bytes += (ap_plane.len() + aq_plane.len()) as u64 * BYTES_POL4;
-            for i in 0..n2 {
-                let (y, x) = (i / n, i % n);
-                let pix = Jones::from_pols(regs[i]);
-                let corrected = ap_plane[i]
-                    .hermitian()
-                    .mul(pix)
-                    .mul(aq_plane[i])
-                    .scale(data.taper[i]);
-                for (p, v) in corrected.to_pols().into_iter().enumerate() {
-                    subgrid[pixel_index(n, p, y, x)] = v;
+                    // __syncthreads(); threads iterate the staged batch
+                    for tid in 0..block_size {
+                        let mut i = tid;
+                        while i < n2 {
+                            let (l, m, nt, off) =
+                                (planes.lf[i], planes.mf[i], planes.nf[i], scr.offs[i]);
+                            let acc = &mut scr.regs[i];
+                            for sv in shared.iter() {
+                                let phase_index =
+                                    sv.uvw.u.mul_add(l, sv.uvw.v.mul_add(m, sv.uvw.w * nt));
+                                let phase = sv.freq_scale.mul_add(phase_index, -off) + sv.phase_ref;
+                                let (s, c) = sincos(phase, Accuracy::Fast);
+                                let phasor = Cf32::new(c, s);
+                                for p in 0..4 {
+                                    acc[p].mul_acc(phasor, sv.pols[p]);
+                                }
+                            }
+                            tally.sincos_pairs += shared.len() as u64;
+                            tally.fmas += 17 * shared.len() as u64; // phase + 4 cmul-acc
+                            tally.shared_bytes += shared.len() as u64 * (BYTES_POL4 + BYTES_UVW);
+                            i += block_size;
+                        }
+                    }
+                    k0 = k1;
                 }
-                tally.dram_bytes += BYTES_POL4; // output pixel written once
-            }
-            idg_obs::add_kernel(KernelStage::Gridder, &tally);
-        });
+
+                // epilogue: A-term sandwich + taper, coalesced store
+                let ap_plane = data.aterms.plane(item.aterm_index, item.baseline.station1);
+                let aq_plane = data.aterms.plane(item.aterm_index, item.baseline.station2);
+                tally.dram_bytes += (ap_plane.len() + aq_plane.len()) as u64 * BYTES_POL4;
+                for i in 0..n2 {
+                    let (y, x) = (i / n, i % n);
+                    let pix = Jones::from_pols(scr.regs[i]);
+                    let corrected = ap_plane[i]
+                        .hermitian()
+                        .mul(pix)
+                        .mul(aq_plane[i])
+                        .scale(data.taper[i]);
+                    for (p, v) in corrected.to_pols().into_iter().enumerate() {
+                        subgrid[pixel_index(n, p, y, x)] = v;
+                    }
+                    tally.dram_bytes += BYTES_POL4; // output pixel written once
+                }
+                idg_obs::add_kernel(KernelStage::Gridder, &tally);
+            },
+        );
 
     Ok(gridder_counts(items, n))
 }
@@ -188,6 +217,7 @@ pub fn degridder_gpu(
     subgrids: &SubgridArray,
     vis_out: &mut [Visibility<f32>],
     device: &Device,
+    cache: &KernelCache,
 ) -> Result<OpCounts, IdgError> {
     if subgrids.count() != items.len() {
         return Err(IdgError::ShapeMismatch {
@@ -212,6 +242,7 @@ pub fn degridder_gpu(
     let nr_chan = data.obs.nr_channels();
     let block_size = device.degridder_block_size;
     let batch_size = device.degridder_batch_size().min(n2);
+    let planes = cache.geometry(GeometryKey::new(n, geom.image_size));
     let scales: Vec<f32> = data
         .obs
         .frequencies
@@ -222,93 +253,105 @@ pub fn degridder_gpu(
     let results: Vec<(&WorkItem, Vec<Visibility<f32>>)> = items
         .par_iter()
         .enumerate()
-        .map(|(s_idx, item)| {
-            let subgrid = subgrids.subgrid(s_idx);
-            let (u0, v0, w0) = geom.subgrid_center_uvw(item);
-            let base = item.baseline_index * nr_time + item.time_offset;
-            let item_chan = item.nr_channels;
-            let tc = item.nr_timesteps * item_chan;
-            let ap_plane = data.aterms.plane(item.aterm_index, item.baseline.station1);
-            let aq_plane = data.aterms.plane(item.aterm_index, item.baseline.station2);
+        .map_init(
+            || DegridderScratch {
+                regs: Vec::new(),
+                sh_pix: Vec::new(),
+                sh_geo: Vec::new(),
+            },
+            |scr, (s_idx, item)| {
+                let subgrid = subgrids.subgrid(s_idx);
+                let (u0, v0, w0) = geom.subgrid_center_uvw(item);
+                let base = item.baseline_index * nr_time + item.time_offset;
+                let item_chan = item.nr_channels;
+                let tc = item.nr_timesteps * item_chan;
+                let ap_plane = data.aterms.plane(item.aterm_index, item.baseline.station1);
+                let aq_plane = data.aterms.plane(item.aterm_index, item.baseline.station2);
 
-            // Measured op tally (see gridder_gpu). The uvw track and
-            // both A-term planes are read once per item.
-            let mut tally = KernelCounters {
-                invocations: 1,
-                dram_bytes: item.nr_timesteps as u64 * BYTES_UVW
-                    + (ap_plane.len() + aq_plane.len()) as u64 * BYTES_POL4,
-                ..KernelCounters::default()
-            };
+                // Measured op tally (see gridder_gpu). The uvw track and
+                // both A-term planes are read once per item.
+                let mut tally = KernelCounters {
+                    invocations: 1,
+                    dram_bytes: item.nr_timesteps as u64 * BYTES_UVW
+                        + (ap_plane.len() + aq_plane.len()) as u64 * BYTES_POL4,
+                    ..KernelCounters::default()
+                };
 
-            // "registers": per-visibility accumulators across batches
-            let mut regs = vec![[Cf32::zero(); 4]; tc];
-            // shared memory: one batch of corrected pixels + geometry
-            let mut sh_pix = vec![[Cf32::zero(); 4]; batch_size];
-            let mut sh_geo = vec![(0.0f32, 0.0f32, 0.0f32, 0.0f32); batch_size];
+                // "registers": per-visibility accumulators across batches
+                scr.regs.resize(tc, [Cf32::zero(); 4]);
+                scr.regs[..tc].fill([Cf32::zero(); 4]);
+                // shared memory: one batch of corrected pixels + geometry
+                scr.sh_pix.resize(batch_size, [Cf32::zero(); 4]);
+                scr.sh_geo.resize(batch_size, (0.0, 0.0, 0.0, 0.0));
 
-            let mut i0 = 0usize;
-            while i0 < n2 {
-                let i1 = (i0 + batch_size).min(n2);
-                // pixel role: threads fill the shared batch (second
-                // mapping of Sec. V-C c: collapse y/x, apply Lines 2–3)
-                for (slot, i) in (i0..i1).enumerate() {
-                    let (y, x) = (i / n, i % n);
-                    let l = geom.pixel_to_lm(x);
-                    let m = geom.pixel_to_lm(y);
-                    let nt = KernelGeometry::compute_n(l, m);
-                    let off = (2.0 * std::f64::consts::PI * (u0 * l + v0 * m + w0 * nt)) as f32;
-                    sh_geo[slot] = (l as f32, m as f32, nt as f32, off);
-                    let raw = Jones::from_pols([
-                        subgrid[pixel_index(n, 0, y, x)],
-                        subgrid[pixel_index(n, 1, y, x)],
-                        subgrid[pixel_index(n, 2, y, x)],
-                        subgrid[pixel_index(n, 3, y, x)],
-                    ]);
-                    sh_pix[slot] = ap_plane[i]
-                        .sandwich(raw, aq_plane[i])
-                        .scale(data.taper[i])
-                        .to_pols();
-                }
-                // each pixel is staged exactly once across batches
-                tally.dram_bytes += (i1 - i0) as u64 * BYTES_POL4;
-
-                // __syncthreads(); visibility role: each thread folds the
-                // batch into its visibilities (first mapping)
-                for tid in 0..block_size {
-                    let mut k = tid;
-                    while k < tc {
-                        let (dt, ci) = (k / item_chan, k % item_chan);
-                        let uvw_m = data.uvw[base + dt];
-                        let scale = scales[item.channel_offset + ci];
-                        let acc = &mut regs[k];
-                        for slot in 0..(i1 - i0) {
-                            let (l, m, nt, off) = sh_geo[slot];
-                            let phase_index = uvw_m.u.mul_add(l, uvw_m.v.mul_add(m, uvw_m.w * nt));
-                            let phase = (-scale).mul_add(phase_index, off);
-                            let (s, cc) = sincos(phase, Accuracy::Fast);
-                            let phasor = Cf32::new(cc, s);
-                            for p in 0..4 {
-                                acc[p].mul_acc(phasor, sh_pix[slot][p]);
-                            }
-                        }
-                        tally.sincos_pairs += (i1 - i0) as u64;
-                        tally.fmas += 17 * (i1 - i0) as u64; // phase + 4 cmul-acc
-                        tally.shared_bytes += (i1 - i0) as u64 * (BYTES_POL4 + 16 + BYTES_UVW);
-                        k += block_size;
+                let mut i0 = 0usize;
+                while i0 < n2 {
+                    let i1 = (i0 + batch_size).min(n2);
+                    // pixel role: threads fill the shared batch (second
+                    // mapping of Sec. V-C c: collapse y/x, apply Lines 2–3;
+                    // l/m/n come from the cached planes)
+                    for (slot, i) in (i0..i1).enumerate() {
+                        let (y, x) = (i / n, i % n);
+                        let off = (2.0
+                            * std::f64::consts::PI
+                            * (u0 * planes.l[i] + v0 * planes.m[i] + w0 * planes.n_term[i]))
+                            as f32;
+                        scr.sh_geo[slot] = (planes.lf[i], planes.mf[i], planes.nf[i], off);
+                        let raw = Jones::from_pols([
+                            subgrid[pixel_index(n, 0, y, x)],
+                            subgrid[pixel_index(n, 1, y, x)],
+                            subgrid[pixel_index(n, 2, y, x)],
+                            subgrid[pixel_index(n, 3, y, x)],
+                        ]);
+                        scr.sh_pix[slot] = ap_plane[i]
+                            .sandwich(raw, aq_plane[i])
+                            .scale(data.taper[i])
+                            .to_pols();
                     }
+                    // each pixel is staged exactly once across batches
+                    tally.dram_bytes += (i1 - i0) as u64 * BYTES_POL4;
+
+                    // __syncthreads(); visibility role: each thread folds the
+                    // batch into its visibilities (first mapping)
+                    for tid in 0..block_size {
+                        let mut k = tid;
+                        while k < tc {
+                            let (dt, ci) = (k / item_chan, k % item_chan);
+                            let uvw_m = data.uvw[base + dt];
+                            let scale = scales[item.channel_offset + ci];
+                            let acc = &mut scr.regs[k];
+                            for slot in 0..(i1 - i0) {
+                                let (l, m, nt, off) = scr.sh_geo[slot];
+                                let phase_index =
+                                    uvw_m.u.mul_add(l, uvw_m.v.mul_add(m, uvw_m.w * nt));
+                                let phase = (-scale).mul_add(phase_index, off);
+                                let (s, cc) = sincos(phase, Accuracy::Fast);
+                                let phasor = Cf32::new(cc, s);
+                                for p in 0..4 {
+                                    acc[p].mul_acc(phasor, scr.sh_pix[slot][p]);
+                                }
+                            }
+                            tally.sincos_pairs += (i1 - i0) as u64;
+                            tally.fmas += 17 * (i1 - i0) as u64; // phase + 4 cmul-acc
+                            tally.shared_bytes += (i1 - i0) as u64 * (BYTES_POL4 + 16 + BYTES_UVW);
+                            k += block_size;
+                        }
+                    }
+                    i0 = i1;
                 }
-                i0 = i1;
-            }
 
-            // every register accumulator becomes one predicted visibility
-            tally.visibilities += tc as u64;
-            tally.dram_bytes += tc as u64 * BYTES_POL4;
-            idg_obs::add_kernel(KernelStage::Degridder, &tally);
+                // every register accumulator becomes one predicted visibility
+                tally.visibilities += tc as u64;
+                tally.dram_bytes += tc as u64 * BYTES_POL4;
+                idg_obs::add_kernel(KernelStage::Degridder, &tally);
 
-            let out: Vec<Visibility<f32>> =
-                regs.into_iter().map(|pols| Visibility { pols }).collect();
-            (item, out)
-        })
+                let out: Vec<Visibility<f32>> = scr.regs[..tc]
+                    .iter()
+                    .map(|pols| Visibility { pols: *pols })
+                    .collect();
+                (item, out)
+            },
+        )
         .collect();
 
     // scatter per (timestep, channel-group) — blocks are disjoint
@@ -380,7 +423,8 @@ mod tests {
 
         for device in [Device::pascal(), Device::fiji()] {
             let mut sim = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-            let counts = gridder_gpu(&data, &plan.items, &mut sim, &device).unwrap();
+            let counts =
+                gridder_gpu(&data, &plan.items, &mut sim, &device, &KernelCache::new()).unwrap();
             close_subgrids(&sim, &gold, 5e-4);
             assert_eq!(counts.rho(), 17.0);
             assert!(counts.visibilities > 0);
@@ -407,7 +451,15 @@ mod tests {
 
         let device = Device::pascal();
         let mut sim = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
-        let counts = degridder_gpu(&data, &plan.items, &subgrids, &mut sim, &device).unwrap();
+        let counts = degridder_gpu(
+            &data,
+            &plan.items,
+            &subgrids,
+            &mut sim,
+            &device,
+            &KernelCache::new(),
+        )
+        .unwrap();
         assert_eq!(counts.rho(), 17.0);
 
         let scale = gold
@@ -448,7 +500,7 @@ mod tests {
         let mut gold = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
         gridder_reference(&data, &plan.items, &mut gold).expect("kernel run");
         let mut sim = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_gpu(&data, &plan.items, &mut sim, &tiny).unwrap();
+        gridder_gpu(&data, &plan.items, &mut sim, &tiny, &KernelCache::new()).unwrap();
         close_subgrids(&sim, &gold, 5e-4);
     }
 
@@ -465,7 +517,14 @@ mod tests {
             taper: &taper,
         };
         let mut sg = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        let counts = gridder_gpu(&data, &plan.items, &mut sg, &Device::pascal()).unwrap();
+        let counts = gridder_gpu(
+            &data,
+            &plan.items,
+            &mut sg,
+            &Device::pascal(),
+            &KernelCache::new(),
+        )
+        .unwrap();
         let expect = idg_perf::gridder_counts(&plan.items, ds.obs.subgrid_size);
         assert_eq!(counts, expect);
     }
@@ -488,9 +547,24 @@ mod tests {
 
         let session = idg_obs::Session::begin("gridding");
         let mut sg = SubgridArray::new(plan.nr_subgrids(), n);
-        gridder_gpu(&data, &plan.items, &mut sg, &Device::pascal()).unwrap();
+        gridder_gpu(
+            &data,
+            &plan.items,
+            &mut sg,
+            &Device::pascal(),
+            &KernelCache::new(),
+        )
+        .unwrap();
         let mut vis = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
-        degridder_gpu(&data, &plan.items, &sg, &mut vis, &Device::pascal()).unwrap();
+        degridder_gpu(
+            &data,
+            &plan.items,
+            &sg,
+            &mut vis,
+            &Device::pascal(),
+            &KernelCache::new(),
+        )
+        .unwrap();
         let trace = session.finish();
 
         let g_expect = idg_perf::gridder_counts(&plan.items, n);

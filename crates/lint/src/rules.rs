@@ -280,6 +280,19 @@ pub const KERNEL_CONTRACTS: &[KernelContract] = &[
         signature_marker: "SubgridArray",
         required_any: &["add_subgrids_split"],
     },
+    // the pass-level kernel cache: every lookup must surface as a
+    // hit or a miss in the observability counters, or the proxy's
+    // expected-lookup self-validation rots silently
+    KernelContract {
+        name_prefix: "geometry",
+        signature_marker: "GeometryKey",
+        required_any: &["add_cache_hits", "add_cache_misses"],
+    },
+    KernelContract {
+        name_prefix: "phasors",
+        signature_marker: "PhasorKey",
+        required_any: &["add_cache_hits", "add_cache_misses"],
+    },
 ];
 
 fn matches_prefix(name: &str, prefix: &str) -> bool {

@@ -44,6 +44,31 @@ const PIO2_HI: f64 = std::f64::consts::FRAC_PI_2;
 /// reduction stays exact to f32 level even for quadrant counts ≈ 10⁴.
 const PIO2_LO: f64 = 6.123_233_995_736_766e-17;
 
+/// 1.5·2⁵²: adding it to a double of magnitude < 2⁵¹ pins the exponent,
+/// leaving the integer value (two's complement) in the low mantissa bits.
+const QUADRANT_MAGIC: f64 = 6_755_399_441_055_744.0;
+/// 1.5·2²³, the f32 analogue (valid for |k| < 2²²).
+const QUADRANT_MAGIC_F32: f32 = 12_582_912.0;
+
+/// Low two bits of the already-rounded quadrant count `k`, extracted via
+/// the magic-constant bit trick instead of a `k as i64` cast: the
+/// saturating float→int conversion lowers to a *scalar* `cvttsd2si` +
+/// compare/cmov chain per lane, which serializes the otherwise fully
+/// vectorized batch loops (~3× on the whole sincos). Value-identical to
+/// `(k as i64 & 3) as i32` for every |k| < 2⁵¹ — far beyond the
+/// documented |x| < 10⁹ argument range (see
+/// `magic_quadrant_matches_integer_cast`).
+#[inline(always)]
+fn quadrant_of(k: f64) -> i32 {
+    ((k + QUADRANT_MAGIC).to_bits() & 3) as i32
+}
+
+/// f32 variant of [`quadrant_of`] for the fast path (|k| < 2²²).
+#[inline(always)]
+fn quadrant_of_f32(k: f32) -> i32 {
+    ((k + QUADRANT_MAGIC_F32).to_bits() & 3) as i32
+}
+
 /// Reduce `x` to `(quadrant, r)` with `r ∈ [−π/4, π/4]` and
 /// `x = quadrant·π/2 + r`, using a two-part π/2 (Cody-Waite in f64).
 #[inline(always)]
@@ -52,7 +77,7 @@ fn reduce(x: f32) -> (i32, f32) {
     let k = (xd * FRAC_2_PI).round();
     let r = k.mul_add(-PIO2_HI, xd);
     let r = k.mul_add(-PIO2_LO, r);
-    ((k as i64 & 3) as i32, r as f32)
+    (quadrant_of(k), r as f32)
 }
 
 /// Cheap all-f32 Cody-Waite reduction used by the fast path. Splits π/2
@@ -68,7 +93,7 @@ fn reduce_fast(x: f32) -> (i32, f32) {
     let r = k.mul_add(-DP1, x);
     let r = k.mul_add(-DP2, r);
     let r = k.mul_add(-DP3, r);
-    ((k as i64 & 3) as i32, r)
+    (quadrant_of_f32(k), r)
 }
 
 /// Sine polynomial on the reduced argument (Cephes `sinf` minimax
@@ -292,6 +317,23 @@ mod tests {
         let mut s = [0.0f32; 4];
         let mut c = [0.0f32; 8];
         sincos_batch(&xs, &mut s, &mut c, Accuracy::Medium);
+    }
+
+    #[test]
+    fn magic_quadrant_matches_integer_cast() {
+        // The magic-constant extraction must reproduce `(k as i64 & 3)`
+        // bit-for-bit for every quadrant count the reductions can produce.
+        for i in -200_000i64..200_000 {
+            let k = i as f64;
+            assert_eq!(quadrant_of(k), (k as i64 & 3) as i32, "f64 k={k}");
+        }
+        for big in [1e9f64, 1e12, 2.0f64.powi(50), -(2.0f64.powi(50))] {
+            assert_eq!(quadrant_of(big), (big as i64 & 3) as i32);
+        }
+        for i in -70_000i64..70_000 {
+            let k = i as f32;
+            assert_eq!(quadrant_of_f32(k), (k as i64 & 3) as i32, "f32 k={k}");
+        }
     }
 
     #[test]

@@ -93,6 +93,10 @@ pub struct MetricsSnapshot {
     pub nr_retries: u64,
     /// Jobs re-executed on the CPU fallback path.
     pub fallback_jobs: u64,
+    /// Kernel-cache lookups answered from an already-built table.
+    pub cache_hits: u64,
+    /// Kernel-cache lookups that had to build their table.
+    pub cache_misses: u64,
 }
 
 impl MetricsSnapshot {
@@ -144,7 +148,9 @@ impl MetricsSnapshot {
              \x20 \"planned_items\": {},\n\
              \x20 \"skipped_visibilities\": {},\n\
              \x20 \"nr_retries\": {},\n\
-             \x20 \"fallback_jobs\": {}\n}}\n",
+             \x20 \"fallback_jobs\": {},\n\
+             \x20 \"cache_hits\": {},\n\
+             \x20 \"cache_misses\": {}\n}}\n",
             self.subgrids_fft,
             self.subgrids_ifft,
             self.subgrids_added,
@@ -153,6 +159,8 @@ impl MetricsSnapshot {
             self.skipped_visibilities,
             self.nr_retries,
             self.fallback_jobs,
+            self.cache_hits,
+            self.cache_misses,
         );
         out
     }
@@ -203,12 +211,16 @@ mod tests {
         let mut m = MetricsSnapshot::new("gridding");
         m.gridder.sincos_pairs = 42;
         m.nr_retries = 1;
+        m.cache_hits = 3;
+        m.cache_misses = 2;
         let j1 = m.to_json();
         let j2 = m.to_json();
         assert_eq!(j1, j2);
         crate::chrome::validate_json(&j1).expect("snapshot JSON must be valid");
         assert!(j1.contains("\"sincos_pairs\": 42"));
         assert!(j1.contains("\"nr_retries\": 1"));
+        assert!(j1.contains("\"cache_hits\": 3"));
+        assert!(j1.contains("\"cache_misses\": 2"));
     }
 
     #[test]

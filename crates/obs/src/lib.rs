@@ -217,6 +217,16 @@ pub fn add_fallback_jobs(n: u64) {
     with_collector(|c| c.metrics.fallback_jobs += n);
 }
 
+/// Record `n` kernel-cache lookups served from an existing table.
+pub fn add_cache_hits(n: u64) {
+    with_collector(|c| c.metrics.cache_hits += n);
+}
+
+/// Record `n` kernel-cache lookups that had to build their table.
+pub fn add_cache_misses(n: u64) {
+    with_collector(|c| c.metrics.cache_misses += n);
+}
+
 /// Record a span with *modeled* time (seconds on the device model's
 /// clock, converted to integer microseconds — fully deterministic).
 /// Both *endpoints* are rounded (rather than start and duration
