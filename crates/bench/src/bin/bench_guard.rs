@@ -3,8 +3,10 @@
 //! Runs the measured host pass (`host_measured_run`, optimized CPU
 //! kernels under an observability session) at the current
 //! `IDG_BENCH_SCALE`, exports `results/BENCH_gridder.json` and
-//! `results/BENCH_degridder.json`, and compares the measured wall-clock
-//! against the committed baselines under `crates/bench/baselines/`.
+//! `results/BENCH_degridder.json` (the wall-clock `kernel-cache` row
+//! plus a deterministic modeled `fleet` row carrying the degraded-mode
+//! accounting), and compares the measured wall-clock against the
+//! committed baselines under `crates/bench/baselines/`.
 //!
 //! Exit is non-zero when either pass regresses by more than the
 //! tolerance (`IDG_BENCH_TOLERANCE`, default 0.20 = 20%) against the
@@ -36,10 +38,20 @@ fn main() {
     let tol = tolerance();
     let ds = benchmark_dataset(scale);
     let run = idg_bench::host_measured_run(&ds);
+    // deterministic fleet run with one injected OOM: the exported
+    // `fleet` row documents the degraded-mode accounting (devices,
+    // re-dispatches, ladder rungs, breaker trips) at this scale
+    let fleet = idg_bench::fleet_chaos_run(&ds);
 
     let mut failed = false;
-    for (pass, report) in [("gridder", &run.gridding), ("degridder", &run.degridding)] {
-        let rows = vec![bench_pass_row("kernel-cache", scale, report)];
+    for (pass, report, fleet_report) in [
+        ("gridder", &run.gridding, &fleet.gridding),
+        ("degridder", &run.degridding, &fleet.degridding),
+    ] {
+        let rows = vec![
+            bench_pass_row("kernel-cache", scale, report),
+            idg_bench::fleet_bench_row(scale, fleet_report),
+        ];
         let json = bench_json(pass, &rows, false);
         idg_obs::validate_json(&json).expect("BENCH export is valid JSON");
         let out = idg_bench::write_results(&format!("BENCH_{pass}.json"), &json)
@@ -51,6 +63,17 @@ fn main() {
             report.mvis_per_sec(),
             out.display()
         );
+        if let Some(stats) = &fleet_report.fleet {
+            println!(
+                "{pass:<10} fleet devices={} redispatched={} degradation_steps={} \
+                 breaker_trips={} makespan_s={:.4}",
+                stats.nr_devices,
+                stats.redispatched_jobs,
+                stats.degradation_steps,
+                stats.breaker_trips,
+                fleet_report.total_seconds
+            );
+        }
 
         let baseline_path = baseline_dir().join(format!("BENCH_{pass}.json"));
         let Ok(baseline) = std::fs::read_to_string(&baseline_path) else {

@@ -81,6 +81,7 @@ pub fn model_cpu_report(
         nr_retries: 0,
         backoff_seconds: 0.0,
         fallback_jobs: Vec::new(),
+        fleet: None,
         metrics: None,
     }
 }
@@ -178,6 +179,70 @@ pub fn host_measured_run(ds: &Dataset) -> BackendRun {
     }
 }
 
+/// Run both passes through the `Proxy` fleet path: two simulated
+/// Pascal devices sharing one kernel cache, with one targeted
+/// allocation OOM on member 0 so the degradation ladder takes at least
+/// one rung per pass. Everything about the run is deterministic — the
+/// fault is pinned to `(job 0, attempt 0, Alloc)` and all timing is
+/// the modeled pipeline clock — so the fleet columns this feeds into
+/// the BENCH exports are pinned exactly by the golden suite.
+pub fn fleet_chaos_run(ds: &Dataset) -> BackendRun {
+    use idg::gpusim::{FaultConfig, FaultKind, TargetedFault};
+    use idg::types::FaultSite;
+    use idg::FleetConfig;
+
+    let oom = FaultConfig::targeted(vec![TargetedFault {
+        job: 0,
+        attempt: 0,
+        site: FaultSite::Alloc,
+        kind: FaultKind::OutOfMemory,
+    }]);
+    let proxy = Proxy::new(Backend::GpuPascal, ds.obs.clone())
+        .expect("fleet bench proxy")
+        .with_fleet_config(FleetConfig {
+            nr_devices: 2,
+            member_faults: vec![(0, oom)],
+            breaker: None,
+        });
+    let plan = proxy.plan(&ds.uvw).expect("fleet bench plan");
+    let (grid, g) = proxy
+        .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .expect("fleet grid");
+    let (_, d) = proxy
+        .degrid(&plan, &grid, &ds.uvw, &ds.aterms)
+        .expect("fleet degrid");
+    BackendRun {
+        name: "fleet 2x PASCAL (modeled)".into(),
+        gridding: g,
+        degridding: d,
+        arch: None,
+    }
+}
+
+/// The `fleet` row of a BENCH_*.json export: fleet shape and
+/// degraded-mode accounting next to the wall-clock rows. Every column
+/// is modeled (deterministic), so none carries the `_wall` mask
+/// suffix; `makespan_s` is the merged modeled makespan across devices.
+pub fn fleet_bench_row(scale: usize, report: &ExecutionReport) -> FigRow {
+    let stats = report
+        .fleet
+        .as_ref()
+        .expect("fleet_bench_row needs a fleet-path report");
+    FigRow {
+        label: "fleet".to_string(),
+        wall_clock: false,
+        values: vec![
+            ("scale", scale as f64),
+            ("visibilities", report.counts.visibilities as f64),
+            ("nr_devices", stats.nr_devices as f64),
+            ("redispatched_jobs", stats.redispatched_jobs as f64),
+            ("degradation_steps", stats.degradation_steps as f64),
+            ("breaker_trips", stats.breaker_trips as f64),
+            ("makespan_s", report.total_seconds),
+        ],
+    }
+}
+
 /// Modeled reports for the *full* paper-scale benchmark (11,175
 /// baselines × 8,192 time steps × 16 channels ≈ 1.46 G visibilities),
 /// extrapolated from the measured plan statistics of the scaled data
@@ -268,6 +333,7 @@ pub fn full_scale_runs(ds: &Dataset) -> Vec<BackendRun> {
                 nr_retries: 0,
                 backoff_seconds: 0.0,
                 fallback_jobs: Vec::new(),
+                fleet: None,
                 metrics: None,
             }
         };
@@ -595,6 +661,7 @@ mod tests {
             nr_retries: 0,
             backoff_seconds: 0.0,
             fallback_jobs: Vec::new(),
+            fleet: None,
             metrics: None,
         };
         let rows = vec![

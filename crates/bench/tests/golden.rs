@@ -18,7 +18,7 @@
 
 use idg_bench::{
     bench_json, bench_pass_row, bench_row_value, benchmark_dataset, fig10_rows, fig12_rows,
-    fig_json, host_measured_run,
+    fig_json, fleet_bench_row, fleet_chaos_run, host_measured_run,
 };
 use idg_obs::validate_json;
 use std::path::PathBuf;
@@ -76,11 +76,21 @@ fn bench_guard_json_matches_golden_snapshot() {
     // The BENCH_*.json schema the wall-clock guard exports: the masked
     // form pins the deterministic columns (scale, visibility count —
     // these change only when the workload itself changes) while the
-    // `_wall` timing columns are machine-specific and masked out.
+    // `_wall` timing columns are machine-specific and masked out. The
+    // `fleet` row is entirely modeled, so all of its columns —
+    // including the degradation-step count its injected OOM forces —
+    // are pinned exactly.
     let ds = benchmark_dataset(GOLDEN_SCALE);
     let run = host_measured_run(&ds);
-    for (pass, report) in [("gridder", &run.gridding), ("degridder", &run.degridding)] {
-        let rows = vec![bench_pass_row("kernel-cache", GOLDEN_SCALE, report)];
+    let fleet = fleet_chaos_run(&ds);
+    for (pass, report, fleet_report) in [
+        ("gridder", &run.gridding, &fleet.gridding),
+        ("degridder", &run.degridding, &fleet.degridding),
+    ] {
+        let rows = vec![
+            bench_pass_row("kernel-cache", GOLDEN_SCALE, report),
+            fleet_bench_row(GOLDEN_SCALE, fleet_report),
+        ];
         let masked = bench_json(pass, &rows, true);
         // wall columns are masked, deterministic columns survive
         assert_eq!(
@@ -88,6 +98,14 @@ fn bench_guard_json_matches_golden_snapshot() {
             None
         );
         assert!(bench_row_value(&masked, "kernel-cache", GOLDEN_SCALE, "visibilities").is_some());
+        // the fleet row survives masking whole: its injected OOM must
+        // register at least one ladder rung, and no rung may reach the
+        // CPU-fallback floor (that would surface as failed jobs)
+        let steps = bench_row_value(&masked, "fleet", GOLDEN_SCALE, "degradation_steps")
+            .expect("fleet row carries degradation_steps");
+        assert!(steps >= 1.0, "injected OOM took no ladder rung");
+        assert!(bench_row_value(&masked, "fleet", GOLDEN_SCALE, "makespan_s").is_some());
+        assert!(fleet_report.fallback_jobs.is_empty());
         check_golden(&format!("BENCH_{pass}.json"), &masked);
     }
 }

@@ -8,8 +8,8 @@
 //! timestamps kept) — must repeat exactly. This is what makes a trace
 //! attached to a bug report replayable.
 
-use idg::gpusim::FaultConfig;
-use idg::{Backend, Proxy};
+use idg::gpusim::{BreakerConfig, FaultConfig};
+use idg::{Backend, FleetConfig, Proxy};
 use idg_conformance::standard_cases;
 
 const WORK_GROUP_SIZE: usize = 4;
@@ -56,6 +56,63 @@ fn same_seed_chaos_runs_are_observationally_deterministic() {
             "seed {seed}: normalized trace event sequences must match"
         );
         assert!(!events_a.is_empty(), "seed {seed}: trace must not be empty");
+    }
+}
+
+/// One observed fleet gridding pass with a chaotic lemon member →
+/// (metrics JSON, normalized trace).
+fn observed_fleet_run(seed: u64) -> (String, Vec<String>) {
+    let case = &standard_cases().expect("standard cases build")[2];
+    let ds = case.dataset();
+    let mut proxy = Proxy::new(Backend::GpuPascal, case.obs.clone()).unwrap();
+    proxy.work_group_size = 1;
+    let proxy = proxy.with_fleet_config(FleetConfig {
+        nr_devices: 4,
+        member_faults: vec![(
+            1,
+            FaultConfig {
+                seed,
+                transfer_corruption_rate: 0.25,
+                kernel_fault_rate: 0.2,
+                stall_rate: 0.1,
+                ..FaultConfig::default()
+            },
+        )],
+        breaker: Some(BreakerConfig {
+            window: 4,
+            trip_unhealthy: 2,
+            cooldown_seconds: 0.5,
+            half_open_probes: 2,
+        }),
+    });
+    let plan = proxy.plan(&ds.uvw).unwrap();
+    let (_, report, trace) = proxy
+        .grid_observed(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .unwrap();
+    let metrics = report.metrics.expect("observed run must attach metrics");
+    (metrics.to_json(), idg_obs::normalized_events(&trace))
+}
+
+#[test]
+fn same_seed_fleet_runs_are_observationally_deterministic() {
+    // The fleet adds dispatch, breaker state machines and per-device
+    // span replay on top of the single-device model; none of it may
+    // introduce nondeterminism.
+    for seed in [2, 8] {
+        let (metrics_a, events_a) = observed_fleet_run(seed);
+        let (metrics_b, events_b) = observed_fleet_run(seed);
+        assert_eq!(
+            metrics_a, metrics_b,
+            "seed {seed}: fleet metrics snapshots must be byte-identical"
+        );
+        assert_eq!(
+            events_a, events_b,
+            "seed {seed}: fleet normalized trace event sequences must match"
+        );
+        assert!(
+            metrics_a.contains("\"breaker_trips\""),
+            "fleet counters must serialize"
+        );
     }
 }
 

@@ -1,0 +1,194 @@
+//! Correlated-fault chaos for the multi-device fleet executor.
+//!
+//! The single-device chaos suite injects faults that are uncorrelated
+//! across jobs; real clusters fail differently — one *lemon* device
+//! misbehaves persistently while its peers stay healthy. The fleet
+//! contract under that correlated schedule:
+//!
+//! * the merged grid is **bit-identical** to the fault-free
+//!   single-device reference — re-dispatching a lemon's jobs to peers
+//!   moves work, never numbers;
+//! * no job surfaces as a failure: the healthy peers absorb everything
+//!   the lemon drops, without the proxy's CPU fallback;
+//! * the lemon's circuit breaker observably trips (counter > 0 in the
+//!   metrics snapshot) and the makespan inflation stays bounded;
+//! * device OOM resolves on the degradation ladder (smaller batches,
+//!   fewer buffers) rather than falling back to the CPU.
+
+use idg::gpusim::{BreakerConfig, FaultConfig, FaultKind, TargetedFault};
+use idg::types::FaultSite;
+use idg::{Backend, FleetConfig, Proxy};
+use idg_conformance::standard_cases;
+
+/// One job per work group: enough dispatch points for a 4-device fleet
+/// on the small conformance cases.
+const WORK_GROUP_SIZE: usize = 1;
+
+/// The chronically flaky member: roughly 46 % of its attempts fault
+/// somewhere in the HtoD → kernel → DtoH chain.
+fn lemon_faults(seed: u64) -> FaultConfig {
+    FaultConfig {
+        seed,
+        transfer_corruption_rate: 0.25,
+        kernel_fault_rate: 0.2,
+        stall_rate: 0.1,
+        ..FaultConfig::default()
+    }
+}
+
+/// A breaker tuned for short conformance passes: two unhealthy
+/// outcomes in a window of four trip it.
+fn test_breaker() -> BreakerConfig {
+    BreakerConfig {
+        window: 4,
+        trip_unhealthy: 2,
+        cooldown_seconds: 0.5,
+        half_open_probes: 2,
+    }
+}
+
+fn fleet_proxy(case: &idg_conformance::Case, config: FleetConfig) -> Proxy {
+    let mut proxy = Proxy::new(Backend::GpuPascal, case.obs.clone()).unwrap();
+    proxy.work_group_size = WORK_GROUP_SIZE;
+    proxy.with_fleet_config(config)
+}
+
+#[test]
+fn lemon_fleet_delivers_bit_identical_grids_across_seeds() {
+    let cases = standard_cases().expect("standard cases build");
+    let case = &cases[2]; // ragged-tails: cheapest case
+    let ds = case.dataset();
+
+    // fault-free single-device reference
+    let mut gold_proxy = Proxy::new(Backend::GpuPascal, case.obs.clone()).unwrap();
+    gold_proxy.work_group_size = WORK_GROUP_SIZE;
+    let plan = gold_proxy.plan(&ds.uvw).unwrap();
+    let (gold, _) = gold_proxy
+        .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .unwrap();
+
+    // fault-free fleet makespan: the inflation baseline
+    let clean_fleet = fleet_proxy(
+        case,
+        FleetConfig {
+            nr_devices: 4,
+            member_faults: Vec::new(),
+            breaker: Some(test_breaker()),
+        },
+    );
+    let (_, clean_report) = clean_fleet
+        .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .unwrap();
+
+    let mut tripped_seeds = 0;
+    for seed in [2, 4, 8] {
+        let proxy = fleet_proxy(
+            case,
+            FleetConfig {
+                nr_devices: 4,
+                member_faults: vec![(1, lemon_faults(seed))],
+                breaker: Some(test_breaker()),
+            },
+        );
+        let (grid, report, trace) = proxy
+            .grid_observed(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+
+        // exactly-once delivery, no surfaced failures, no CPU fallback
+        assert!(
+            report.fallback_jobs.is_empty(),
+            "seed {seed}: the healthy peers must absorb every job"
+        );
+        assert_eq!(trace.metrics.fallback_jobs, 0, "seed {seed}");
+
+        // bit-identical numbers
+        for (i, (x, y)) in grid.as_slice().iter().zip(gold.as_slice()).enumerate() {
+            assert!(
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                "seed {seed}: grids diverge at {i}: {x:?} vs {y:?}"
+            );
+        }
+
+        // the lemon is visible in the report and the metrics snapshot
+        let stats = report.fleet.as_ref().expect("fleet pass carries stats");
+        if stats.breaker_trips > 0 {
+            tripped_seeds += 1;
+            assert!(
+                trace.metrics.breaker_trips > 0,
+                "seed {seed}: trips must reach the metrics snapshot"
+            );
+        }
+        assert!(
+            report.nr_retries > 0 || stats.redispatched_jobs > 0,
+            "seed {seed}: a 46 % lemon cannot pass silently"
+        );
+
+        // bounded makespan inflation: every second beyond the clean
+        // fleet's makespan must be accounted for by the fault model —
+        // stalls (0.1 s each, at most one per retried attempt), retry
+        // backoff, and at most one cooldown wait per breaker trip.
+        // Anything above that budget would mean the dispatcher wastes
+        // modeled time the schedule doesn't explain.
+        let budget = clean_report.total_seconds
+            + report.backoff_seconds
+            + report.nr_retries as f64 * 0.1
+            + (stats.breaker_trips as f64 + 1.0) * test_breaker().cooldown_seconds;
+        assert!(
+            report.total_seconds <= budget,
+            "seed {seed}: makespan {} exceeds fault budget {budget}",
+            report.total_seconds
+        );
+    }
+    assert!(
+        tripped_seeds > 0,
+        "at least one chaos seed must trip the lemon's breaker"
+    );
+}
+
+#[test]
+fn oom_resolves_on_the_degradation_ladder_without_cpu_fallback() {
+    let cases = standard_cases().expect("standard cases build");
+    let case = &cases[2];
+    let ds = case.dataset();
+
+    let mut gold_proxy = Proxy::new(Backend::GpuPascal, case.obs.clone()).unwrap();
+    gold_proxy.work_group_size = 4;
+    let plan = gold_proxy.plan(&ds.uvw).unwrap();
+    let (gold, _) = gold_proxy
+        .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .unwrap();
+
+    let mut proxy = Proxy::new(Backend::GpuPascal, case.obs.clone()).unwrap();
+    proxy.work_group_size = 4;
+    let proxy = proxy.with_fleet_config(FleetConfig {
+        nr_devices: 2,
+        member_faults: vec![(
+            0,
+            FaultConfig::targeted(vec![TargetedFault {
+                job: 0,
+                attempt: 0,
+                site: FaultSite::Alloc,
+                kind: FaultKind::OutOfMemory,
+            }]),
+        )],
+        breaker: None,
+    });
+    let (grid, report) = proxy
+        .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .unwrap();
+
+    let stats = report.fleet.as_ref().unwrap();
+    assert!(
+        stats.degradation_steps >= 1,
+        "device OOM must take the ladder"
+    );
+    assert!(
+        report.fallback_jobs.is_empty(),
+        "a halved batch fits: the CPU rung must not engage"
+    );
+    assert!(
+        stats.per_device.iter().all(|d| d.alive),
+        "degradation keeps the member in service"
+    );
+    assert_eq!(grid.as_slice(), gold.as_slice(), "ladder preserves bits");
+}

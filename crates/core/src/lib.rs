@@ -41,8 +41,8 @@ pub mod proxy;
 pub mod report;
 pub mod stages;
 
-pub use proxy::{Backend, Proxy};
-pub use report::ExecutionReport;
+pub use proxy::{Backend, FleetConfig, Proxy};
+pub use report::{ExecutionReport, FleetStats};
 pub use stages::{DegridStages, GridStages};
 
 // Re-export the workspace vocabulary so applications can depend on

@@ -6,9 +6,11 @@
 //! and *measure*; GPU back-ends execute the device model and *model*
 //! their times (see DESIGN.md, substitutions).
 
-use crate::report::ExecutionReport;
+use crate::report::{ExecutionReport, FleetStats};
 use idg_fft::Direction;
-use idg_gpusim::{Device, FaultConfig, GpuExecutor, GpuRunReport, JobFailure, RetryPolicy};
+use idg_gpusim::{
+    BreakerConfig, Device, FaultConfig, FleetExecutor, GpuExecutor, JobFailure, RetryPolicy,
+};
 use idg_kernels::{
     add_subgrids, degridder_cpu, degridder_reference, fft_subgrids, gridder_cpu, gridder_reference,
     split_subgrids, FftNorm, KernelCache, KernelData, SubgridArray,
@@ -86,6 +88,37 @@ fn check_finite_uvw(uvw: &[Uvw]) -> Result<(), IdgError> {
     Ok(())
 }
 
+/// Multi-device execution configuration for GPU back-ends.
+///
+/// When attached to a [`Proxy`] (see [`Proxy::with_fleet`]), gridding
+/// and degridding passes are partitioned across `nr_devices` clones of
+/// the back-end's device model by a [`FleetExecutor`], with per-device
+/// circuit breakers and the OOM degradation ladder between the plain
+/// device path and the proxy's per-job CPU fallback.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of member devices (clamped to at least 1).
+    pub nr_devices: usize,
+    /// Per-member fault schedules `(member index, schedule)`, applied
+    /// on top of the proxy-wide [`Proxy::fault_config`] (which, when
+    /// set, seeds *every* member).
+    pub member_faults: Vec<(usize, FaultConfig)>,
+    /// Circuit-breaker tuning shared by all members (`None` uses
+    /// [`BreakerConfig::default`]).
+    pub breaker: Option<BreakerConfig>,
+}
+
+impl FleetConfig {
+    /// A fault-free homogeneous fleet of `nr_devices` members.
+    pub fn new(nr_devices: usize) -> Self {
+        Self {
+            nr_devices: nr_devices.max(1),
+            member_faults: Vec::new(),
+            breaker: None,
+        }
+    }
+}
+
 /// A configured IDG instance for one observation.
 pub struct Proxy {
     backend: Backend,
@@ -102,6 +135,10 @@ pub struct Proxy {
     /// fallback is flagged in the report). When disabled, a persistent
     /// device fault fails the whole pass with its classified error.
     pub cpu_fallback: bool,
+    /// Multi-device execution: when set, GPU passes run on a
+    /// [`FleetExecutor`] over `nr_devices` clones of the back-end's
+    /// device model instead of a single [`GpuExecutor`].
+    pub fleet: Option<FleetConfig>,
     /// Pass-level kernel cache: geometry planes and adder/splitter
     /// phasor tables, built on the first pass and reused by every later
     /// one (shared with GPU executors).
@@ -121,6 +158,7 @@ impl Proxy {
             fault_config: None,
             retry_policy: RetryPolicy::default(),
             cpu_fallback: true,
+            fleet: None,
             cache: Arc::new(KernelCache::new()),
         })
     }
@@ -131,9 +169,25 @@ impl Proxy {
     }
 
     /// Attach a device fault-injection schedule (GPU back-ends; CPU
-    /// back-ends ignore it).
+    /// back-ends ignore it). With a fleet configured, the schedule
+    /// seeds every member (see [`FleetConfig::member_faults`] for
+    /// per-member overrides).
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.fault_config = Some(faults);
+        self
+    }
+
+    /// Run GPU passes across a fleet of `nr_devices` clones of the
+    /// back-end's device model (CPU back-ends ignore it).
+    pub fn with_fleet(mut self, nr_devices: usize) -> Self {
+        self.fleet = Some(FleetConfig::new(nr_devices));
+        self
+    }
+
+    /// Full fleet configuration (member fault schedules, breaker
+    /// tuning); see [`Proxy::with_fleet`] for the plain case.
+    pub fn with_fleet_config(mut self, config: FleetConfig) -> Self {
+        self.fleet = Some(config);
         self
     }
 
@@ -179,6 +233,41 @@ impl Proxy {
         })
     }
 
+    /// Build the fleet executor for `config`, sharing the proxy's
+    /// kernel cache across all members.
+    fn fleet_executor(&self, config: &FleetConfig) -> Result<FleetExecutor, IdgError> {
+        let mut fleet =
+            FleetExecutor::uniform(self.device()?, config.nr_devices, self.work_group_size)
+                .with_retry_policy(self.retry_policy)
+                .with_cache(Arc::clone(&self.cache));
+        if let Some(f) = &self.fault_config {
+            for member in 0..config.nr_devices {
+                fleet = fleet.with_member_faults(member, f.clone());
+            }
+        }
+        for (member, faults) in &config.member_faults {
+            if *member >= config.nr_devices {
+                return Err(IdgError::InvalidParameter(format!(
+                    "fleet member fault index {member} out of range (fleet has {} devices)",
+                    config.nr_devices
+                )));
+            }
+            fleet = fleet.with_member_faults(*member, faults.clone());
+        }
+        if let Some(breaker) = config.breaker {
+            fleet = fleet.with_breaker(breaker);
+        }
+        Ok(fleet)
+    }
+
+    /// Whether the fleet path can perturb measured counters: any fault
+    /// schedule on any member makes retries/degradation possible.
+    fn fleet_has_faults(&self) -> bool {
+        self.fleet
+            .as_ref()
+            .is_some_and(|c| !c.member_faults.is_empty())
+    }
+
     /// Graceful degradation after a device pass: re-execute the
     /// persistently failed jobs' work items on the CPU reference
     /// kernels and merge their subgrids into `grid`. Errors with the
@@ -188,16 +277,16 @@ impl Proxy {
         data: &KernelData<'_>,
         plan: &Plan,
         grid: &mut Grid<f32>,
-        report: &GpuRunReport,
+        failed_jobs: &[JobFailure],
     ) -> Result<Vec<JobFailure>, IdgError> {
-        if report.failed_jobs.is_empty() {
+        if failed_jobs.is_empty() {
             return Ok(Vec::new());
         }
         if !self.cpu_fallback {
-            return Err(report.failed_jobs[0].error.clone());
+            return Err(failed_jobs[0].error.clone());
         }
-        idg_obs::add_fallback_jobs(report.failed_jobs.len() as u64);
-        for failure in &report.failed_jobs {
+        idg_obs::add_fallback_jobs(failed_jobs.len() as u64);
+        for failure in failed_jobs {
             let _span = idg_obs::wall_span("cpu_fallback", "job", Some(failure.job as u32));
             let items = &plan.items[failure.first_item..failure.first_item + failure.nr_items];
             let mut subgrids = SubgridArray::new(items.len(), self.obs.subgrid_size);
@@ -205,7 +294,7 @@ impl Proxy {
             fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
             add_subgrids(grid, items, &subgrids, &self.cache)?;
         }
-        Ok(report.failed_jobs.clone())
+        Ok(failed_jobs.to_vec())
     }
 
     /// Degridding counterpart of [`Proxy::fallback_grid`]: predict the
@@ -216,16 +305,16 @@ impl Proxy {
         plan: &Plan,
         grid: &Grid<f32>,
         vis: &mut [Visibility<f32>],
-        report: &GpuRunReport,
+        failed_jobs: &[JobFailure],
     ) -> Result<Vec<JobFailure>, IdgError> {
-        if report.failed_jobs.is_empty() {
+        if failed_jobs.is_empty() {
             return Ok(Vec::new());
         }
         if !self.cpu_fallback {
-            return Err(report.failed_jobs[0].error.clone());
+            return Err(failed_jobs[0].error.clone());
         }
-        idg_obs::add_fallback_jobs(report.failed_jobs.len() as u64);
-        for failure in &report.failed_jobs {
+        idg_obs::add_fallback_jobs(failed_jobs.len() as u64);
+        for failure in failed_jobs {
             let _span = idg_obs::wall_span("cpu_fallback", "job", Some(failure.job as u32));
             let items = &plan.items[failure.first_item..failure.first_item + failure.nr_items];
             let mut subgrids = SubgridArray::new(items.len(), self.obs.subgrid_size);
@@ -233,7 +322,7 @@ impl Proxy {
             fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
             degridder_reference(data, items, &subgrids, vis)?;
         }
-        Ok(report.failed_jobs.clone())
+        Ok(failed_jobs.to_vec())
     }
 
     /// Grid visibilities onto a new grid.
@@ -305,13 +394,47 @@ impl Proxy {
                         nr_retries: 0,
                         backoff_seconds: 0.0,
                         fallback_jobs: Vec::new(),
+                        fleet: None,
                         metrics: None,
                     },
                 ))
             }
             Backend::GpuPascal | Backend::GpuFiji => {
+                if let Some(config) = self.fleet.clone() {
+                    let (mut grid, report) = self.fleet_executor(&config)?.grid(&data, plan)?;
+                    let fallback_jobs =
+                        self.fallback_grid(&data, plan, &mut grid, &report.failed_jobs)?;
+                    return Ok((
+                        grid,
+                        ExecutionReport {
+                            backend: self.backend.label().into(),
+                            pass: "gridding",
+                            modeled: true,
+                            kernel_seconds: report.kernel_seconds,
+                            fft_seconds: report.fft_seconds,
+                            adder_seconds: report.adder_seconds,
+                            transfer_seconds: report.htod_seconds + report.dtoh_seconds,
+                            total_seconds: report.makespan,
+                            counts: report.counts,
+                            device_energy_j: Some(report.device_energy_j),
+                            host_energy_j: Some(report.host_energy_j),
+                            nr_retries: report.nr_retries,
+                            backoff_seconds: report.backoff_seconds,
+                            fallback_jobs,
+                            fleet: Some(FleetStats {
+                                nr_devices: config.nr_devices,
+                                redispatched_jobs: report.redispatched_jobs,
+                                degradation_steps: report.degradation_steps,
+                                breaker_trips: report.breaker_trips,
+                                per_device: report.per_device,
+                            }),
+                            metrics: None,
+                        },
+                    ));
+                }
                 let (mut grid, report) = self.executor()?.grid(&data, plan)?;
-                let fallback_jobs = self.fallback_grid(&data, plan, &mut grid, &report)?;
+                let fallback_jobs =
+                    self.fallback_grid(&data, plan, &mut grid, &report.failed_jobs)?;
                 Ok((
                     grid,
                     ExecutionReport {
@@ -329,6 +452,7 @@ impl Proxy {
                         nr_retries: report.nr_retries,
                         backoff_seconds: report.backoff_seconds,
                         fallback_jobs,
+                        fleet: None,
                         metrics: None,
                     },
                 ))
@@ -387,7 +511,18 @@ impl Proxy {
     /// work item: retries and CPU fallbacks re-run them, and fault
     /// injection may re-run the compute phase for checksum staging.
     fn validate_measured(&self, report: &ExecutionReport, plan: &Plan) -> Result<(), IdgError> {
-        if self.fault_config.is_some() || report.nr_retries > 0 || !report.fallback_jobs.is_empty()
+        // Fleet runs self-validate too, but only when nothing perturbed
+        // the per-job kernel/cache cadence: member faults, breaker
+        // re-dispatches and degraded (chunked) jobs all change how often
+        // kernels and cache lookups run per work item.
+        let fleet_perturbed = self.fleet_has_faults()
+            || report.fleet.as_ref().is_some_and(|f| {
+                f.redispatched_jobs > 0 || f.degradation_steps > 0 || f.breaker_trips > 0
+            });
+        if self.fault_config.is_some()
+            || report.nr_retries > 0
+            || !report.fallback_jobs.is_empty()
+            || fleet_perturbed
         {
             return Ok(());
         }
@@ -532,13 +667,48 @@ impl Proxy {
                         nr_retries: 0,
                         backoff_seconds: 0.0,
                         fallback_jobs: Vec::new(),
+                        fleet: None,
                         metrics: None,
                     },
                 ))
             }
             Backend::GpuPascal | Backend::GpuFiji => {
+                if let Some(config) = self.fleet.clone() {
+                    let (mut vis, report) =
+                        self.fleet_executor(&config)?.degrid(&data, plan, grid)?;
+                    let fallback_jobs =
+                        self.fallback_degrid(&data, plan, grid, &mut vis, &report.failed_jobs)?;
+                    return Ok((
+                        vis,
+                        ExecutionReport {
+                            backend: self.backend.label().into(),
+                            pass: "degridding",
+                            modeled: true,
+                            kernel_seconds: report.kernel_seconds,
+                            fft_seconds: report.fft_seconds,
+                            adder_seconds: report.adder_seconds,
+                            transfer_seconds: report.htod_seconds + report.dtoh_seconds,
+                            total_seconds: report.makespan,
+                            counts: report.counts,
+                            device_energy_j: Some(report.device_energy_j),
+                            host_energy_j: Some(report.host_energy_j),
+                            nr_retries: report.nr_retries,
+                            backoff_seconds: report.backoff_seconds,
+                            fallback_jobs,
+                            fleet: Some(FleetStats {
+                                nr_devices: config.nr_devices,
+                                redispatched_jobs: report.redispatched_jobs,
+                                degradation_steps: report.degradation_steps,
+                                breaker_trips: report.breaker_trips,
+                                per_device: report.per_device,
+                            }),
+                            metrics: None,
+                        },
+                    ));
+                }
                 let (mut vis, report) = self.executor()?.degrid(&data, plan, grid)?;
-                let fallback_jobs = self.fallback_degrid(&data, plan, grid, &mut vis, &report)?;
+                let fallback_jobs =
+                    self.fallback_degrid(&data, plan, grid, &mut vis, &report.failed_jobs)?;
                 Ok((
                     vis,
                     ExecutionReport {
@@ -556,6 +726,7 @@ impl Proxy {
                         nr_retries: report.nr_retries,
                         backoff_seconds: report.backoff_seconds,
                         fallback_jobs,
+                        fleet: None,
                         metrics: None,
                     },
                 ))
@@ -977,6 +1148,121 @@ mod tests {
         assert_eq!(trace2.metrics.cache_misses, 0);
         assert_eq!(trace2.metrics.cache_hits, 2 * jobs);
         assert_eq!(first.as_slice(), second.as_slice());
+    }
+
+    #[test]
+    fn clean_fleet_passes_match_the_single_device_backend_bit_identically() {
+        let ds = dataset();
+        let mut single = Proxy::new(Backend::GpuPascal, ds.obs.clone()).unwrap();
+        single.work_group_size = 4;
+        let plan = single.plan(&ds.uvw).unwrap();
+        let (gold_grid, gold_report) = single
+            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        let (gold_vis, _) = single
+            .degrid(&plan, &gold_grid, &ds.uvw, &ds.aterms)
+            .unwrap();
+        assert!(gold_report.fleet.is_none(), "single device: no fleet stats");
+
+        let mut proxy = Proxy::new(Backend::GpuPascal, ds.obs.clone()).unwrap();
+        proxy.work_group_size = 4;
+        let proxy = proxy.with_fleet(3);
+        let (grid, report) = proxy
+            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        assert_eq!(grid.as_slice(), gold_grid.as_slice(), "bit-identical merge");
+        let stats = report.fleet.as_ref().unwrap();
+        assert_eq!(stats.nr_devices, 3);
+        assert_eq!(stats.per_device.len(), 3);
+        assert_eq!(stats.breaker_trips, 0);
+        assert_eq!(stats.redispatched_jobs, 0);
+        assert!(
+            report.total_seconds < gold_report.total_seconds,
+            "three devices beat one: {} vs {}",
+            report.total_seconds,
+            gold_report.total_seconds
+        );
+        assert!(report.to_string().contains("3 devices"));
+
+        let (vis, dreport) = proxy.degrid(&plan, &grid, &ds.uvw, &ds.aterms).unwrap();
+        assert_eq!(vis, gold_vis, "fleet degridding matches one device");
+        assert!(dreport.fleet.is_some());
+    }
+
+    #[test]
+    fn observed_clean_fleet_runs_self_validate() {
+        // A fault-free fleet keeps the per-job kernel/cache cadence of
+        // the single-device path, so validate_measured stays armed.
+        let ds = dataset();
+        let mut proxy = Proxy::new(Backend::GpuPascal, ds.obs.clone()).unwrap();
+        proxy.work_group_size = 4;
+        let proxy = proxy.with_fleet(2);
+        let plan = proxy.plan(&ds.uvw).unwrap();
+        let (grid, report, trace) = proxy
+            .grid_observed(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        assert!(grid.power() > 0.0);
+        let analytic = gridder_counts(&plan.items, ds.obs.subgrid_size);
+        assert_eq!(report.effective_counts(), analytic);
+        assert_eq!(trace.metrics.breaker_trips, 0);
+    }
+
+    #[test]
+    fn fleet_absorbs_a_lemon_device_without_cpu_fallback() {
+        use idg_gpusim::BreakerConfig;
+
+        let ds = dataset();
+        let mut gold_proxy = Proxy::new(Backend::GpuPascal, ds.obs.clone()).unwrap();
+        gold_proxy.work_group_size = 1;
+        let plan = gold_proxy.plan(&ds.uvw).unwrap();
+        let (gold, _) = gold_proxy
+            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+
+        let lemon = FaultConfig {
+            seed: 8,
+            transfer_corruption_rate: 0.25,
+            kernel_fault_rate: 0.2,
+            stall_rate: 0.1,
+            ..FaultConfig::default()
+        };
+        let mut proxy = Proxy::new(Backend::GpuPascal, ds.obs.clone()).unwrap();
+        proxy.work_group_size = 1;
+        let proxy = proxy.with_fleet_config(FleetConfig {
+            nr_devices: 4,
+            member_faults: vec![(1, lemon)],
+            breaker: Some(BreakerConfig {
+                window: 4,
+                trip_unhealthy: 2,
+                cooldown_seconds: 0.5,
+                half_open_probes: 2,
+            }),
+        });
+        let (grid, report) = proxy
+            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        assert!(report.fallback_jobs.is_empty(), "peers absorb the lemon");
+        let stats = report.fleet.as_ref().unwrap();
+        assert!(stats.breaker_trips > 0, "the lemon trips its breaker");
+        assert!(stats.redispatched_jobs > 0, "its jobs move to peers");
+        assert_eq!(grid.as_slice(), gold.as_slice(), "still bit-identical");
+    }
+
+    #[test]
+    fn fleet_member_fault_index_out_of_range_is_rejected() {
+        let ds = dataset();
+        let proxy = Proxy::new(Backend::GpuPascal, ds.obs.clone())
+            .unwrap()
+            .with_fleet_config(FleetConfig {
+                nr_devices: 2,
+                member_faults: vec![(5, FaultConfig::default())],
+                breaker: None,
+            });
+        let plan = proxy.plan(&ds.uvw).unwrap();
+        assert!(matches!(
+            proxy.grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms),
+            Err(IdgError::InvalidParameter(msg)) if msg.contains("out of range")
+        ));
     }
 
     #[test]

@@ -5,9 +5,32 @@
 //! per-stage times (Fig. 9), visibility throughput (Fig. 10), operation
 //! counts and intensities (Figs. 11–13) and energy (Figs. 14–15).
 
-use idg_gpusim::JobFailure;
+use idg_gpusim::{DeviceReport, JobFailure};
 use idg_obs::MetricsSnapshot;
 use idg_perf::OpCounts;
+
+/// Aggregated multi-device statistics of a fleet pass.
+///
+/// Present on [`ExecutionReport`] only when the pass ran on a
+/// [`idg_gpusim::FleetExecutor`] (see [`crate::Proxy::with_fleet`]);
+/// `None` for CPU and single-device passes. The merged makespan is
+/// the report's `total_seconds`; retries are aggregated into the
+/// report's `nr_retries`.
+#[derive(Clone, Debug)]
+pub struct FleetStats {
+    /// Number of member devices the pass was partitioned across.
+    pub nr_devices: usize,
+    /// Dispatches that did not land on the job's preferred device
+    /// (breaker refusals, dead devices, post-failure re-queues).
+    pub redispatched_jobs: usize,
+    /// Degradation-ladder rungs taken across the fleet.
+    pub degradation_steps: usize,
+    /// Circuit-breaker trips summed over devices.
+    pub breaker_trips: u64,
+    /// Per-device breakdown (completion counts, retries, final
+    /// degradation rung, pipeline makespan, liveness).
+    pub per_device: Vec<DeviceReport>,
+}
 
 /// Timing and accounting of one gridding or degridding pass.
 #[derive(Clone, Debug)]
@@ -44,6 +67,9 @@ pub struct ExecutionReport {
     /// the CPU reference backend (graceful degradation). Empty when the
     /// pass ran entirely on its selected back-end.
     pub fallback_jobs: Vec<JobFailure>,
+    /// Multi-device aggregation when the pass ran on a fleet;
+    /// `None` for CPU and single-device passes.
+    pub fleet: Option<FleetStats>,
     /// Measured counter snapshot of the pass, present when it ran under
     /// an observability session ([`crate::Proxy::grid_observed`] /
     /// [`crate::Proxy::degrid_observed`]); `None` for plain passes, so
@@ -146,6 +172,28 @@ impl std::fmt::Display for ExecutionReport {
                 self.fallback_jobs.len()
             )?;
         }
+        if let Some(fleet) = &self.fleet {
+            writeln!(
+                f,
+                "  fleet  {} devices, {} redispatched jobs, {} degradation steps, {} breaker trips",
+                fleet.nr_devices,
+                fleet.redispatched_jobs,
+                fleet.degradation_steps,
+                fleet.breaker_trips
+            )?;
+            for d in &fleet.per_device {
+                writeln!(
+                    f,
+                    "    {:<8} {:>3} jobs   {:>3} retries   rung {}   {:>9.4} s{}",
+                    d.nickname,
+                    d.jobs_completed,
+                    d.nr_retries,
+                    d.degradation_level,
+                    d.makespan,
+                    if d.alive { "" } else { "   (dead)" }
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -176,6 +224,7 @@ mod tests {
             nr_retries: 0,
             backoff_seconds: 0.0,
             fallback_jobs: Vec::new(),
+            fleet: None,
             metrics: None,
         }
     }
@@ -233,6 +282,33 @@ mod tests {
             ..report()
         };
         assert!(r.to_string().contains("2 retried attempts"));
+    }
+
+    #[test]
+    fn display_reports_fleet_stats_only_for_fleet_passes() {
+        assert!(!report().to_string().contains("fleet"));
+        let r = ExecutionReport {
+            fleet: Some(FleetStats {
+                nr_devices: 4,
+                redispatched_jobs: 3,
+                degradation_steps: 1,
+                breaker_trips: 2,
+                per_device: vec![DeviceReport {
+                    nickname: "PASCAL",
+                    jobs_completed: 15,
+                    nr_retries: 6,
+                    breaker_trips: 2,
+                    degradation_level: 1,
+                    makespan: 0.5,
+                    alive: false,
+                }],
+            }),
+            ..report()
+        };
+        let text = r.to_string();
+        assert!(text.contains("4 devices"));
+        assert!(text.contains("2 breaker trips"));
+        assert!(text.contains("(dead)"));
     }
 
     #[test]

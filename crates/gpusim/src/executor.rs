@@ -123,12 +123,12 @@ impl GpuRunReport {
 
 /// Engine time consumed by faulted attempts plus retry bookkeeping.
 #[derive(Default)]
-struct RetryStats {
-    nr_retries: usize,
-    backoff_seconds: f64,
-    htod_seconds: f64,
-    kernel_seconds: f64,
-    dtoh_seconds: f64,
+pub(crate) struct RetryStats {
+    pub(crate) nr_retries: usize,
+    pub(crate) backoff_seconds: f64,
+    pub(crate) htod_seconds: f64,
+    pub(crate) kernel_seconds: f64,
+    pub(crate) dtoh_seconds: f64,
 }
 
 /// What the retry loop asks the pass-specific backend to do. `Stage*`
@@ -136,28 +136,58 @@ struct RetryStats {
 /// detect injected corruption); `Compute` runs the real kernels (and
 /// must be idempotent — a retry re-runs it from scratch); `Commit`
 /// merges the computed outputs into the pass result.
-enum JobOp {
+pub(crate) enum JobOp {
     StageInput,
     Compute,
     StageOutput,
     Commit,
 }
 
-/// Run one job through the fault/retry loop. Returns the number of
-/// attempts used, or the final classified error and the attempt count.
+/// How one trip through the fault/retry loop ended: the job either
+/// completed (after `attempts` tries) or exhausted its chances on a
+/// classified error. Every failure carries an [`IdgError`]; the
+/// attempt count rides alongside so callers can account retries.
+pub(crate) enum JobRun {
+    Done { attempts: u32 },
+    Failed { error: IdgError, attempts: u32 },
+}
+
+/// Run one job through the fault/retry loop.
+///
+/// `start` is `(first_attempt, not_before)`: the single-device executor
+/// always passes `(0, 0.0)`, while the fleet resumes a job past an
+/// OOM-degraded attempt (so the same injected fault is not re-drawn)
+/// and delays jobs that waited out a breaker cooldown.
 #[allow(clippy::too_many_arguments)]
-fn run_job(
+pub(crate) fn run_job(
     pipeline: &mut PipelineSim,
     injector: Option<&FaultInjector>,
     retry: &RetryPolicy,
     stats: &mut RetryStats,
     job: usize,
     times: (f64, f64, f64),
+    start: (u32, f64),
+    run: &mut dyn FnMut(JobOp) -> Result<Vec<u8>, IdgError>,
+) -> JobRun {
+    match run_job_inner(pipeline, injector, retry, stats, job, times, start, run) {
+        Ok(attempts) => JobRun::Done { attempts },
+        Err((error, attempts)) => JobRun::Failed { error, attempts },
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_job_inner(
+    pipeline: &mut PipelineSim,
+    injector: Option<&FaultInjector>,
+    retry: &RetryPolicy,
+    stats: &mut RetryStats,
+    job: usize,
+    times: (f64, f64, f64),
+    start: (u32, f64),
     run: &mut dyn FnMut(JobOp) -> Result<Vec<u8>, IdgError>,
 ) -> Result<u32, (IdgError, u32)> {
     let (t_in, t_compute, t_out) = times;
-    let mut attempt: u32 = 0;
-    let mut not_before = 0.0;
+    let (mut attempt, mut not_before) = start;
     loop {
         let hard = |e: IdgError| (e, attempt + 1);
         // what does the injector throw at this attempt? (sites probed
@@ -271,7 +301,15 @@ fn run_job(
 /// into its constituent kernels. `parts[job]` lists `(name, seconds)`
 /// in execution order and sums to the job's compute time; it is empty
 /// when the session was inactive while the pass ran.
-fn emit_modeled_spans(timeline: &[TraceEntry], parts: &[Vec<(&'static str, f64)>]) {
+///
+/// `base_lane` offsets every lane: the single-device executor replays
+/// into lanes 0–3, the fleet replays device `d` into lanes
+/// `4d .. 4d + 3` so per-device timelines render side by side.
+pub(crate) fn emit_modeled_spans(
+    timeline: &[TraceEntry],
+    parts: &[Vec<(&'static str, f64)>],
+    base_lane: u32,
+) {
     if !idg_obs::is_active() {
         return;
     }
@@ -284,14 +322,21 @@ fn emit_modeled_spans(timeline: &[TraceEntry], parts: &[Vec<(&'static str, f64)>
     }
     for (job, ext) in extents.iter().enumerate() {
         if let Some((start, end)) = ext {
-            idg_obs::modeled_span("job", "job", Some(job as u32), 0, *start, end - start);
+            idg_obs::modeled_span(
+                "job",
+                "job",
+                Some(job as u32),
+                base_lane,
+                *start,
+                end - start,
+            );
         }
     }
     for e in timeline {
         let (name, faulted_name, lane) = match e.engine {
-            Engine::HtoD => ("HtoD", "HtoD!", 1),
-            Engine::Compute => ("Compute", "Compute!", 2),
-            Engine::DtoH => ("DtoH", "DtoH!", 3),
+            Engine::HtoD => ("HtoD", "HtoD!", base_lane + 1),
+            Engine::Compute => ("Compute", "Compute!", base_lane + 2),
+            Engine::DtoH => ("DtoH", "DtoH!", base_lane + 3),
         };
         let completed = e.status == OpStatus::Completed;
         idg_obs::modeled_span(
@@ -314,7 +359,7 @@ fn emit_modeled_spans(timeline: &[TraceEntry], parts: &[Vec<(&'static str, f64)>
 
 /// Raw bytes of the visibilities a group transfers (HtoD payload of a
 /// gridding job, DtoH payload of a degridding job).
-fn staged_vis_bytes(
+pub(crate) fn staged_vis_bytes(
     vis: &[Visibility<f32>],
     nr_timesteps: usize,
     nr_channels: usize,
@@ -336,7 +381,7 @@ fn staged_vis_bytes(
 }
 
 /// Raw bytes of the uvw coordinates a group transfers (degridding HtoD).
-fn staged_uvw_bytes(data: &KernelData<'_>, group: &[WorkItem]) -> Vec<u8> {
+pub(crate) fn staged_uvw_bytes(data: &KernelData<'_>, group: &[WorkItem]) -> Vec<u8> {
     let nr_time = data.obs.nr_timesteps;
     let mut out = Vec::new();
     for item in group {
@@ -351,7 +396,7 @@ fn staged_uvw_bytes(data: &KernelData<'_>, group: &[WorkItem]) -> Vec<u8> {
 }
 
 /// Raw bytes of a subgrid buffer (DtoH payload of host-adder gridding).
-fn staged_subgrid_bytes(subgrids: &SubgridArray) -> Vec<u8> {
+pub(crate) fn staged_subgrid_bytes(subgrids: &SubgridArray) -> Vec<u8> {
     let mut out = Vec::with_capacity(subgrids.as_slice().len() * 8);
     for c in subgrids.as_slice() {
         out.extend_from_slice(&c.re.to_le_bytes());
@@ -523,9 +568,10 @@ impl GpuExecutor {
                 &mut stats,
                 job,
                 (t_in, t_compute, t_out),
+                (0, 0.0),
                 &mut backend,
             ) {
-                Ok(_) => {
+                JobRun::Done { .. } => {
                     counts.add(&group_counts);
                     kernel_seconds += t_kernel;
                     fft_seconds += t_fft;
@@ -533,7 +579,7 @@ impl GpuExecutor {
                     htod_seconds += t_in;
                     dtoh_seconds += t_out;
                 }
-                Err((error, attempts)) => failed_jobs.push(JobFailure {
+                JobRun::Failed { error, attempts } => failed_jobs.push(JobFailure {
                     job,
                     first_item: job * self.work_group_size,
                     nr_items: group.len(),
@@ -546,7 +592,7 @@ impl GpuExecutor {
         kernel_seconds += stats.kernel_seconds;
         dtoh_seconds += stats.dtoh_seconds;
         idg_obs::add_retries(stats.nr_retries as u64);
-        emit_modeled_spans(&pipeline.timeline, &compute_parts);
+        emit_modeled_spans(&pipeline.timeline, &compute_parts, 0);
 
         device.free(reserved);
         let makespan = pipeline.makespan();
@@ -656,9 +702,10 @@ impl GpuExecutor {
                 &mut stats,
                 job,
                 (t_in, t_split + t_fft + t_kernel, t_out),
+                (0, 0.0),
                 &mut backend,
             ) {
-                Ok(_) => {
+                JobRun::Done { .. } => {
                     counts.add(&group_counts);
                     kernel_seconds += t_kernel;
                     fft_seconds += t_fft;
@@ -666,7 +713,7 @@ impl GpuExecutor {
                     htod_seconds += t_in;
                     dtoh_seconds += t_out;
                 }
-                Err((error, attempts)) => {
+                JobRun::Failed { error, attempts } => {
                     // a faulted attempt may have computed these slots
                     // before the chain died — failed jobs leave zeros
                     for item in group {
@@ -692,7 +739,7 @@ impl GpuExecutor {
         kernel_seconds += stats.kernel_seconds;
         dtoh_seconds += stats.dtoh_seconds;
         idg_obs::add_retries(stats.nr_retries as u64);
-        emit_modeled_spans(&pipeline.timeline, &compute_parts);
+        emit_modeled_spans(&pipeline.timeline, &compute_parts, 0);
 
         device.free(reserved);
         let makespan = pipeline.makespan();

@@ -1,0 +1,1047 @@
+//! Multi-device fleet execution: health-gated dispatch, circuit
+//! breakers, and graceful OOM degradation over N simulated devices.
+//!
+//! The [`FleetExecutor`] partitions a pass's work groups across its
+//! member devices round-robin (job `j` prefers device `j mod N`) and
+//! runs each job through the same fault/retry machinery as the
+//! single-device [`crate::GpuExecutor`]. On top of that it layers the
+//! robustness the single executor lacks:
+//!
+//! - **Health-aware dispatch.** Every device carries a
+//!   [`DeviceHealth`] tracker; a device whose breaker is `Open`
+//!   admits nothing, so the jobs that would have preferred it flow to
+//!   healthy peers — re-dispatch *before* CPU fallback. A job that
+//!   fails persistently on one device re-enters the queue and is
+//!   offered to the devices that have not yet rejected it.
+//! - **Graceful OOM degradation.** Device memory pressure walks a
+//!   ladder instead of failing the pass: full batches with triple
+//!   buffering → halved staging batches → a single buffer set. Each
+//!   rung shrinks the modeled reservation; only a device that cannot
+//!   fit even the smallest rung is declared dead. Injected allocation
+//!   faults ([`IdgError::is_degradable`]) take the same ladder and
+//!   then *resume the job's retry loop* past the faulted attempt.
+//! - **Deterministic order-preserving merge.** Gridding jobs may
+//!   finish on any device in any order, but f32 accumulation is not
+//!   associative — so computed subgrids are buffered and committed to
+//!   the master grid strictly in global job order, which makes a
+//!   fleet run bit-identical to the sequential single-device
+//!   reference whatever the fault schedule did to the scheduling.
+//!
+//! Everything is measured on the modeled [`PipelineSim`] clocks
+//! (per-device); no wall time enters any decision, so a chaos run
+//! with a given seed and fleet shape replays byte-identically.
+
+use crate::device::Device;
+use crate::executor::{
+    emit_modeled_spans, run_job, staged_subgrid_bytes, staged_uvw_bytes, staged_vis_bytes,
+    JobFailure, JobOp, JobRun, RetryStats,
+};
+use crate::fault::{FaultConfig, FaultInjector, RetryPolicy};
+use crate::health::{BreakerConfig, DeviceHealth, JobOutcome};
+use crate::kernels::{degridder_gpu, gridder_gpu};
+use crate::stream::PipelineSim;
+use crate::timing::{adder_time, kernel_time, subgrid_fft_time, transfer_time};
+use idg_fft::Direction;
+use idg_kernels::{
+    add_subgrids, fft_subgrids, split_subgrids, FftNorm, KernelCache, KernelData, SubgridArray,
+};
+use idg_perf::{degridder_counts, gridder_counts, EnergyModel, OpCounts};
+use idg_plan::{Plan, WorkItem};
+use idg_types::{Grid, IdgError, Visibility};
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Deepest rung of the OOM degradation ladder (see [`level_shape`]).
+const MAX_DEGRADATION_LEVEL: usize = 2;
+
+/// One gridding job's computed-but-uncommitted output: the subgrids of
+/// each staged chunk, keyed by the chunk's item range within the group.
+type PendingChunks = Vec<(Range<usize>, SubgridArray)>;
+
+/// The staging shape at one degradation-ladder rung: `(items staged
+/// per buffer set, number of buffer sets)`.
+///
+/// Rung 0 is the paper's configuration (full work groups, triple
+/// buffering); rung 1 halves the staged batch (jobs compute in two
+/// half-chunks that fit the smaller buffers); rung 2 additionally
+/// gives up the transfer/compute overlap by dropping to one buffer
+/// set. The per-job *CPU fallback* rung lives above the fleet, in the
+/// proxy: it only engages for jobs the whole fleet failed.
+fn level_shape(work_group_size: usize, level: usize) -> (usize, usize) {
+    match level {
+        0 => (work_group_size, 3),
+        1 => (work_group_size.div_ceil(2).max(1), 3),
+        _ => (work_group_size.div_ceil(2).max(1), 1),
+    }
+}
+
+/// One device of the fleet plus its (optional) fault schedule.
+///
+/// Heterogeneous fleets are expected: members may mix architectures
+/// and fault configurations (the "lemon" of a chaos run is simply a
+/// member with a much higher fault rate than its peers).
+#[derive(Clone, Debug)]
+pub struct FleetMember {
+    /// The device model.
+    pub device: Device,
+    /// Fault-injection schedule for this device (None = fault-free).
+    pub faults: Option<FaultConfig>,
+}
+
+/// Per-device slice of a [`FleetRunReport`].
+#[derive(Clone, Debug)]
+pub struct DeviceReport {
+    /// Architecture nickname (e.g. `"PASCAL"`).
+    pub nickname: &'static str,
+    /// Jobs whose results this device delivered.
+    pub jobs_completed: usize,
+    /// Transient-fault retries on this device.
+    pub nr_retries: usize,
+    /// Breaker trips on this device.
+    pub breaker_trips: u64,
+    /// Final degradation-ladder rung (0 = full configuration).
+    pub degradation_level: usize,
+    /// This device's pipeline makespan, modeled seconds.
+    pub makespan: f64,
+    /// Whether the device was still accepting work at pass end.
+    pub alive: bool,
+}
+
+/// Outcome of one fleet pass.
+#[derive(Clone, Debug)]
+pub struct FleetRunReport {
+    /// "gridding" or "degridding".
+    pub pass: &'static str,
+    /// Aggregate operation counters (successful jobs).
+    pub counts: OpCounts,
+    /// Modeled main-kernel busy time summed over devices, s.
+    pub kernel_seconds: f64,
+    /// Modeled subgrid-FFT time summed over devices, s.
+    pub fft_seconds: f64,
+    /// Modeled adder/splitter time summed over devices, s.
+    pub adder_seconds: f64,
+    /// Modeled host-to-device transfer time summed over devices, s.
+    pub htod_seconds: f64,
+    /// Modeled device-to-host transfer time summed over devices, s.
+    pub dtoh_seconds: f64,
+    /// Fleet makespan: the slowest device's pipeline makespan, s.
+    pub makespan: f64,
+    /// Modeled device energy summed over devices, J.
+    pub device_energy_j: f64,
+    /// Modeled host energy over the fleet makespan, J.
+    pub host_energy_j: f64,
+    /// Transient-fault retries summed over devices.
+    pub nr_retries: usize,
+    /// Total modeled backoff delay inserted before retries, s.
+    pub backoff_seconds: f64,
+    /// Dispatches that did not land on the job's preferred device
+    /// (breaker refusals, dead devices, and post-failure re-queues).
+    pub redispatched_jobs: usize,
+    /// Degradation-ladder rungs taken across the fleet.
+    pub degradation_steps: usize,
+    /// Breaker trips summed over devices.
+    pub breaker_trips: u64,
+    /// Per-device breakdown.
+    pub per_device: Vec<DeviceReport>,
+    /// Jobs no device could complete (their work is *not* in the
+    /// result); the proxy's per-job CPU fallback is the last rung.
+    pub failed_jobs: Vec<JobFailure>,
+}
+
+impl FleetRunReport {
+    /// Whether every job's outputs made it into the result.
+    pub fn complete(&self) -> bool {
+        self.failed_jobs.is_empty()
+    }
+}
+
+/// Mutable per-device execution state during one pass.
+struct DeviceState {
+    device: Device,
+    injector: Option<FaultInjector>,
+    pipeline: PipelineSim,
+    health: DeviceHealth,
+    level: usize,
+    reserved: u64,
+    host_adder: bool,
+    alive: bool,
+    jobs_completed: usize,
+    nr_retries: usize,
+    /// Kernel breakdown per global job, for span replay.
+    compute_parts: Vec<Vec<(&'static str, f64)>>,
+}
+
+/// Model the device-resident allocations of a pass at one ladder rung
+/// (same layout as the single-device executor's reservation: grid +
+/// buffer sets, falling back to host-side adding when the grid alone
+/// no longer fits). Returns `(reserved_bytes, host_adder)`.
+fn reserve_at_level(
+    device: &mut Device,
+    plan: &Plan,
+    work_group_size: usize,
+    level: usize,
+) -> Result<(u64, bool), IdgError> {
+    let (w_eff, nr_buffers) = level_shape(work_group_size, level);
+    let n = plan.subgrid_size();
+    let grid_bytes = (4 * plan.grid_size() * plan.grid_size() * 8) as u64;
+    let subgrid_bytes = (w_eff * 4 * n * n * 8) as u64;
+    let io_bytes = (w_eff * 512 * 44) as u64; // vis+uvw staging
+    let buffers = nr_buffers as u64 * (subgrid_bytes + io_bytes);
+    if device.allocate(grid_bytes + buffers).is_ok() {
+        return Ok((grid_bytes + buffers, false));
+    }
+    device.allocate(buffers)?;
+    Ok((buffers, true))
+}
+
+/// Drives gridding / degridding passes across a fleet of modeled
+/// devices (see the module docs for the dispatch and degradation
+/// semantics).
+pub struct FleetExecutor {
+    /// The member devices with their fault schedules.
+    pub members: Vec<FleetMember>,
+    /// Work items per work group (kernel launch) at full strength.
+    pub work_group_size: usize,
+    /// Retry policy for transient device faults (shared by members).
+    pub retry: RetryPolicy,
+    /// Circuit-breaker tuning (shared by members).
+    pub breaker: BreakerConfig,
+    /// Pass-level kernel cache, shared with the owning proxy.
+    pub cache: Arc<KernelCache>,
+}
+
+impl FleetExecutor {
+    /// Create a fleet from explicit members. A zero group size is
+    /// clamped to one, as in the single-device executor.
+    pub fn new(members: Vec<FleetMember>, work_group_size: usize) -> Self {
+        Self {
+            members,
+            work_group_size: work_group_size.max(1),
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            cache: Arc::new(KernelCache::new()),
+        }
+    }
+
+    /// A homogeneous fleet: `nr_devices` fault-free clones of `device`.
+    pub fn uniform(device: Device, nr_devices: usize, work_group_size: usize) -> Self {
+        let members = (0..nr_devices.max(1))
+            .map(|_| FleetMember {
+                device: device.clone(),
+                faults: None,
+            })
+            .collect();
+        Self::new(members, work_group_size)
+    }
+
+    /// Attach a fault schedule to one member (e.g. the chaos lemon).
+    pub fn with_member_faults(mut self, member: usize, faults: FaultConfig) -> Self {
+        if let Some(m) = self.members.get_mut(member) {
+            m.faults = Some(faults);
+        }
+        self
+    }
+
+    /// Override the circuit-breaker tuning.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Override the retry policy for transient faults.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Share a pass-level kernel cache (normally the proxy's).
+    pub fn with_cache(mut self, cache: Arc<KernelCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Whether any member carries a fault schedule.
+    pub fn any_faults(&self) -> bool {
+        self.members.iter().any(|m| m.faults.is_some())
+    }
+
+    /// Set up per-device state, walking each device down the
+    /// degradation ladder until its reservation fits (a device that
+    /// cannot fit even one buffer set starts the pass dead).
+    fn setup(
+        &self,
+        plan: &Plan,
+        nr_jobs: usize,
+        degradation_steps: &mut usize,
+    ) -> Result<Vec<DeviceState>, IdgError> {
+        if self.members.is_empty() {
+            return Err(IdgError::InvalidParameter(
+                "a fleet needs at least one device".into(),
+            ));
+        }
+        self.breaker.validate()?;
+        let mut states = Vec::with_capacity(self.members.len());
+        for member in &self.members {
+            let mut device = member.device.clone();
+            let mut level = 0;
+            let mut placed = None;
+            loop {
+                match reserve_at_level(&mut device, plan, self.work_group_size, level) {
+                    Ok(ok) => {
+                        placed = Some(ok);
+                        break;
+                    }
+                    Err(_) if level < MAX_DEGRADATION_LEVEL => {
+                        level += 1;
+                        *degradation_steps += 1;
+                        idg_obs::add_degradation_steps(1);
+                    }
+                    Err(_) => break,
+                }
+            }
+            let (reserved, host_adder) = placed.unwrap_or((0, false));
+            let (_, nr_buffers) = level_shape(self.work_group_size, level);
+            states.push(DeviceState {
+                device,
+                injector: member.faults.clone().map(FaultInjector::new),
+                pipeline: PipelineSim::new(nr_buffers),
+                health: DeviceHealth::new(self.breaker)?,
+                level,
+                reserved,
+                host_adder,
+                alive: placed.is_some(),
+                jobs_completed: 0,
+                nr_retries: 0,
+                compute_parts: vec![Vec::new(); nr_jobs],
+            });
+        }
+        Ok(states)
+    }
+
+    /// Choose a device for `job`: the first admitting device in
+    /// round-robin order from the job's preferred owner, or — when
+    /// every eligible breaker is `Open` — the device whose cooldown
+    /// expires first, with the wait modeled into the job's release
+    /// time. `None` means no device can ever take the job.
+    fn choose_device(
+        states: &mut [DeviceState],
+        job: usize,
+        tried: &[usize],
+    ) -> Option<(usize, f64)> {
+        let n = states.len();
+        for k in 0..n {
+            let d = (job + k) % n;
+            if !states[d].alive || tried.contains(&d) {
+                continue;
+            }
+            let now = states[d].pipeline.makespan();
+            if states[d].health.admit(now) {
+                return Some((d, 0.0));
+            }
+        }
+        // every eligible device refused: wait out the earliest cooldown
+        let mut best: Option<(usize, f64)> = None;
+        for (d, s) in states.iter().enumerate() {
+            if !s.alive || tried.contains(&d) {
+                continue;
+            }
+            if let Some(t) = s.health.cooldown_expiry() {
+                if best.is_none_or(|(_, bt)| t < bt) {
+                    best = Some((d, t));
+                }
+            }
+        }
+        let (d, t) = best?;
+        // At t the breaker half-opens and must admit a probe; a refusal
+        // here would mean the state machine deadlocked.
+        assert!(
+            states[d].health.admit(t),
+            "breaker refused its own cooldown expiry"
+        );
+        Some((d, t))
+    }
+
+    /// Walk one device down the degradation ladder after an OOM.
+    /// Returns whether a deeper rung fit; a device that exhausts the
+    /// ladder is dead (its pending job re-enters the fleet queue).
+    fn degrade_device(
+        state: &mut DeviceState,
+        plan: &Plan,
+        work_group_size: usize,
+        degradation_steps: &mut usize,
+    ) -> bool {
+        while state.level < MAX_DEGRADATION_LEVEL {
+            state.level += 1;
+            *degradation_steps += 1;
+            idg_obs::add_degradation_steps(1);
+            state.device.free(state.reserved);
+            state.reserved = 0;
+            if let Ok((reserved, host_adder)) =
+                reserve_at_level(&mut state.device, plan, work_group_size, state.level)
+            {
+                state.reserved = reserved;
+                state.host_adder = host_adder;
+                let (_, nr_buffers) = level_shape(work_group_size, state.level);
+                state.pipeline.set_nr_buffers(nr_buffers);
+                return true;
+            }
+        }
+        state.device.free(state.reserved);
+        state.reserved = 0;
+        state.alive = false;
+        false
+    }
+
+    /// Split a group into the chunks the device's current rung can
+    /// stage at once (one chunk at full strength).
+    fn chunk_ranges(group_len: usize, w_eff: usize) -> Vec<Range<usize>> {
+        let mut out = Vec::new();
+        let mut lo = 0;
+        while lo < group_len {
+            let hi = (lo + w_eff).min(group_len);
+            out.push(lo..hi);
+            lo = hi;
+        }
+        out
+    }
+
+    /// Run a full gridding pass: visibilities → grid.
+    ///
+    /// Jobs the whole fleet failed are reported in
+    /// [`FleetRunReport::failed_jobs`]; their subgrids are absent from
+    /// the returned grid. The grid itself is **bit-identical** to a
+    /// fault-free single-device pass over the completed jobs, because
+    /// commits happen in global job order regardless of which device
+    /// computed what.
+    pub fn grid(
+        &self,
+        data: &KernelData<'_>,
+        plan: &Plan,
+    ) -> Result<(Grid<f32>, FleetRunReport), IdgError> {
+        let groups: Vec<&[WorkItem]> = plan.work_groups(self.work_group_size).collect();
+        let nr_jobs = groups.len();
+        let mut report = self.report_skeleton("gridding");
+        let mut states = self.setup(plan, nr_jobs, &mut report.degradation_steps)?;
+
+        let n = plan.subgrid_size();
+        let nr_chan = data.obs.nr_channels();
+        let nr_time = data.obs.nr_timesteps;
+        let host_adder_bw = 40e9;
+        let mut grid = Grid::<f32>::new(plan.grid_size());
+        let observing = idg_obs::is_active();
+        // computed (chunk range, subgrids) per job, committed in job
+        // order after dispatch so f32 accumulation order matches the
+        // sequential single-device reference
+        let mut pending: Vec<Option<PendingChunks>> = vec![None; nr_jobs];
+        let group_lens: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+
+        self.dispatch(
+            &mut states,
+            plan,
+            &group_lens,
+            &mut report,
+            |st, job, stats| {
+                let group = groups[job];
+                let (w_eff, _) = level_shape(self.work_group_size, st.level);
+                let chunks = Self::chunk_ranges(group.len(), w_eff);
+                let group_counts = gridder_counts(group, n);
+                let in_bytes = group
+                    .iter()
+                    .map(|i| (i.nr_timesteps * (nr_chan * 32 + 12)) as u64)
+                    .sum::<u64>();
+                let t_in = transfer_time(&st.device, in_bytes);
+                let t_kernel = kernel_time(&st.device, &group_counts);
+                let t_fft = subgrid_fft_time(&st.device, group.len(), n);
+                let subgrid_bytes = (group.len() * 4 * n * n * 8) as u64;
+                let (t_compute, t_out, t_add) = if st.host_adder {
+                    let t_out = transfer_time(&st.device, subgrid_bytes);
+                    (
+                        t_kernel + t_fft,
+                        t_out,
+                        2.0 * subgrid_bytes as f64 / host_adder_bw,
+                    )
+                } else {
+                    let t_add = adder_time(&st.device, group.len(), n);
+                    (t_kernel + t_fft + t_add, 0.0, t_add)
+                };
+                if observing {
+                    let mut breakdown = vec![("gridder", t_kernel), ("subgrid_fft", t_fft)];
+                    if !st.host_adder {
+                        breakdown.push(("adder", t_add));
+                    }
+                    st.compute_parts[job] = breakdown;
+                }
+
+                let mut computed: Vec<(Range<usize>, SubgridArray)> = Vec::new();
+                let device = &st.device;
+                let cache = &self.cache;
+                let mut backend = |op: JobOp| -> Result<Vec<u8>, IdgError> {
+                    match op {
+                        JobOp::StageInput => {
+                            Ok(staged_vis_bytes(data.visibilities, nr_time, nr_chan, group))
+                        }
+                        JobOp::Compute => {
+                            computed.clear();
+                            for r in &chunks {
+                                let mut subgrids = SubgridArray::new(r.len(), n);
+                                gridder_gpu(data, &group[r.clone()], &mut subgrids, device, cache)?;
+                                fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
+                                computed.push((r.clone(), subgrids));
+                            }
+                            Ok(Vec::new())
+                        }
+                        JobOp::StageOutput => {
+                            let mut out = Vec::new();
+                            for (_, subgrids) in &computed {
+                                out.extend_from_slice(&staged_subgrid_bytes(subgrids));
+                            }
+                            Ok(out)
+                        }
+                        // committed later, in global job order
+                        JobOp::Commit => Ok(Vec::new()),
+                    }
+                };
+                let result = run_job(
+                    &mut st.pipeline,
+                    st.injector.as_ref(),
+                    &self.retry,
+                    stats.0,
+                    job,
+                    (t_in, t_compute, t_out),
+                    stats.1,
+                    &mut backend,
+                );
+                if matches!(result, JobRun::Done { .. }) {
+                    pending[job] = Some(computed);
+                }
+                (result, group_counts, [t_kernel, t_fft, t_add, t_in, t_out])
+            },
+        )?;
+
+        // ordered merge: same add_subgrids sequence as one device
+        for (job, slot) in pending.iter_mut().enumerate() {
+            if let Some(chunks) = slot.take() {
+                for (r, subgrids) in &chunks {
+                    add_subgrids(&mut grid, &groups[job][r.clone()], subgrids, &self.cache)?;
+                }
+            }
+        }
+        self.seal_report(&mut states, &mut report);
+        Ok((grid, report))
+    }
+
+    /// Run a full degridding pass: grid → predicted visibilities.
+    ///
+    /// Visibility slots belonging to fleet-failed jobs are left zero.
+    /// Slots are disjoint per job, so no ordered merge is needed: a
+    /// re-dispatched job simply overwrites its slots with the same
+    /// deterministic values.
+    pub fn degrid(
+        &self,
+        data: &KernelData<'_>,
+        plan: &Plan,
+        grid: &Grid<f32>,
+    ) -> Result<(Vec<Visibility<f32>>, FleetRunReport), IdgError> {
+        let groups: Vec<&[WorkItem]> = plan.work_groups(self.work_group_size).collect();
+        let nr_jobs = groups.len();
+        let mut report = self.report_skeleton("degridding");
+        let mut states = self.setup(plan, nr_jobs, &mut report.degradation_steps)?;
+
+        let n = plan.subgrid_size();
+        let nr_chan = data.obs.nr_channels();
+        let nr_time = data.obs.nr_timesteps;
+        let mut vis_out = vec![Visibility::<f32>::zero(); data.obs.nr_visibilities()];
+        let observing = idg_obs::is_active();
+        let group_lens: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+
+        self.dispatch(
+            &mut states,
+            plan,
+            &group_lens,
+            &mut report,
+            |st, job, stats| {
+                let group = groups[job];
+                let (w_eff, _) = level_shape(self.work_group_size, st.level);
+                let chunks = Self::chunk_ranges(group.len(), w_eff);
+                let group_counts = degridder_counts(group, n);
+                let uvw_bytes = group
+                    .iter()
+                    .map(|i| (i.nr_timesteps * 12) as u64)
+                    .sum::<u64>();
+                let out_bytes = group
+                    .iter()
+                    .map(|i| (i.nr_timesteps * nr_chan * 32) as u64)
+                    .sum::<u64>();
+                let t_in = transfer_time(&st.device, uvw_bytes);
+                let t_split = adder_time(&st.device, group.len(), n);
+                let t_fft = subgrid_fft_time(&st.device, group.len(), n);
+                let t_kernel = kernel_time(&st.device, &group_counts);
+                let t_out = transfer_time(&st.device, out_bytes);
+                if observing {
+                    st.compute_parts[job] = vec![
+                        ("splitter", t_split),
+                        ("subgrid_ifft", t_fft),
+                        ("degridder", t_kernel),
+                    ];
+                }
+
+                let device = &st.device;
+                let cache = &self.cache;
+                let vis_ref = &mut vis_out;
+                let mut backend = |op: JobOp| -> Result<Vec<u8>, IdgError> {
+                    match op {
+                        JobOp::StageInput => Ok(staged_uvw_bytes(data, group)),
+                        JobOp::Compute => {
+                            for r in &chunks {
+                                let chunk = &group[r.clone()];
+                                let mut subgrids = SubgridArray::new(r.len(), n);
+                                split_subgrids(grid, chunk, &mut subgrids, cache)?;
+                                fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
+                                degridder_gpu(data, chunk, &subgrids, vis_ref, device, cache)?;
+                            }
+                            Ok(Vec::new())
+                        }
+                        JobOp::StageOutput => {
+                            Ok(staged_vis_bytes(vis_ref, nr_time, nr_chan, group))
+                        }
+                        JobOp::Commit => Ok(Vec::new()),
+                    }
+                };
+                let result = run_job(
+                    &mut st.pipeline,
+                    st.injector.as_ref(),
+                    &self.retry,
+                    stats.0,
+                    job,
+                    (t_in, t_split + t_fft + t_kernel, t_out),
+                    stats.1,
+                    &mut backend,
+                );
+                (
+                    result,
+                    group_counts,
+                    [t_kernel, t_fft, t_split, t_in, t_out],
+                )
+            },
+        )?;
+
+        // zero the slots of jobs nobody completed (a faulted attempt
+        // may have written them before its chain died)
+        for failure in &report.failed_jobs {
+            for item in groups[failure.job] {
+                for dt in 0..item.nr_timesteps {
+                    let row = (item.baseline_index * nr_time + item.time_offset + dt) * nr_chan;
+                    for c in item.channel_offset..item.channel_offset + item.nr_channels {
+                        vis_out[row + c] = Visibility::zero();
+                    }
+                }
+            }
+        }
+        self.seal_report(&mut states, &mut report);
+        Ok((vis_out, report))
+    }
+
+    /// An all-zero report for one pass.
+    fn report_skeleton(&self, pass: &'static str) -> FleetRunReport {
+        FleetRunReport {
+            pass,
+            counts: OpCounts::default(),
+            kernel_seconds: 0.0,
+            fft_seconds: 0.0,
+            adder_seconds: 0.0,
+            htod_seconds: 0.0,
+            dtoh_seconds: 0.0,
+            makespan: 0.0,
+            device_energy_j: 0.0,
+            host_energy_j: 0.0,
+            nr_retries: 0,
+            backoff_seconds: 0.0,
+            redispatched_jobs: 0,
+            degradation_steps: 0,
+            breaker_trips: 0,
+            per_device: Vec::new(),
+            failed_jobs: Vec::new(),
+        }
+    }
+
+    /// The health-gated dispatch loop shared by both passes.
+    ///
+    /// `execute` runs one job on one device and returns the retry-loop
+    /// result, the job's operation counts, and its modeled stage times
+    /// `[kernel, fft, adder, htod, dtoh]` (charged to the report only
+    /// on success; faulted-attempt engine time is charged via
+    /// [`RetryStats`] as in the single-device executor). The second
+    /// element of the `stats` pair is the `(first_attempt,
+    /// not_before)` resume point for [`run_job`].
+    #[allow(clippy::type_complexity)]
+    fn dispatch(
+        &self,
+        states: &mut [DeviceState],
+        plan: &Plan,
+        group_lens: &[usize],
+        report: &mut FleetRunReport,
+        mut execute: impl FnMut(
+            &mut DeviceState,
+            usize,
+            (&mut RetryStats, (u32, f64)),
+        ) -> (JobRun, OpCounts, [f64; 5]),
+    ) -> Result<(), IdgError> {
+        let nr_jobs = group_lens.len();
+        let nr_members = states.len();
+        // Each job may be offered to every device once, plus ladder
+        // headroom; the cap is a deadlock backstop, not a tunable.
+        let dispatch_cap = (2 * nr_members).max(4) as u32;
+        let mut queue: VecDeque<usize> = (0..nr_jobs).collect();
+        let mut tried: Vec<Vec<usize>> = vec![Vec::new(); nr_jobs];
+        let mut dispatches: Vec<u32> = vec![0; nr_jobs];
+        let mut attempts_total: Vec<u32> = vec![0; nr_jobs];
+        let mut last_error: Vec<Option<IdgError>> = vec![None; nr_jobs];
+
+        while let Some(job) = queue.pop_front() {
+            let eligible = Self::choose_device(states, job, &tried[job]);
+            let exhausted = dispatches[job] >= dispatch_cap;
+            let Some((d, wait_until)) = eligible.filter(|_| !exhausted) else {
+                report.failed_jobs.push(JobFailure {
+                    job,
+                    first_item: job * self.work_group_size,
+                    nr_items: group_lens[job],
+                    error: last_error[job].clone().unwrap_or(IdgError::Internal(
+                        "no fleet device available for job".to_string(),
+                    )),
+                    attempts: attempts_total[job],
+                });
+                continue;
+            };
+            dispatches[job] += 1;
+            if d != job % nr_members || dispatches[job] > 1 {
+                report.redispatched_jobs += 1;
+                idg_obs::add_redispatched_jobs(1);
+            }
+
+            // Ladder loop: an OOM-degraded device resumes the same job
+            // past the faulted attempt instead of re-drawing it.
+            let mut resume = (0u32, wait_until);
+            loop {
+                let mut stats = RetryStats::default();
+                let st = &mut states[d];
+                let (result, counts, times) = execute(st, job, (&mut stats, resume));
+                let now = st.pipeline.makespan();
+                st.nr_retries += stats.nr_retries;
+                report.nr_retries += stats.nr_retries;
+                report.backoff_seconds += stats.backoff_seconds;
+                report.htod_seconds += stats.htod_seconds;
+                report.kernel_seconds += stats.kernel_seconds;
+                report.dtoh_seconds += stats.dtoh_seconds;
+                match result {
+                    JobRun::Done { attempts } => {
+                        attempts_total[job] += attempts - resume.0;
+                        st.jobs_completed += 1;
+                        st.health
+                            .record_outcome(JobOutcome::classify(attempts - 1, None), now);
+                        report.counts.add(&counts);
+                        report.kernel_seconds += times[0];
+                        report.fft_seconds += times[1];
+                        report.adder_seconds += times[2];
+                        report.htod_seconds += times[3];
+                        report.dtoh_seconds += times[4];
+                        break;
+                    }
+                    JobRun::Failed { error, attempts } => {
+                        attempts_total[job] += attempts - resume.0;
+                        if error.is_degradable()
+                            && Self::degrade_device(
+                                st,
+                                plan,
+                                self.work_group_size,
+                                &mut report.degradation_steps,
+                            )
+                        {
+                            resume = (attempts, resume.1);
+                            continue;
+                        }
+                        st.health.record_outcome(JobOutcome::Failed, now);
+                        last_error[job] = Some(error);
+                        tried[job].push(d);
+                        queue.push_back(job);
+                        break;
+                    }
+                }
+            }
+        }
+        report.failed_jobs.sort_by_key(|f| f.job);
+        Ok(())
+    }
+
+    /// Fold per-device state into the report: makespans, energies,
+    /// breaker totals, span replay.
+    fn seal_report(&self, states: &mut [DeviceState], report: &mut FleetRunReport) {
+        idg_obs::add_retries(report.nr_retries as u64);
+        for (d, st) in states.iter_mut().enumerate() {
+            emit_modeled_spans(&st.pipeline.timeline, &st.compute_parts, 4 * d as u32);
+            let makespan = st.pipeline.makespan();
+            let energy = EnergyModel::new(st.device.arch.clone());
+            let busy = st.pipeline.compute_busy();
+            report.device_energy_j += energy.device_energy(busy, 1.0)
+                + energy.device_energy((makespan - busy).max(0.0), 0.0);
+            report.makespan = report.makespan.max(makespan);
+            report.breaker_trips += st.health.trips();
+            st.device.free(st.reserved);
+            st.reserved = 0;
+            report.per_device.push(DeviceReport {
+                nickname: st.device.arch.nickname,
+                jobs_completed: st.jobs_completed,
+                nr_retries: st.nr_retries,
+                breaker_trips: st.health.trips(),
+                degradation_level: st.level,
+                makespan,
+                alive: st.alive,
+            });
+        }
+        let host_arch = self.members[0].device.arch.clone();
+        report.host_energy_j = EnergyModel::new(host_arch).host_energy(report.makespan);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::GpuExecutor;
+    use crate::fault::TargetedFault;
+    use crate::fault::{FaultConfig, FaultKind};
+    use idg_telescope::{Dataset, IdentityATerm, Layout, SkyModel};
+    use idg_types::{FaultSite, Observation};
+
+    fn dataset() -> Dataset {
+        let obs = Observation::builder()
+            .stations(6)
+            .timesteps(64)
+            .channels(8, 150e6, 1e6)
+            .grid_size(256)
+            .subgrid_size(16)
+            .kernel_size(5)
+            .aterm_interval(64)
+            .image_size(0.05)
+            .build()
+            .unwrap();
+        let layout = Layout::uniform(6, 900.0, 51);
+        let sky = SkyModel::random(&obs, 4, 0.6, 53);
+        Dataset::simulate(obs, &layout, sky, &IdentityATerm)
+    }
+
+    fn kernel_data<'a>(ds: &'a Dataset, taper: &'a [f32]) -> KernelData<'a> {
+        KernelData {
+            obs: &ds.obs,
+            uvw: &ds.uvw,
+            visibilities: &ds.visibilities,
+            aterms: &ds.aterms,
+            taper,
+        }
+    }
+
+    fn assert_bit_identical(a: &Grid<f32>, b: &Grid<f32>) {
+        assert_eq!(a.as_slice().len(), b.as_slice().len());
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert!(
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                "grids diverge at {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    /// A chronically flaky device: roughly half of all attempts fault
+    /// somewhere in the HtoD → kernel → DtoH chain.
+    fn lemon_faults(seed: u64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            transfer_corruption_rate: 0.25,
+            kernel_fault_rate: 0.2,
+            stall_rate: 0.1,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// A breaker tuned for short test passes: two unhealthy outcomes
+    /// in a window of four trip it.
+    fn test_breaker() -> BreakerConfig {
+        BreakerConfig {
+            window: 4,
+            trip_unhealthy: 2,
+            cooldown_seconds: 0.5,
+            half_open_probes: 2,
+        }
+    }
+
+    #[test]
+    fn single_member_fleet_matches_the_single_device_executor() {
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = vec![1.0f32; ds.obs.subgrid_size * ds.obs.subgrid_size];
+        let data = kernel_data(&ds, &taper);
+
+        let single = GpuExecutor::new(Device::pascal(), 4);
+        let (gold, gold_report) = single.grid(&data, &plan).unwrap();
+        let fleet = FleetExecutor::uniform(Device::pascal(), 1, 4);
+        let (grid, report) = fleet.grid(&data, &plan).unwrap();
+
+        assert_bit_identical(&grid, &gold);
+        assert!(report.complete());
+        assert_eq!(report.counts.visibilities, gold_report.counts.visibilities);
+        assert!((report.makespan - gold_report.makespan).abs() < 1e-12);
+        assert_eq!(report.breaker_trips, 0);
+        assert_eq!(report.redispatched_jobs, 0);
+        assert_eq!(report.per_device.len(), 1);
+        assert_eq!(
+            report.per_device[0].jobs_completed,
+            plan.work_groups(4).count()
+        );
+    }
+
+    #[test]
+    fn clean_multi_device_gridding_is_bit_identical_to_one_device() {
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = vec![1.0f32; ds.obs.subgrid_size * ds.obs.subgrid_size];
+        let data = kernel_data(&ds, &taper);
+
+        let single = GpuExecutor::new(Device::pascal(), 4);
+        let (gold, gold_report) = single.grid(&data, &plan).unwrap();
+        let fleet = FleetExecutor::uniform(Device::pascal(), 3, 4);
+        let (grid, report) = fleet.grid(&data, &plan).unwrap();
+
+        // f32 accumulation order is pinned by the ordered commit, so
+        // splitting work across devices must not move a single bit
+        assert_bit_identical(&grid, &gold);
+        assert!(report.complete());
+        // jobs spread round-robin across all members
+        assert!(report.per_device.iter().all(|d| d.jobs_completed > 0));
+        // devices overlap in (modeled) time: the fleet finishes faster
+        assert!(report.makespan < gold_report.makespan);
+    }
+
+    #[test]
+    fn clean_multi_device_degridding_matches_one_device() {
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = vec![1.0f32; ds.obs.subgrid_size * ds.obs.subgrid_size];
+        let data = kernel_data(&ds, &taper);
+        let single = GpuExecutor::new(Device::pascal(), 4);
+        let (grid, _) = single.grid(&data, &plan).unwrap();
+
+        let (gold, _) = single.degrid(&data, &plan, &grid).unwrap();
+        let fleet = FleetExecutor::uniform(Device::pascal(), 3, 4);
+        let (vis, report) = fleet.degrid(&data, &plan, &grid).unwrap();
+
+        assert!(report.complete());
+        assert_eq!(vis.len(), gold.len());
+        for (a, b) in vis.iter().zip(&gold) {
+            for (pa, pb) in a.pols.iter().zip(&b.pols) {
+                assert_eq!(pa.re.to_bits(), pb.re.to_bits());
+                assert_eq!(pa.im.to_bits(), pb.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn lemon_device_trips_its_breaker_and_the_fleet_still_delivers() {
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = vec![1.0f32; ds.obs.subgrid_size * ds.obs.subgrid_size];
+        let data = kernel_data(&ds, &taper);
+
+        let (gold, _) = GpuExecutor::new(Device::pascal(), 1)
+            .grid(&data, &plan)
+            .unwrap();
+        let fleet = FleetExecutor::uniform(Device::pascal(), 4, 1)
+            .with_member_faults(1, lemon_faults(8))
+            .with_breaker(test_breaker());
+        let (grid, report) = fleet.grid(&data, &plan).unwrap();
+
+        assert_bit_identical(&grid, &gold);
+        assert!(report.complete(), "failures: {:?}", report.failed_jobs);
+        assert!(
+            report.breaker_trips > 0,
+            "a ~35% fault rate must trip the lemon's breaker"
+        );
+        assert_eq!(report.per_device[1].breaker_trips, report.breaker_trips);
+        assert!(
+            report.redispatched_jobs > 0,
+            "tripped device's jobs must flow to peers"
+        );
+    }
+
+    #[test]
+    fn targeted_oom_takes_the_degradation_ladder_not_cpu_fallback() {
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = vec![1.0f32; ds.obs.subgrid_size * ds.obs.subgrid_size];
+        let data = kernel_data(&ds, &taper);
+
+        let (gold, _) = GpuExecutor::new(Device::pascal(), 4)
+            .grid(&data, &plan)
+            .unwrap();
+        let oom = FaultConfig::targeted(vec![TargetedFault {
+            job: 0,
+            attempt: 0,
+            site: FaultSite::Alloc,
+            kind: FaultKind::OutOfMemory,
+        }]);
+        let fleet = FleetExecutor::uniform(Device::pascal(), 2, 4).with_member_faults(0, oom);
+        let (grid, report) = fleet.grid(&data, &plan).unwrap();
+
+        assert_bit_identical(&grid, &gold);
+        assert!(report.complete(), "OOM must degrade, not fail the job");
+        assert!(report.degradation_steps >= 1);
+        assert!(report.per_device[0].degradation_level >= 1);
+        assert!(report.per_device[0].alive);
+        // the degraded job resumed on the same device: no re-dispatch
+        assert_eq!(report.redispatched_jobs, 0);
+    }
+
+    #[test]
+    fn memory_starved_member_starts_on_a_lower_rung() {
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = vec![1.0f32; ds.obs.subgrid_size * ds.obs.subgrid_size];
+        let data = kernel_data(&ds, &taper);
+
+        let (gold, _) = GpuExecutor::new(Device::pascal(), 4)
+            .grid(&data, &plan)
+            .unwrap();
+        // Enough for half-batch buffers (~184 kB at wgs 4) but not the
+        // full-strength buffer sets (~369 kB), let alone the grid.
+        let mut starved = Device::pascal();
+        starved.arch.mem_size_gb = Some(0.0003);
+        let fleet = FleetExecutor::new(
+            vec![
+                FleetMember {
+                    device: starved,
+                    faults: None,
+                },
+                FleetMember {
+                    device: Device::pascal(),
+                    faults: None,
+                },
+            ],
+            4,
+        );
+        let (grid, report) = fleet.grid(&data, &plan).unwrap();
+        assert_bit_identical(&grid, &gold);
+        assert!(report.complete());
+        assert!(report.degradation_steps >= 1);
+        assert!(report.per_device[0].degradation_level >= 1);
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = vec![1.0f32; ds.obs.subgrid_size * ds.obs.subgrid_size];
+        let data = kernel_data(&ds, &taper);
+        let fleet = FleetExecutor::new(Vec::new(), 4);
+        assert!(matches!(
+            fleet.grid(&data, &plan),
+            Err(IdgError::InvalidParameter(_))
+        ));
+    }
+}

@@ -42,6 +42,8 @@
 pub mod device;
 pub mod executor;
 pub mod fault;
+pub mod fleet;
+pub mod health;
 pub mod kernels;
 pub mod occupancy;
 pub mod stream;
@@ -50,6 +52,8 @@ pub mod timing;
 pub use device::Device;
 pub use executor::{GpuExecutor, GpuRunReport, JobFailure};
 pub use fault::{FaultConfig, FaultInjector, FaultKind, RetryPolicy, TargetedFault};
+pub use fleet::{DeviceReport, FleetExecutor, FleetMember, FleetRunReport};
+pub use health::{BreakerConfig, BreakerState, DeviceHealth, JobOutcome};
 pub use occupancy::{occupancy, KernelResources, Occupancy};
 pub use stream::{AttemptOutcome, Engine, FaultPoint, OpStatus, PipelineSim, TraceEntry};
 pub use timing::{kernel_time, transfer_time};

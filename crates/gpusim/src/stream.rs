@@ -114,6 +114,23 @@ impl PipelineSim {
         self.nr_buffers
     }
 
+    /// Shrink (or grow) the buffer-set count mid-run — the mechanism
+    /// behind the OOM degradation ladder's "reduce `nr_buffers`" rung.
+    ///
+    /// The new buffer sets all become reusable at the latest release
+    /// time of the old ones: a conservative barrier, since reshaping
+    /// the buffer pool on real hardware requires the in-flight jobs to
+    /// drain first. Requests of 0 are clamped to 1 as in [`Self::new`].
+    pub fn set_nr_buffers(&mut self, nr_buffers: usize) {
+        let nr_buffers = nr_buffers.max(1);
+        if nr_buffers == self.nr_buffers {
+            return;
+        }
+        let barrier = self.buffer_free.iter().copied().fold(0.0, f64::max);
+        self.nr_buffers = nr_buffers;
+        self.buffer_free = vec![barrier; nr_buffers];
+    }
+
     /// The next job index `submit` would assign.
     pub fn next_job(&self) -> usize {
         self.next_job
@@ -539,5 +556,30 @@ mod tests {
         sim.submit_attempt(0, 1, 0.0, 1.0, 1.0, 1.0, None);
         let text = sim.render(60);
         assert!(text.contains('x'), "faulted op rendered: {text}");
+    }
+
+    #[test]
+    fn shrinking_buffers_drains_before_reuse() {
+        let mut sim = PipelineSim::new(3);
+        // Three jobs occupy all three buffer sets.
+        for j in 0..3 {
+            sim.submit_attempt(j, 0, 0.0, 1.0, 1.0, 1.0, None);
+        }
+        let drained = sim.buffer_free.iter().copied().fold(0.0, f64::max);
+        sim.set_nr_buffers(1);
+        assert_eq!(sim.nr_buffers(), 1);
+        // The single surviving buffer set only becomes reusable once
+        // every old occupant has released — the next HtoD waits.
+        let out = sim.submit_attempt(3, 0, 0.0, 1.0, 1.0, 1.0, None);
+        let htod = sim
+            .timeline
+            .iter()
+            .find(|t| t.job == 3 && t.engine == Engine::HtoD)
+            .unwrap();
+        assert!(htod.start >= drained - 1e-12, "buffer pool drains first");
+        assert!(out.completed);
+        // Zero clamps to one, same-size is a no-op.
+        sim.set_nr_buffers(0);
+        assert_eq!(sim.nr_buffers(), 1);
     }
 }

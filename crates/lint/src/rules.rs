@@ -293,6 +293,14 @@ pub const KERNEL_CONTRACTS: &[KernelContract] = &[
         signature_marker: "PhasorKey",
         required_any: &["add_cache_hits", "add_cache_misses"],
     },
+    // the fleet health tracker: every job outcome fed to a breaker
+    // must surface in the health counters, or a silent tracker makes
+    // the chaos suite's "breaker observably trips" assertion vacuous
+    KernelContract {
+        name_prefix: "record_outcome",
+        signature_marker: "JobOutcome",
+        required_any: &["add_health_outcomes", "add_breaker_trips"],
+    },
 ];
 
 fn matches_prefix(name: &str, prefix: &str) -> bool {

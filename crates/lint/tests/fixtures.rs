@@ -130,6 +130,29 @@ fn l3_clean_fixture_passes() {
     assert_eq!(diags, vec![]);
 }
 
+#[test]
+fn l3_fires_on_counterless_health_entry_point() {
+    // The breaker health tracker is an L3 entry point like any kernel:
+    // outcomes it absorbs must surface in the idg-obs counters.
+    let diags = lint(
+        "crates/gpusim/src/fixture.rs",
+        include_str!("fixtures/l3_health_violating.rs"),
+    );
+    assert_eq!(spans(&diags, Rule::L3), vec![(4, 5)]);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("record_outcome_fixture"));
+    assert!(diags[0].message.contains("add_health_outcomes"));
+}
+
+#[test]
+fn l3_health_clean_fixture_passes() {
+    let diags = lint(
+        "crates/gpusim/src/fixture.rs",
+        include_str!("fixtures/l3_health_clean.rs"),
+    );
+    assert_eq!(diags, vec![]);
+}
+
 // ---------------------------------------------------------------------------
 // L4 — typed fallibility
 // ---------------------------------------------------------------------------

@@ -1,0 +1,7 @@
+//! L3 fixture: the same health entry point satisfying the counter
+//! contract.
+
+pub fn record_outcome_fixture(outcome: JobOutcome, now: f64) {
+    idg_obs::add_health_outcomes(1);
+    let _ = (outcome, now);
+}

@@ -1,0 +1,6 @@
+//! L3 fixture: a breaker health entry point missing its counter
+//! increment — the tracker would absorb outcomes invisibly.
+
+pub fn record_outcome_fixture(outcome: JobOutcome, now: f64) {
+    let _ = (outcome, now);
+}

@@ -97,6 +97,14 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Kernel-cache lookups that had to build their table.
     pub cache_misses: u64,
+    /// Job outcomes recorded by per-device health trackers.
+    pub health_outcomes: u64,
+    /// Circuit-breaker trips (`Closed → Open` transitions).
+    pub breaker_trips: u64,
+    /// Degradation-ladder steps taken by fleet devices after OOM.
+    pub degradation_steps: u64,
+    /// Jobs re-dispatched from a tripped device to a healthy peer.
+    pub redispatched_jobs: u64,
 }
 
 impl MetricsSnapshot {
@@ -150,7 +158,11 @@ impl MetricsSnapshot {
              \x20 \"nr_retries\": {},\n\
              \x20 \"fallback_jobs\": {},\n\
              \x20 \"cache_hits\": {},\n\
-             \x20 \"cache_misses\": {}\n}}\n",
+             \x20 \"cache_misses\": {},\n\
+             \x20 \"health_outcomes\": {},\n\
+             \x20 \"breaker_trips\": {},\n\
+             \x20 \"degradation_steps\": {},\n\
+             \x20 \"redispatched_jobs\": {}\n}}\n",
             self.subgrids_fft,
             self.subgrids_ifft,
             self.subgrids_added,
@@ -161,6 +173,10 @@ impl MetricsSnapshot {
             self.fallback_jobs,
             self.cache_hits,
             self.cache_misses,
+            self.health_outcomes,
+            self.breaker_trips,
+            self.degradation_steps,
+            self.redispatched_jobs,
         );
         out
     }
@@ -213,6 +229,8 @@ mod tests {
         m.nr_retries = 1;
         m.cache_hits = 3;
         m.cache_misses = 2;
+        m.breaker_trips = 5;
+        m.degradation_steps = 7;
         let j1 = m.to_json();
         let j2 = m.to_json();
         assert_eq!(j1, j2);
@@ -221,6 +239,8 @@ mod tests {
         assert!(j1.contains("\"nr_retries\": 1"));
         assert!(j1.contains("\"cache_hits\": 3"));
         assert!(j1.contains("\"cache_misses\": 2"));
+        assert!(j1.contains("\"breaker_trips\": 5"));
+        assert!(j1.contains("\"degradation_steps\": 7"));
     }
 
     #[test]

@@ -227,6 +227,26 @@ pub fn add_cache_misses(n: u64) {
     with_collector(|c| c.metrics.cache_misses += n);
 }
 
+/// Record `n` job outcomes observed by per-device health trackers.
+pub fn add_health_outcomes(n: u64) {
+    with_collector(|c| c.metrics.health_outcomes += n);
+}
+
+/// Record `n` circuit-breaker trips (`Closed → Open` transitions).
+pub fn add_breaker_trips(n: u64) {
+    with_collector(|c| c.metrics.breaker_trips += n);
+}
+
+/// Record `n` degradation-ladder steps taken after device OOM.
+pub fn add_degradation_steps(n: u64) {
+    with_collector(|c| c.metrics.degradation_steps += n);
+}
+
+/// Record `n` jobs re-dispatched from a tripped device to a peer.
+pub fn add_redispatched_jobs(n: u64) {
+    with_collector(|c| c.metrics.redispatched_jobs += n);
+}
+
 /// Record a span with *modeled* time (seconds on the device model's
 /// clock, converted to integer microseconds — fully deterministic).
 /// Both *endpoints* are rounded (rather than start and duration

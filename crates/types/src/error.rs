@@ -110,6 +110,19 @@ impl IdgError {
         )
     }
 
+    /// Whether the failure can be resolved by *degrading* the device's
+    /// execution configuration rather than by retrying as-is.
+    ///
+    /// Device memory exhaustion is the canonical case: a plain replay
+    /// allocates the same buffers and fails identically, but shrinking
+    /// the working set (fewer jobs in flight, fewer pipeline buffers)
+    /// can make the same work fit. Transient faults are *not*
+    /// degradable — they heal on retry without giving anything up —
+    /// and input/internal errors reproduce under any configuration.
+    pub fn is_degradable(&self) -> bool {
+        matches!(self, IdgError::DeviceOutOfMemory { .. })
+    }
+
     /// The job (work group) index a device fault is attributed to.
     pub fn job(&self) -> Option<usize> {
         match self {
@@ -253,6 +266,36 @@ mod tests {
         assert!(!IdgError::InvalidParameter("x".into()).is_transient());
         assert!(!IdgError::Io("x".into()).is_transient());
         assert!(!IdgError::Internal("x".into()).is_transient());
+    }
+
+    #[test]
+    fn degradability_classification() {
+        // OOM is the only degradable error: non-transient, but a
+        // smaller working set can resolve it.
+        let oom = IdgError::DeviceOutOfMemory {
+            requested: 8,
+            available: 4,
+        };
+        assert!(oom.is_degradable());
+        assert!(!oom.is_transient());
+        // Transient faults heal on retry; degrading would give up
+        // throughput for nothing.
+        assert!(!IdgError::TransferCorruption {
+            job: 0,
+            site: FaultSite::HtoD
+        }
+        .is_degradable());
+        assert!(!IdgError::KernelFault { job: 0 }.is_degradable());
+        assert!(!IdgError::StreamStall {
+            job: 0,
+            site: FaultSite::Kernel,
+            seconds: 1.0
+        }
+        .is_degradable());
+        // Reproducible-under-any-configuration errors.
+        assert!(!IdgError::InvalidParameter("x".into()).is_degradable());
+        assert!(!IdgError::Io("x".into()).is_degradable());
+        assert!(!IdgError::Internal("x".into()).is_degradable());
     }
 
     #[test]
