@@ -83,6 +83,7 @@ pub fn model_cpu_report(
         fallback_jobs: Vec::new(),
         fleet: None,
         metrics: None,
+        stream: None,
     }
 }
 
@@ -243,6 +244,81 @@ pub fn fleet_bench_row(scale: usize, report: &ExecutionReport) -> FigRow {
     }
 }
 
+/// The benchmark data set with an A-term cadence of a quarter
+/// observation (same layout/sky seeds as [`benchmark_dataset`]).
+/// Chunk boundaries snap to A-term intervals, so the tiny golden-scale
+/// set — whose representative cadence is one interval for the whole
+/// observation — would otherwise stream as a single chunk.
+pub fn streamed_benchmark_dataset(scale: usize) -> Dataset {
+    use idg::telescope::{IdentityATerm, Layout, SkyModel};
+    use idg::Observation;
+
+    let scale = scale.max(1);
+    let nr_stations = (150 / scale).max(4);
+    let nr_timesteps = (8192 / (scale * scale)).max(32);
+    let obs = Observation::builder()
+        .stations(nr_stations)
+        .timesteps(nr_timesteps)
+        .channels(16, 150e6, 1e6)
+        .grid_size(2048 / scale.min(4))
+        .subgrid_size(24)
+        .aterm_interval((nr_timesteps / 4).max(1))
+        .image_size(0.05)
+        .build()
+        .expect("streamed benchmark observation");
+    let lambda_min = obs.min_wavelength();
+    let max_baseline_m = obs.max_uv_wavelengths() * lambda_min;
+    let arm_radius = (0.40 * max_baseline_m).min(18_000.0);
+    let core_radius = (arm_radius / 10.0).min(1_000.0);
+    let layout = Layout::ska1_low(nr_stations, core_radius, arm_radius, 42);
+    let sky = SkyModel::random(&obs, 16, 0.7, 42 ^ 0x5137);
+    Dataset::simulate(obs, &layout, sky, &IdentityATerm)
+}
+
+/// Run the streamed-ingestion gridding pass on the modeled Pascal
+/// device: one chunk per A-term interval, two workers, an admission
+/// window of two. Every timing in the report is modeled (the chunk
+/// makespans come from the pipeline clock, the stream makespan from
+/// deterministic list scheduling), and both backpressure metrics are
+/// deterministic by construction, so the whole `stream` row is pinned
+/// exactly by the golden suite.
+pub fn stream_run(ds: &Dataset) -> ExecutionReport {
+    use idg::{ChunkPolicy, StreamConfig};
+
+    let proxy = Proxy::new(Backend::GpuPascal, ds.obs.clone()).expect("stream bench proxy");
+    let config = StreamConfig::new(ChunkPolicy::by_timesteps(ds.obs.aterm_interval), 2, 2);
+    let (_, report) = proxy
+        .grid_streamed(&config, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .expect("stream bench grid");
+    report
+}
+
+/// The `stream` row of a BENCH_*.json export: chunk/worker shape and
+/// the scheduler's backpressure accounting next to the one-shot rows.
+/// Every column is deterministic, so none carries the `_wall` mask
+/// suffix; `makespan_s` is the modeled streamed makespan (overlapped
+/// chunks + the final commit).
+pub fn stream_bench_row(scale: usize, report: &ExecutionReport) -> FigRow {
+    let stats = report
+        .stream
+        .as_ref()
+        .expect("stream_bench_row needs a streamed-path report");
+    FigRow {
+        label: "stream".to_string(),
+        wall_clock: false,
+        values: vec![
+            ("scale", scale as f64),
+            ("visibilities", report.counts.visibilities as f64),
+            ("nr_chunks", stats.nr_chunks as f64),
+            ("nr_workers", stats.nr_workers as f64),
+            ("max_inflight", stats.max_inflight as f64),
+            ("inflight_max", stats.inflight_max as f64),
+            ("backpressure_waits", stats.backpressure_waits as f64),
+            ("makespan_s", report.total_seconds),
+        ],
+    }
+}
+
 /// Modeled reports for the *full* paper-scale benchmark (11,175
 /// baselines × 8,192 time steps × 16 channels ≈ 1.46 G visibilities),
 /// extrapolated from the measured plan statistics of the scaled data
@@ -335,6 +411,7 @@ pub fn full_scale_runs(ds: &Dataset) -> Vec<BackendRun> {
                 fallback_jobs: Vec::new(),
                 fleet: None,
                 metrics: None,
+                stream: None,
             }
         };
         let gridding = make_pass(&gc, "gridding", vis_bytes_per_group, 0);
@@ -663,6 +740,7 @@ mod tests {
             fallback_jobs: Vec::new(),
             fleet: None,
             metrics: None,
+            stream: None,
         };
         let rows = vec![
             bench_pass_row("seed", 15, &report),

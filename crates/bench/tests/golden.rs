@@ -18,7 +18,8 @@
 
 use idg_bench::{
     bench_json, bench_pass_row, bench_row_value, benchmark_dataset, fig10_rows, fig12_rows,
-    fig_json, fleet_bench_row, fleet_chaos_run, host_measured_run,
+    fig_json, fleet_bench_row, fleet_chaos_run, host_measured_run, stream_bench_row, stream_run,
+    streamed_benchmark_dataset,
 };
 use idg_obs::validate_json;
 use std::path::PathBuf;
@@ -108,6 +109,26 @@ fn bench_guard_json_matches_golden_snapshot() {
         assert!(fleet_report.fallback_jobs.is_empty());
         check_golden(&format!("BENCH_{pass}.json"), &masked);
     }
+}
+
+#[test]
+fn stream_bench_json_matches_golden_snapshot() {
+    // The `stream` row is entirely modeled and its backpressure
+    // metrics are deterministic by construction, so every column is
+    // pinned exactly (its own snapshot file: the one-shot BENCH_*.json
+    // goldens predate streaming and stay untouched).
+    let ds = streamed_benchmark_dataset(GOLDEN_SCALE);
+    let report = stream_run(&ds);
+    let rows = vec![stream_bench_row(GOLDEN_SCALE, &report)];
+    let masked = bench_json("stream", &rows, true);
+    let chunks = bench_row_value(&masked, "stream", GOLDEN_SCALE, "nr_chunks")
+        .expect("stream row carries nr_chunks");
+    assert!(chunks >= 2.0, "streamed bench must exercise chunking");
+    let waits = bench_row_value(&masked, "stream", GOLDEN_SCALE, "backpressure_waits")
+        .expect("stream row carries backpressure_waits");
+    assert!(waits >= 1.0, "admission window must constrain the stream");
+    assert!(bench_row_value(&masked, "stream", GOLDEN_SCALE, "makespan_s").is_some());
+    check_golden("BENCH_stream.json", &masked);
 }
 
 #[test]

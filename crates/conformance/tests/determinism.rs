@@ -116,6 +116,62 @@ fn same_seed_fleet_runs_are_observationally_deterministic() {
     }
 }
 
+/// One observed *streamed* fleet gridding pass → metrics JSON only.
+///
+/// Unlike the one-shot runs above, the trace event sequence is *not*
+/// compared: which worker thread claims which chunk is a legitimate
+/// scheduling race, so the wall-span interleaving may differ between
+/// same-seed runs. The counter registers (chunk/backpressure counters,
+/// retries, modeled numbers) are deterministic by construction and
+/// must still snapshot byte-identically.
+fn observed_streamed_run(seed: u64) -> String {
+    let case = &standard_cases().expect("standard cases build")[2];
+    let ds = case.dataset();
+    let mut proxy = Proxy::new(Backend::GpuPascal, case.obs.clone()).unwrap();
+    proxy.work_group_size = 1;
+    let proxy = proxy.with_fleet_config(FleetConfig {
+        nr_devices: 3,
+        member_faults: vec![(
+            1,
+            FaultConfig {
+                seed,
+                transfer_corruption_rate: 0.45,
+                kernel_fault_rate: 0.35,
+                stall_rate: 0.25,
+                ..FaultConfig::default()
+            },
+        )],
+        breaker: None,
+    });
+    let config = idg::StreamConfig::new(
+        idg::stream::ChunkPolicy::by_timesteps(case.obs.aterm_interval),
+        2,
+        2,
+    );
+    let (_, report, _) = proxy
+        .grid_streamed_observed(&config, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .unwrap();
+    let metrics = report.metrics.expect("observed run must attach metrics");
+    metrics.to_json()
+}
+
+#[test]
+fn same_seed_streamed_runs_have_byte_identical_metrics() {
+    for seed in [4242, 17] {
+        let metrics_a = observed_streamed_run(seed);
+        let metrics_b = observed_streamed_run(seed);
+        assert_eq!(
+            metrics_a, metrics_b,
+            "seed {seed}: streamed metrics snapshots must be byte-identical"
+        );
+        assert!(
+            metrics_a.contains("\"chunks_ingested\""),
+            "streaming counters must serialize"
+        );
+        assert!(metrics_a.contains("\"backpressure_waits\""));
+    }
+}
+
 #[test]
 fn different_seeds_produce_observably_different_schedules() {
     // sanity for the test above: if the injector ignored the seed, the

@@ -1,0 +1,159 @@
+//! Streamed-vs-one-shot equivalence: `Proxy::grid_streamed` must
+//! produce a **bit-identical** grid to `Proxy::grid` on every back-end,
+//! every standard case, every chunk policy and every worker count.
+//!
+//! This is a stronger contract than the stage-budget conformance the
+//! rest of the suite checks: streaming is pure re-scheduling of the
+//! same f32 arithmetic, so not a single ULP of drift is tolerated. The
+//! bit-identity rests on A-term-snapped chunk boundaries, the shared
+//! whole-observation uv extents, and the single in-order deferred
+//! commit (see `idg::proxy::streaming`); this suite is what pins that
+//! argument against every backend's execution shape — including a
+//! fault-injected fleet, where transient recovery must be exact.
+
+use idg::stream::ChunkPolicy;
+use idg::types::Grid;
+use idg::{Backend, Proxy, StreamConfig};
+use idg_conformance::standard_cases;
+
+fn assert_bit_identical(reference: &Grid<f32>, streamed: &Grid<f32>, what: &str) {
+    assert_eq!(reference.size(), streamed.size(), "{what}: grid shape");
+    for (i, (a, b)) in reference
+        .as_slice()
+        .iter()
+        .zip(streamed.as_slice())
+        .enumerate()
+    {
+        assert!(
+            a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+            "{what}: grid pixel {i} differs: one-shot {a:?} vs streamed {b:?}"
+        );
+    }
+}
+
+/// The chunk policies each (case, backend) pair streams under:
+/// one A-term interval per chunk (finest legal granularity), two
+/// intervals (leaves an uneven tail on the non-multiple cases), and
+/// the whole observation (streaming degenerates to one chunk).
+fn policies(aterm_interval: usize, nr_timesteps: usize) -> Vec<(&'static str, ChunkPolicy)> {
+    vec![
+        ("per-interval", ChunkPolicy::by_timesteps(aterm_interval)),
+        (
+            "two-interval",
+            ChunkPolicy::by_timesteps(aterm_interval * 2),
+        ),
+        ("whole-observation", ChunkPolicy::by_timesteps(nr_timesteps)),
+    ]
+}
+
+#[test]
+fn streamed_grids_are_bit_identical_across_backends_cases_policies_and_workers() {
+    for case in standard_cases().expect("standard cases build") {
+        let ds = case.dataset();
+        for backend in Backend::all() {
+            let proxy = Proxy::new(backend, case.obs.clone()).unwrap();
+            let plan = proxy.plan(&ds.uvw).unwrap();
+            let (reference, _) = proxy
+                .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+                .unwrap();
+            // the scalar reference backend is the slowest; one streamed
+            // run per policy pins it without doubling the suite's time
+            let worker_counts: &[usize] = if backend == Backend::CpuReference {
+                &[2]
+            } else {
+                &[1, 3]
+            };
+            for (policy_name, policy) in policies(case.obs.aterm_interval, case.obs.nr_timesteps) {
+                for &workers in worker_counts {
+                    let config = StreamConfig::new(policy, workers, workers.max(2));
+                    let (streamed, report) = proxy
+                        .grid_streamed(&config, &ds.uvw, &ds.visibilities, &ds.aterms)
+                        .unwrap();
+                    let what = format!(
+                        "{} / {:?} / {policy_name} / {workers} workers",
+                        case.name, backend
+                    );
+                    assert_bit_identical(&reference, &streamed, &what);
+                    let stats = report.stream.expect("streamed pass carries stream stats");
+                    assert_eq!(stats.failed_chunks, 0, "{what}");
+                    assert_eq!(stats.completed_chunks, stats.nr_chunks, "{what}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn visibility_bounded_policies_stream_bit_identically_too() {
+    // the same equivalence through the other ChunkPolicy axis: a
+    // visibility budget of two A-term intervals' worth per chunk
+    let case = &standard_cases().expect("standard cases build")[0];
+    let ds = case.dataset();
+    let per_interval = case.obs.nr_baselines() * case.obs.nr_channels() * case.obs.aterm_interval;
+    for backend in [Backend::CpuOptimized, Backend::GpuPascal] {
+        let proxy = Proxy::new(backend, case.obs.clone()).unwrap();
+        let plan = proxy.plan(&ds.uvw).unwrap();
+        let (reference, _) = proxy
+            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        let config = StreamConfig::new(ChunkPolicy::by_visibilities(2 * per_interval), 2, 2);
+        let (streamed, _) = proxy
+            .grid_streamed(&config, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        assert_bit_identical(
+            &reference,
+            &streamed,
+            &format!("by-visibilities {backend:?}"),
+        );
+    }
+}
+
+#[test]
+fn streamed_fleet_with_transient_faults_recovers_bit_identically() {
+    // a lemon member injecting transient faults: retries re-run the
+    // exact same modeled kernels, so the streamed fleet grid must still
+    // match the *fault-free* one-shot grid bit for bit, with zero jobs
+    // surviving to the CPU fallback
+    use idg::gpusim::FaultConfig;
+    use idg::FleetConfig;
+
+    let case = &standard_cases().expect("standard cases build")[2]; // ragged-tails
+    let ds = case.dataset();
+    let clean = Proxy::new(Backend::GpuPascal, case.obs.clone()).unwrap();
+    let plan = clean.plan(&ds.uvw).unwrap();
+    let (reference, _) = clean
+        .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .unwrap();
+
+    let mut proxy = Proxy::new(Backend::GpuPascal, case.obs.clone()).unwrap();
+    proxy.work_group_size = 1;
+    let proxy = proxy.with_fleet_config(FleetConfig {
+        nr_devices: 3,
+        member_faults: vec![(
+            1,
+            FaultConfig {
+                seed: 4242,
+                transfer_corruption_rate: 0.45,
+                kernel_fault_rate: 0.35,
+                stall_rate: 0.25,
+                ..FaultConfig::default()
+            },
+        )],
+        breaker: None,
+    });
+    let config = StreamConfig::new(ChunkPolicy::by_timesteps(case.obs.aterm_interval), 2, 2);
+    let (streamed, report) = proxy
+        .grid_streamed(&config, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .unwrap();
+    assert_bit_identical(&reference, &streamed, "lemon fleet streamed");
+    assert!(
+        report.fallback_jobs.is_empty(),
+        "transient faults must be absorbed by retries, not the CPU fallback"
+    );
+    assert!(
+        report.nr_retries > 0,
+        "the lemon member's schedule must actually inject faults"
+    );
+    let stats = report.stream.expect("stream stats");
+    assert_eq!(stats.failed_chunks, 0);
+}

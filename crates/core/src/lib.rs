@@ -41,7 +41,7 @@ pub mod proxy;
 pub mod report;
 pub mod stages;
 
-pub use proxy::{Backend, FleetConfig, Proxy};
+pub use proxy::{Backend, FleetConfig, Proxy, StreamConfig};
 pub use report::{ExecutionReport, FleetStats};
 pub use stages::{DegridStages, GridStages};
 
@@ -54,8 +54,10 @@ pub use idg_math as math;
 pub use idg_obs as obs;
 pub use idg_perf as perf;
 pub use idg_plan as plan;
+pub use idg_stream as stream;
 pub use idg_telescope as telescope;
 pub use idg_types as types;
 
 pub use idg_plan::{Plan, WorkItem};
+pub use idg_stream::{ChunkPolicy, StreamStats};
 pub use idg_types::{Cf32, Complex, Grid, IdgError, Jones, Observation, Uvw, Visibility};

@@ -23,6 +23,9 @@ use idg_types::{Grid, IdgError, Observation, Uvw, Visibility};
 use std::sync::Arc;
 use std::time::Instant;
 
+pub mod streaming;
+pub use streaming::StreamConfig;
+
 /// Which implementation executes the kernels.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Backend {
@@ -396,6 +399,7 @@ impl Proxy {
                         fallback_jobs: Vec::new(),
                         fleet: None,
                         metrics: None,
+                        stream: None,
                     },
                 ))
             }
@@ -429,6 +433,7 @@ impl Proxy {
                                 per_device: report.per_device,
                             }),
                             metrics: None,
+                            stream: None,
                         },
                     ));
                 }
@@ -454,6 +459,7 @@ impl Proxy {
                         fallback_jobs,
                         fleet: None,
                         metrics: None,
+                        stream: None,
                     },
                 ))
             }
@@ -669,6 +675,7 @@ impl Proxy {
                         fallback_jobs: Vec::new(),
                         fleet: None,
                         metrics: None,
+                        stream: None,
                     },
                 ))
             }
@@ -703,6 +710,7 @@ impl Proxy {
                                 per_device: report.per_device,
                             }),
                             metrics: None,
+                            stream: None,
                         },
                     ));
                 }
@@ -728,6 +736,7 @@ impl Proxy {
                         fallback_jobs,
                         fleet: None,
                         metrics: None,
+                        stream: None,
                     },
                 ))
             }

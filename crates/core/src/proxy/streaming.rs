@@ -1,0 +1,647 @@
+//! Streamed gridding: chunked ingestion driving the batch pipeline.
+//!
+//! [`Proxy::grid_streamed`] consumes the observation as a sequence of
+//! bounded time-axis chunks (split by `idg_stream`), plans and executes
+//! each chunk independently across a concurrent worker pool with a
+//! bounded admission window, and commits every chunk's subgrids in a
+//! single in-order pass at the end. The streamed grid is **bit
+//! identical** to the one-shot [`Proxy::grid`] result for every chunk
+//! policy and worker count, because:
+//!
+//! 1. chunk boundaries snap to `aterm_interval` multiples, which are
+//!    exactly the boundaries the one-shot planner's accumulation loop
+//!    breaks on, and every chunk plan shares the whole-observation
+//!    [`UvExtents`], so the chunk-local work items are *verbatim* a
+//!    partition of the one-shot plan's items
+//!    (see [`idg_plan::Plan::create_windowed`]);
+//! 2. each work item's subgrid is produced by the same kernels over the
+//!    same full input buffers (items carry global time offsets);
+//! 3. the commit sorts all items by
+//!    `(baseline_index, channel_offset, time_offset)` — recovering the
+//!    one-shot plan order — and performs **one** `add_subgrids` call,
+//!    so every f32 accumulation happens in the one-shot order. Summing
+//!    per-chunk grids instead would reorder additions (f32 addition is
+//!    not associative, and `0.0 + (-0.0)` even flips a sign bit).
+
+use super::{check_finite_uvw, check_finite_vis, Backend, Proxy};
+use crate::report::{ExecutionReport, FleetStats};
+use idg_fft::Direction;
+use idg_gpusim::{DeferredSubgrids, JobFailure};
+use idg_kernels::{
+    add_subgrids, fft_subgrids, gridder_cpu, gridder_reference, FftNorm, KernelData, SubgridArray,
+};
+use idg_math::Accuracy;
+use idg_perf::{gridder_counts, OpCounts};
+use idg_plan::{Plan, UvExtents, WorkItem};
+use idg_stream::{plan_chunk, Chunk, ChunkPolicy, ChunkedDataset, StreamRun, StreamScheduler};
+use idg_telescope::ATerms;
+use idg_types::{Grid, IdgError, Uvw, Visibility};
+use std::time::Instant;
+
+/// Modeled host bandwidth of the final streamed commit — the figure
+/// the gpusim host-adder shape uses, so modeled streamed totals stay
+/// comparable to one-shot modeled totals.
+const HOST_ADDER_BW: f64 = 40e9;
+
+/// Configuration of a streamed gridding pass.
+#[derive(Copy, Clone, Debug)]
+pub struct StreamConfig {
+    /// Time-axis chunking bounds (A-term snapping applies on top).
+    pub policy: ChunkPolicy,
+    /// Worker threads executing chunk passes concurrently.
+    pub workers: usize,
+    /// Admission window: the producer blocks once this many admitted
+    /// chunks remain uncompleted (backpressure).
+    pub max_inflight: usize,
+}
+
+impl StreamConfig {
+    /// A streamed-pass configuration; parameters are validated by
+    /// [`Proxy::grid_streamed`] (or eagerly via
+    /// [`StreamConfig::validate`]).
+    pub fn new(policy: ChunkPolicy, workers: usize, max_inflight: usize) -> Self {
+        Self {
+            policy,
+            workers,
+            max_inflight,
+        }
+    }
+
+    /// Typed rejection of degenerate configurations: zero-sized chunk
+    /// bounds, zero workers or a zero admission window would all stall
+    /// the stream forever.
+    pub fn validate(&self) -> Result<(), IdgError> {
+        self.policy.validate()?;
+        StreamScheduler::new(self.workers, self.max_inflight).map(|_| ())
+    }
+}
+
+/// Everything one chunk's pass produced, pending the final commit.
+struct ChunkOutput {
+    /// The chunk-local plan's work items (global time offsets).
+    items: Vec<WorkItem>,
+    /// Computed subgrids as ranges into `items` (job granularity on the
+    /// GPU paths, one whole-chunk range on the CPU paths).
+    pending: DeferredSubgrids,
+    /// Jobs re-executed on the CPU reference kernels, with chunk-local
+    /// indices (remapped to stream-global ones during aggregation).
+    fallback_jobs: Vec<JobFailure>,
+    counts: OpCounts,
+    kernel_seconds: f64,
+    fft_seconds: f64,
+    transfer_seconds: f64,
+    /// Modeled end-to-end chunk time (GPU) or measured wall (CPU).
+    makespan: f64,
+    device_energy_j: f64,
+    host_energy_j: f64,
+    nr_retries: usize,
+    backoff_seconds: f64,
+    redispatched_jobs: usize,
+    degradation_steps: usize,
+    breaker_trips: u64,
+}
+
+/// Deterministic makespan model of the concurrent chunk passes: greedy
+/// list scheduling of the chunk makespans, in ingestion order, onto
+/// `lanes` modeled workers. The effective concurrency is bounded by
+/// both the worker pool and the admission window, so the caller passes
+/// `min(workers, max_inflight)`.
+fn stream_makespan(chunk_makespans: &[f64], lanes: usize) -> f64 {
+    let mut lane_busy = vec![0.0f64; lanes.max(1)];
+    for &m in chunk_makespans {
+        let mut earliest = 0usize;
+        for (i, &t) in lane_busy.iter().enumerate() {
+            if t < lane_busy[earliest] {
+                earliest = i;
+            }
+        }
+        lane_busy[earliest] += m;
+    }
+    lane_busy.iter().fold(0.0f64, |a, &b| a.max(b))
+}
+
+/// One committed subgrid: its work item, and where its pixels live in
+/// the per-chunk pending arrays.
+struct CommitSlot {
+    item: WorkItem,
+    src: usize,
+    plane: usize,
+}
+
+impl Proxy {
+    /// Grid visibilities through the streaming front-end: chunked
+    /// ingestion, a concurrent bounded-window pass scheduler, and a
+    /// single deferred in-order commit.
+    ///
+    /// The returned grid is bit-identical to [`Proxy::grid`] over the
+    /// same inputs, for every chunk policy, worker count and completion
+    /// order (see the module docs for the argument); the report carries
+    /// the scheduling summary in [`ExecutionReport::stream`].
+    pub fn grid_streamed(
+        &self,
+        config: &StreamConfig,
+        uvw: &[Uvw],
+        visibilities: &[Visibility<f32>],
+        aterms: &ATerms,
+    ) -> Result<(Grid<f32>, ExecutionReport), IdgError> {
+        let data = KernelData {
+            obs: &self.obs,
+            uvw,
+            visibilities,
+            aterms,
+            taper: &self.taper,
+        };
+        data.validate()?;
+        check_finite_vis(visibilities)?;
+        check_finite_uvw(uvw)?;
+        config.validate()?;
+        let scheduler = StreamScheduler::new(config.workers, config.max_inflight)?;
+        let chunks = ChunkedDataset::split(&self.obs, &config.policy)?;
+        let extents = UvExtents::compute(&self.obs, uvw)?;
+
+        let t_start = Instant::now();
+        let StreamRun { results, stats } = scheduler.run_stream(chunks.chunks(), |chunk| {
+            self.run_chunk(&data, &extents, chunk)
+        })?;
+        let mut outputs = Vec::with_capacity(results.len());
+        for result in results {
+            outputs.push(result?);
+        }
+
+        // aggregate: gather every pending subgrid behind a commit slot,
+        // remap fallback indices to stream-global ones, sum the timing
+        let mut arrays: Vec<SubgridArray> = Vec::new();
+        let mut slots: Vec<CommitSlot> = Vec::new();
+        let mut fallback_jobs: Vec<JobFailure> = Vec::new();
+        let mut counts = OpCounts::default();
+        let (mut kernel_seconds, mut fft_seconds, mut transfer_seconds) = (0.0, 0.0, 0.0);
+        let (mut device_energy, mut host_energy, mut backoff_seconds) = (0.0, 0.0, 0.0);
+        let mut nr_retries = 0usize;
+        let (mut redispatched, mut degradation, mut trips) = (0usize, 0usize, 0u64);
+        let mut makespans = Vec::with_capacity(outputs.len());
+        let mut item_base = 0usize;
+        let mut job_base = 0usize;
+        for out in outputs {
+            for (range, subgrids) in out.pending {
+                let src = arrays.len();
+                for (plane, idx) in range.enumerate() {
+                    slots.push(CommitSlot {
+                        item: out.items[idx],
+                        src,
+                        plane,
+                    });
+                }
+                arrays.push(subgrids);
+            }
+            for mut failure in out.fallback_jobs {
+                failure.job += job_base;
+                failure.first_item += item_base;
+                fallback_jobs.push(failure);
+            }
+            counts.add(&out.counts);
+            kernel_seconds += out.kernel_seconds;
+            fft_seconds += out.fft_seconds;
+            transfer_seconds += out.transfer_seconds;
+            device_energy += out.device_energy_j;
+            host_energy += out.host_energy_j;
+            nr_retries += out.nr_retries;
+            backoff_seconds += out.backoff_seconds;
+            redispatched += out.redispatched_jobs;
+            degradation += out.degradation_steps;
+            trips += out.breaker_trips;
+            makespans.push(out.makespan);
+            item_base += out.items.len();
+            job_base += out.items.len().div_ceil(self.work_group_size);
+        }
+        if slots.len() != item_base {
+            return Err(IdgError::Internal(format!(
+                "streamed commit covers {} of {} work items",
+                slots.len(),
+                item_base
+            )));
+        }
+
+        // the single in-order commit: sorting by (baseline, channel
+        // group, time) recovers exactly the one-shot plan's item order
+        slots.sort_by_key(|s| {
+            (
+                s.item.baseline_index,
+                s.item.channel_offset,
+                s.item.time_offset,
+            )
+        });
+        let n = self.obs.subgrid_size;
+        let mut combined = SubgridArray::new(slots.len(), n);
+        let mut items: Vec<WorkItem> = Vec::with_capacity(slots.len());
+        for (i, slot) in slots.iter().enumerate() {
+            combined
+                .subgrid_mut(i)
+                .copy_from_slice(arrays[slot.src].subgrid(slot.plane));
+            items.push(slot.item);
+        }
+        let mut grid = Grid::<f32>::new(self.obs.grid_size);
+        let t_commit = Instant::now();
+        {
+            let _span = idg_obs::wall_span("adder", "stage", None);
+            add_subgrids(&mut grid, &items, &combined, &self.cache)?;
+        }
+        let commit_seconds = t_commit.elapsed().as_secs_f64();
+
+        let modeled = matches!(self.backend, Backend::GpuPascal | Backend::GpuFiji);
+        let adder_seconds = if modeled {
+            (slots.len() * 4 * n * n * 8) as f64 / HOST_ADDER_BW
+        } else {
+            commit_seconds
+        };
+        let total_seconds = if modeled {
+            stream_makespan(&makespans, config.workers.min(config.max_inflight)) + adder_seconds
+        } else {
+            t_start.elapsed().as_secs_f64()
+        };
+        // per-chunk device breakdowns are not aggregated across the
+        // stream (each chunk ran its own fleet pass); only the scalar
+        // fault-tolerance counters are summed
+        let fleet = if modeled {
+            self.fleet.as_ref().map(|c| FleetStats {
+                nr_devices: c.nr_devices,
+                redispatched_jobs: redispatched,
+                degradation_steps: degradation,
+                breaker_trips: trips,
+                per_device: Vec::new(),
+            })
+        } else {
+            None
+        };
+
+        Ok((
+            grid,
+            ExecutionReport {
+                backend: self.backend.label().into(),
+                pass: "gridding",
+                modeled,
+                kernel_seconds,
+                fft_seconds,
+                adder_seconds,
+                transfer_seconds,
+                total_seconds,
+                counts,
+                device_energy_j: modeled.then_some(device_energy),
+                host_energy_j: modeled.then_some(host_energy),
+                nr_retries,
+                backoff_seconds,
+                fallback_jobs,
+                fleet,
+                metrics: None,
+                stream: Some(stats),
+            },
+        ))
+    }
+
+    /// Run [`Proxy::grid_streamed`] under an observability session (the
+    /// streamed counterpart of [`Proxy::grid_observed`], with the same
+    /// self-validation contract adapted to chunked execution).
+    pub fn grid_streamed_observed(
+        &self,
+        config: &StreamConfig,
+        uvw: &[Uvw],
+        visibilities: &[Visibility<f32>],
+        aterms: &ATerms,
+    ) -> Result<(Grid<f32>, ExecutionReport, idg_obs::Trace), IdgError> {
+        let session = idg_obs::Session::begin("gridding");
+        let result = self.grid_streamed(config, uvw, visibilities, aterms);
+        let trace = session.finish();
+        let (grid, mut report) = result?;
+        report.metrics = Some(trace.metrics.clone());
+        self.validate_streamed(config, uvw, &report)?;
+        Ok((grid, report, trace))
+    }
+
+    /// One chunk's pass: plan against the shared uv extents, then run
+    /// the back-end's gridder + subgrid FFT, leaving the commit to the
+    /// caller. Runs on a scheduler worker thread.
+    fn run_chunk(
+        &self,
+        data: &KernelData<'_>,
+        extents: &UvExtents,
+        chunk: &Chunk,
+    ) -> Result<ChunkOutput, IdgError> {
+        let plan = plan_chunk(&self.obs, data.uvw, extents, chunk)?;
+        let n = self.obs.subgrid_size;
+        let tag = u32::try_from(chunk.index).ok();
+        match self.backend {
+            Backend::CpuReference | Backend::CpuOptimized => {
+                let t0 = Instant::now();
+                let mut subgrids = SubgridArray::new(plan.nr_subgrids(), n);
+                {
+                    let _span = idg_obs::wall_span("gridder", "stage", tag);
+                    match self.backend {
+                        Backend::CpuReference => {
+                            gridder_reference(data, &plan.items, &mut subgrids)?;
+                        }
+                        _ => gridder_cpu(
+                            data,
+                            &plan.items,
+                            &mut subgrids,
+                            Accuracy::Medium,
+                            &self.cache,
+                        )?,
+                    }
+                }
+                let t1 = Instant::now();
+                {
+                    let _span = idg_obs::wall_span("subgrid_fft", "stage", tag);
+                    fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
+                }
+                let t2 = Instant::now();
+                let counts = gridder_counts(&plan.items, n);
+                let nr_items = plan.items.len();
+                Ok(ChunkOutput {
+                    items: plan.items,
+                    pending: vec![(0..nr_items, subgrids)],
+                    fallback_jobs: Vec::new(),
+                    counts,
+                    kernel_seconds: (t1 - t0).as_secs_f64(),
+                    fft_seconds: (t2 - t1).as_secs_f64(),
+                    transfer_seconds: 0.0,
+                    makespan: (t2 - t0).as_secs_f64(),
+                    device_energy_j: 0.0,
+                    host_energy_j: 0.0,
+                    nr_retries: 0,
+                    backoff_seconds: 0.0,
+                    redispatched_jobs: 0,
+                    degradation_steps: 0,
+                    breaker_trips: 0,
+                })
+            }
+            Backend::GpuPascal | Backend::GpuFiji => {
+                if let Some(fconfig) = self.fleet.clone() {
+                    let (pending, report) =
+                        self.fleet_executor(&fconfig)?.grid_deferred(data, &plan)?;
+                    let (pending, fallback_jobs) =
+                        self.fallback_pending(data, &plan, pending, &report.failed_jobs)?;
+                    return Ok(ChunkOutput {
+                        items: plan.items,
+                        pending,
+                        fallback_jobs,
+                        counts: report.counts,
+                        kernel_seconds: report.kernel_seconds,
+                        fft_seconds: report.fft_seconds,
+                        transfer_seconds: report.htod_seconds + report.dtoh_seconds,
+                        makespan: report.makespan,
+                        device_energy_j: report.device_energy_j,
+                        host_energy_j: report.host_energy_j,
+                        nr_retries: report.nr_retries,
+                        backoff_seconds: report.backoff_seconds,
+                        redispatched_jobs: report.redispatched_jobs,
+                        degradation_steps: report.degradation_steps,
+                        breaker_trips: report.breaker_trips,
+                    });
+                }
+                let (pending, report) = self.executor()?.grid_deferred(data, &plan)?;
+                let (pending, fallback_jobs) =
+                    self.fallback_pending(data, &plan, pending, &report.failed_jobs)?;
+                Ok(ChunkOutput {
+                    items: plan.items,
+                    pending,
+                    fallback_jobs,
+                    counts: report.counts,
+                    kernel_seconds: report.kernel_seconds,
+                    fft_seconds: report.fft_seconds,
+                    transfer_seconds: report.htod_seconds + report.dtoh_seconds,
+                    makespan: report.makespan,
+                    device_energy_j: report.device_energy_j,
+                    host_energy_j: report.host_energy_j,
+                    nr_retries: report.nr_retries,
+                    backoff_seconds: report.backoff_seconds,
+                    redispatched_jobs: 0,
+                    degradation_steps: 0,
+                    breaker_trips: 0,
+                })
+            }
+        }
+    }
+
+    /// Graceful degradation for the deferred-commit path: compute the
+    /// persistently failed jobs' subgrids on the CPU reference kernels
+    /// and append them to the pending set, so they join the same single
+    /// in-order commit as the device-produced subgrids (the one-shot
+    /// fallback instead adds them after the device pass committed).
+    fn fallback_pending(
+        &self,
+        data: &KernelData<'_>,
+        plan: &Plan,
+        mut pending: DeferredSubgrids,
+        failed_jobs: &[JobFailure],
+    ) -> Result<(DeferredSubgrids, Vec<JobFailure>), IdgError> {
+        if failed_jobs.is_empty() {
+            return Ok((pending, Vec::new()));
+        }
+        if !self.cpu_fallback {
+            return Err(failed_jobs[0].error.clone());
+        }
+        idg_obs::add_fallback_jobs(failed_jobs.len() as u64);
+        for failure in failed_jobs {
+            let _span = idg_obs::wall_span("cpu_fallback", "job", u32::try_from(failure.job).ok());
+            let range = failure.first_item..failure.first_item + failure.nr_items;
+            let items = &plan.items[range.clone()];
+            let mut subgrids = SubgridArray::new(items.len(), self.obs.subgrid_size);
+            gridder_reference(data, items, &mut subgrids)?;
+            fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
+            pending.push((range, subgrids));
+        }
+        Ok((pending, failed_jobs.to_vec()))
+    }
+
+    /// Cross-validate an observed streamed pass (see
+    /// [`Proxy::grid_observed`] for the contract). The chunk-local
+    /// plans are re-derived here — planning is cheap next to the
+    /// kernels — to get the analytic counts, total item count and
+    /// per-chunk job counts the expectations need. Skipped whenever
+    /// kernels may legitimately run more than once per work item.
+    fn validate_streamed(
+        &self,
+        config: &StreamConfig,
+        uvw: &[Uvw],
+        report: &ExecutionReport,
+    ) -> Result<(), IdgError> {
+        let fleet_perturbed = self.fleet_has_faults()
+            || report.fleet.as_ref().is_some_and(|f| {
+                f.redispatched_jobs > 0 || f.degradation_steps > 0 || f.breaker_trips > 0
+            });
+        if self.fault_config.is_some()
+            || report.nr_retries > 0
+            || !report.fallback_jobs.is_empty()
+            || fleet_perturbed
+        {
+            return Ok(());
+        }
+        let Some(metrics) = &report.metrics else {
+            return Ok(());
+        };
+        let chunks = ChunkedDataset::split(&self.obs, &config.policy)?;
+        let extents = UvExtents::compute(&self.obs, uvw)?;
+        let mut analytic = OpCounts::default();
+        let mut nr_items = 0u64;
+        let mut nr_jobs = 0u64;
+        for chunk in chunks.chunks() {
+            let plan = plan_chunk(&self.obs, uvw, &extents, chunk)?;
+            analytic.add(&gridder_counts(&plan.items, self.obs.subgrid_size));
+            nr_items += plan.items.len() as u64;
+            nr_jobs += plan.work_groups(self.work_group_size).count() as u64;
+        }
+        let k = metrics.pass_kernel();
+        let checks = [
+            ("visibilities", k.visibilities, analytic.visibilities),
+            ("sincos_pairs", k.sincos_pairs, analytic.sincos_pairs),
+            ("fmas", k.fmas, analytic.fmas),
+            ("dram_bytes", k.dram_bytes, analytic.dram_bytes),
+            ("shared_bytes", k.shared_bytes, analytic.shared_bytes),
+            ("invocations", k.invocations, nr_items),
+        ];
+        for (name, measured, predicted) in checks {
+            if measured != predicted {
+                return Err(IdgError::Internal(format!(
+                    "observability self-validation failed: streamed gridding {name} \
+                     measured {measured} != analytic {predicted}"
+                )));
+            }
+        }
+        // Streamed cache cadence: the reference path looks up once (the
+        // final commit's phasor tables); the optimized CPU path once
+        // per chunk (geometry planes) plus the commit; the GPU paths
+        // once per device job (compute phases) plus the commit.
+        let lookups = metrics.cache_hits + metrics.cache_misses;
+        let expected_lookups = match self.backend {
+            Backend::CpuReference => 1,
+            Backend::CpuOptimized => chunks.len() as u64 + 1,
+            Backend::GpuPascal | Backend::GpuFiji => nr_jobs + 1,
+        };
+        if lookups != expected_lookups {
+            return Err(IdgError::Internal(format!(
+                "observability self-validation failed: streamed gridding cache lookups \
+                 measured {lookups} != expected {expected_lookups}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idg_telescope::{Dataset, GaussianBeam, Layout, SkyModel};
+    use idg_types::Observation;
+
+    fn dataset() -> Dataset {
+        let obs = Observation::builder()
+            .stations(5)
+            .timesteps(48)
+            .channels(4, 150e6, 2e6)
+            .grid_size(256)
+            .subgrid_size(16)
+            .kernel_size(5)
+            .aterm_interval(8)
+            .image_size(0.05)
+            .build()
+            .unwrap();
+        let layout = Layout::uniform(5, 900.0, 171);
+        let sky = SkyModel::random(&obs, 4, 0.6, 173);
+        let beam = GaussianBeam::new(&obs, 0.8, 179);
+        Dataset::simulate(obs, &layout, sky, &beam)
+    }
+
+    fn assert_bit_identical(a: &Grid<f32>, b: &Grid<f32>) {
+        assert_eq!(a.size(), b.size());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn streamed_grid_is_bit_identical_to_one_shot_on_every_backend() {
+        let ds = dataset();
+        for backend in Backend::all() {
+            let proxy = Proxy::new(backend, ds.obs.clone()).unwrap();
+            let plan = proxy.plan(&ds.uvw).unwrap();
+            let (reference, _) = proxy
+                .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+                .unwrap();
+            let config = StreamConfig::new(ChunkPolicy::by_timesteps(8), 2, 2);
+            let (streamed, report) = proxy
+                .grid_streamed(&config, &ds.uvw, &ds.visibilities, &ds.aterms)
+                .unwrap();
+            assert_bit_identical(&reference, &streamed);
+            let stats = report.stream.expect("streamed pass reports stream stats");
+            assert_eq!(stats.nr_chunks, 6, "{backend:?}");
+            assert_eq!(stats.completed_chunks, 6);
+            assert_eq!(stats.failed_chunks, 0);
+            assert_eq!(stats.inflight_max, 2);
+            assert_eq!(stats.backpressure_waits, 4);
+        }
+    }
+
+    #[test]
+    fn streamed_pass_survives_chunk_policies_tighter_than_one_interval() {
+        // a 1-timestep policy snaps up to whole A-term intervals; the
+        // grid stays bit-identical and every timestep is still covered
+        let ds = dataset();
+        let proxy = Proxy::new(Backend::CpuOptimized, ds.obs.clone()).unwrap();
+        let plan = proxy.plan(&ds.uvw).unwrap();
+        let (reference, _) = proxy
+            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        let config = StreamConfig::new(ChunkPolicy::by_timesteps(1), 3, 4);
+        let (streamed, report) = proxy
+            .grid_streamed(&config, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        assert_bit_identical(&reference, &streamed);
+        assert_eq!(report.stream.unwrap().nr_chunks, 6);
+    }
+
+    #[test]
+    fn stream_config_rejects_degenerate_parameters() {
+        let bad = [
+            StreamConfig::new(ChunkPolicy::by_timesteps(0), 2, 2),
+            StreamConfig::new(ChunkPolicy::by_visibilities(0), 2, 2),
+            StreamConfig::new(ChunkPolicy::by_timesteps(8), 0, 2),
+            StreamConfig::new(ChunkPolicy::by_timesteps(8), 2, 0),
+        ];
+        for config in bad {
+            assert!(matches!(
+                config.validate(),
+                Err(IdgError::InvalidParameter(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn observed_streamed_runs_self_validate_on_every_backend() {
+        let ds = dataset();
+        let config = StreamConfig::new(ChunkPolicy::by_timesteps(16), 2, 3);
+        for backend in Backend::all() {
+            let proxy = Proxy::new(backend, ds.obs.clone()).unwrap();
+            let (_, report, trace) = proxy
+                .grid_streamed_observed(&config, &ds.uvw, &ds.visibilities, &ds.aterms)
+                .unwrap();
+            let metrics = report.metrics.expect("observed run attaches metrics");
+            assert_eq!(metrics.chunks_ingested, 3, "{backend:?}");
+            assert_eq!(metrics.passes_inflight_max, 3);
+            assert!(trace
+                .spans
+                .iter()
+                .any(|s| s.name == "chunk" || s.name == "adder"));
+        }
+    }
+
+    #[test]
+    fn modeled_stream_makespan_overlaps_chunks_across_lanes() {
+        // two equal chunks on two lanes finish in one chunk's time
+        let span = stream_makespan(&[1.0, 1.0], 2);
+        assert!((span - 1.0).abs() < 1e-12);
+        // one lane serializes them
+        assert!((stream_makespan(&[1.0, 1.0], 1) - 2.0).abs() < 1e-12);
+        // list scheduling packs the short chunks behind the long one
+        assert!((stream_makespan(&[3.0, 1.0, 1.0, 1.0], 2) - 3.0).abs() < 1e-12);
+    }
+}

@@ -8,6 +8,7 @@
 use idg_gpusim::{DeviceReport, JobFailure};
 use idg_obs::MetricsSnapshot;
 use idg_perf::OpCounts;
+use idg_stream::StreamStats;
 
 /// Aggregated multi-device statistics of a fleet pass.
 ///
@@ -75,6 +76,10 @@ pub struct ExecutionReport {
     /// [`crate::Proxy::degrid_observed`]); `None` for plain passes, so
     /// existing consumers are unaffected.
     pub metrics: Option<MetricsSnapshot>,
+    /// Chunked-ingestion summary when the pass was streamed
+    /// ([`crate::Proxy::grid_streamed`]): chunk/worker counts and the
+    /// scheduler's backpressure accounting. `None` for one-shot passes.
+    pub stream: Option<StreamStats>,
 }
 
 impl ExecutionReport {
@@ -172,6 +177,13 @@ impl std::fmt::Display for ExecutionReport {
                 self.fallback_jobs.len()
             )?;
         }
+        if let Some(s) = &self.stream {
+            writeln!(
+                f,
+                "  stream {} chunks on {} workers (window {}), peak inflight {}, {} backpressure waits",
+                s.nr_chunks, s.nr_workers, s.max_inflight, s.inflight_max, s.backpressure_waits
+            )?;
+        }
         if let Some(fleet) = &self.fleet {
             writeln!(
                 f,
@@ -226,6 +238,7 @@ mod tests {
             fallback_jobs: Vec::new(),
             fleet: None,
             metrics: None,
+            stream: None,
         }
     }
 
@@ -309,6 +322,26 @@ mod tests {
         assert!(text.contains("4 devices"));
         assert!(text.contains("2 breaker trips"));
         assert!(text.contains("(dead)"));
+    }
+
+    #[test]
+    fn display_reports_stream_stats_only_for_streamed_passes() {
+        assert!(!report().to_string().contains("stream"));
+        let r = ExecutionReport {
+            stream: Some(StreamStats {
+                nr_chunks: 4,
+                nr_workers: 2,
+                max_inflight: 2,
+                inflight_max: 2,
+                backpressure_waits: 2,
+                completed_chunks: 4,
+                failed_chunks: 0,
+            }),
+            ..report()
+        };
+        let text = r.to_string();
+        assert!(text.contains("4 chunks on 2 workers"));
+        assert!(text.contains("2 backpressure waits"));
     }
 
     #[test]

@@ -36,7 +36,13 @@ use idg_kernels::{
 use idg_perf::{degridder_counts, gridder_counts, EnergyModel, OpCounts};
 use idg_plan::{Plan, WorkItem};
 use idg_types::{FaultSite, Grid, IdgError, Visibility};
+use std::ops::Range;
 use std::sync::Arc;
+
+/// Deferred-commit payload of a streamed chunk pass: each entry pairs
+/// a `plan.items` range with the subgrids computed for it, in job
+/// order, ready for the caller's single in-order adder commit.
+pub type DeferredSubgrids = Vec<(Range<usize>, SubgridArray)>;
 
 /// A job that failed persistently: its outputs are absent from the pass
 /// result and the proxy layer may re-execute it on the CPU backend.
@@ -610,6 +616,148 @@ impl GpuExecutor {
                 kernel_seconds,
                 fft_seconds,
                 adder_seconds,
+                htod_seconds,
+                dtoh_seconds,
+                makespan,
+                timeline: pipeline.timeline,
+                device_energy_j,
+                host_energy_j,
+                nr_retries: stats.nr_retries,
+                backoff_seconds: stats.backoff_seconds,
+                failed_jobs,
+            },
+        ))
+    }
+
+    /// Run a gridding pass with *deferred* commits: compute and FFT
+    /// every job's subgrids on the modeled device, but never touch a
+    /// grid — return the subgrids with their `plan.items` ranges
+    /// instead, in job order.
+    ///
+    /// This is the streamed-chunk entry point: chunk passes run
+    /// concurrently, so none of them may own the shared grid;
+    /// `Proxy::grid_streamed` collects every chunk's pending subgrids
+    /// and commits them in the one-shot plan order with a single
+    /// adder call, which keeps the f32 accumulation order — and so
+    /// every output bit — identical to [`GpuExecutor::grid`]. One
+    /// kernel-cache lookup per job (the gridder geometry); the adder
+    /// phasor lookup happens at the caller's single commit.
+    ///
+    /// No device-resident grid is modeled, so subgrids always stream
+    /// back to the host: the reservation and timing follow the
+    /// host-adder shape of [`GpuExecutor::grid`] (option (2) of
+    /// Sec. V-C e), with the host-side add itself accounted by the
+    /// caller's commit.
+    pub fn grid_deferred(
+        &self,
+        data: &KernelData<'_>,
+        plan: &Plan,
+    ) -> Result<(DeferredSubgrids, GpuRunReport), IdgError> {
+        let mut device = self.device.clone();
+        let n = plan.subgrid_size();
+        // buffers only: the grid never lives on the device here
+        let subgrid_bytes_rsv = (self.work_group_size * 4 * n * n * 8) as u64;
+        let io_bytes = (self.work_group_size * 512 * 44) as u64;
+        let reserved = 3 * (subgrid_bytes_rsv + io_bytes);
+        device.allocate(reserved)?;
+        let injector = self.faults.clone().map(FaultInjector::new);
+
+        let nr_chan = data.obs.nr_channels();
+        let nr_time = data.obs.nr_timesteps;
+        let mut pending: Vec<(Range<usize>, SubgridArray)> = Vec::new();
+        let mut pipeline = PipelineSim::new(3);
+        let mut counts = OpCounts::default();
+        let mut kernel_seconds = 0.0;
+        let mut fft_seconds = 0.0;
+        let mut htod_seconds = 0.0;
+        let mut dtoh_seconds = 0.0;
+        let mut stats = RetryStats::default();
+        let mut failed_jobs = Vec::new();
+        let observing = idg_obs::is_active();
+        let mut compute_parts: Vec<Vec<(&'static str, f64)>> = Vec::new();
+
+        for (job, group) in plan.work_groups(self.work_group_size).enumerate() {
+            let group_counts = gridder_counts(group, n);
+            let in_bytes = group
+                .iter()
+                .map(|i| (i.nr_timesteps * (nr_chan * 32 + 12)) as u64)
+                .sum::<u64>();
+            let t_in = transfer_time(&device, in_bytes);
+            let t_kernel = kernel_time(&device, &group_counts);
+            let t_fft = subgrid_fft_time(&device, group.len(), n);
+            let subgrid_bytes = (group.len() * 4 * n * n * 8) as u64;
+            let t_out = transfer_time(&device, subgrid_bytes);
+            if observing {
+                compute_parts.push(vec![("gridder", t_kernel), ("subgrid_fft", t_fft)]);
+            }
+
+            let mut subgrids = SubgridArray::new(group.len(), n);
+            let mut backend = |op: JobOp| -> Result<Vec<u8>, IdgError> {
+                match op {
+                    JobOp::StageInput => {
+                        Ok(staged_vis_bytes(data.visibilities, nr_time, nr_chan, group))
+                    }
+                    JobOp::Compute => {
+                        subgrids = SubgridArray::new(group.len(), n);
+                        gridder_gpu(data, group, &mut subgrids, &device, &self.cache)?;
+                        fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
+                        Ok(Vec::new())
+                    }
+                    JobOp::StageOutput => Ok(staged_subgrid_bytes(&subgrids)),
+                    // committed later, by the caller, in plan order
+                    JobOp::Commit => Ok(Vec::new()),
+                }
+            };
+            match run_job(
+                &mut pipeline,
+                injector.as_ref(),
+                &self.retry,
+                &mut stats,
+                job,
+                (t_in, t_kernel + t_fft, t_out),
+                (0, 0.0),
+                &mut backend,
+            ) {
+                JobRun::Done { .. } => {
+                    counts.add(&group_counts);
+                    kernel_seconds += t_kernel;
+                    fft_seconds += t_fft;
+                    htod_seconds += t_in;
+                    dtoh_seconds += t_out;
+                    let first = job * self.work_group_size;
+                    pending.push((first..first + group.len(), subgrids));
+                }
+                JobRun::Failed { error, attempts } => failed_jobs.push(JobFailure {
+                    job,
+                    first_item: job * self.work_group_size,
+                    nr_items: group.len(),
+                    error,
+                    attempts,
+                }),
+            }
+        }
+        htod_seconds += stats.htod_seconds;
+        kernel_seconds += stats.kernel_seconds;
+        dtoh_seconds += stats.dtoh_seconds;
+        idg_obs::add_retries(stats.nr_retries as u64);
+        emit_modeled_spans(&pipeline.timeline, &compute_parts, 0);
+
+        device.free(reserved);
+        let makespan = pipeline.makespan();
+        let energy = EnergyModel::new(device.arch.clone());
+        let busy = pipeline.compute_busy();
+        let device_energy_j =
+            energy.device_energy(busy, 1.0) + energy.device_energy((makespan - busy).max(0.0), 0.0);
+        let host_energy_j = energy.host_energy(makespan);
+
+        Ok((
+            pending,
+            GpuRunReport {
+                pass: "gridding",
+                counts,
+                kernel_seconds,
+                fft_seconds,
+                adder_seconds: 0.0,
                 htod_seconds,
                 dtoh_seconds,
                 makespan,

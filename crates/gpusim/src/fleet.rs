@@ -34,7 +34,7 @@
 use crate::device::Device;
 use crate::executor::{
     emit_modeled_spans, run_job, staged_subgrid_bytes, staged_uvw_bytes, staged_vis_bytes,
-    JobFailure, JobOp, JobRun, RetryStats,
+    DeferredSubgrids, JobFailure, JobOp, JobRun, RetryStats,
 };
 use crate::fault::{FaultConfig, FaultInjector, RetryPolicy};
 use crate::health::{BreakerConfig, DeviceHealth, JobOutcome};
@@ -529,6 +529,129 @@ impl FleetExecutor {
         }
         self.seal_report(&mut states, &mut report);
         Ok((grid, report))
+    }
+
+    /// Run a gridding pass across the fleet with *deferred* commits:
+    /// identical dispatch, health gating, and fault machinery to
+    /// [`FleetExecutor::grid`], but instead of merging subgrids into a
+    /// grid the computed `(plan.items range, subgrids)` pairs are
+    /// returned in global job order. The streaming proxy collects
+    /// these across chunk passes and commits everything with one
+    /// adder call in one-shot plan order, so the streamed grid stays
+    /// bit-identical whatever device finished what, when.
+    pub fn grid_deferred(
+        &self,
+        data: &KernelData<'_>,
+        plan: &Plan,
+    ) -> Result<(DeferredSubgrids, FleetRunReport), IdgError> {
+        let groups: Vec<&[WorkItem]> = plan.work_groups(self.work_group_size).collect();
+        let nr_jobs = groups.len();
+        let mut report = self.report_skeleton("gridding");
+        let mut states = self.setup(plan, nr_jobs, &mut report.degradation_steps)?;
+
+        let n = plan.subgrid_size();
+        let nr_chan = data.obs.nr_channels();
+        let nr_time = data.obs.nr_timesteps;
+        let host_adder_bw = 40e9;
+        let observing = idg_obs::is_active();
+        let mut pending: Vec<Option<PendingChunks>> = vec![None; nr_jobs];
+        let group_lens: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+
+        self.dispatch(
+            &mut states,
+            plan,
+            &group_lens,
+            &mut report,
+            |st, job, stats| {
+                let group = groups[job];
+                let (w_eff, _) = level_shape(self.work_group_size, st.level);
+                let chunks = Self::chunk_ranges(group.len(), w_eff);
+                let group_counts = gridder_counts(group, n);
+                let in_bytes = group
+                    .iter()
+                    .map(|i| (i.nr_timesteps * (nr_chan * 32 + 12)) as u64)
+                    .sum::<u64>();
+                let t_in = transfer_time(&st.device, in_bytes);
+                let t_kernel = kernel_time(&st.device, &group_counts);
+                let t_fft = subgrid_fft_time(&st.device, group.len(), n);
+                let subgrid_bytes = (group.len() * 4 * n * n * 8) as u64;
+                let (t_compute, t_out, t_add) = if st.host_adder {
+                    let t_out = transfer_time(&st.device, subgrid_bytes);
+                    (
+                        t_kernel + t_fft,
+                        t_out,
+                        2.0 * subgrid_bytes as f64 / host_adder_bw,
+                    )
+                } else {
+                    let t_add = adder_time(&st.device, group.len(), n);
+                    (t_kernel + t_fft + t_add, 0.0, t_add)
+                };
+                if observing {
+                    let mut breakdown = vec![("gridder", t_kernel), ("subgrid_fft", t_fft)];
+                    if !st.host_adder {
+                        breakdown.push(("adder", t_add));
+                    }
+                    st.compute_parts[job] = breakdown;
+                }
+
+                let mut computed: Vec<(Range<usize>, SubgridArray)> = Vec::new();
+                let device = &st.device;
+                let cache = &self.cache;
+                let mut backend = |op: JobOp| -> Result<Vec<u8>, IdgError> {
+                    match op {
+                        JobOp::StageInput => {
+                            Ok(staged_vis_bytes(data.visibilities, nr_time, nr_chan, group))
+                        }
+                        JobOp::Compute => {
+                            computed.clear();
+                            for r in &chunks {
+                                let mut subgrids = SubgridArray::new(r.len(), n);
+                                gridder_gpu(data, &group[r.clone()], &mut subgrids, device, cache)?;
+                                fft_subgrids(&mut subgrids, Direction::Forward, FftNorm::None);
+                                computed.push((r.clone(), subgrids));
+                            }
+                            Ok(Vec::new())
+                        }
+                        JobOp::StageOutput => {
+                            let mut out = Vec::new();
+                            for (_, subgrids) in &computed {
+                                out.extend_from_slice(&staged_subgrid_bytes(subgrids));
+                            }
+                            Ok(out)
+                        }
+                        // committed later, by the caller, in plan order
+                        JobOp::Commit => Ok(Vec::new()),
+                    }
+                };
+                let result = run_job(
+                    &mut st.pipeline,
+                    st.injector.as_ref(),
+                    &self.retry,
+                    stats.0,
+                    job,
+                    (t_in, t_compute, t_out),
+                    stats.1,
+                    &mut backend,
+                );
+                if matches!(result, JobRun::Done { .. }) {
+                    pending[job] = Some(computed);
+                }
+                (result, group_counts, [t_kernel, t_fft, t_add, t_in, t_out])
+            },
+        )?;
+
+        // flatten to global `plan.items` ranges, in global job order
+        let mut out: Vec<(Range<usize>, SubgridArray)> = Vec::new();
+        for (job, slot) in pending.iter_mut().enumerate() {
+            let first = job * self.work_group_size;
+            if let Some(chunks) = slot.take() {
+                for (r, subgrids) in chunks {
+                    out.push((first + r.start..first + r.end, subgrids));
+                }
+            }
+        }
+        self.seal_report(&mut states, &mut report);
+        Ok((out, report))
     }
 
     /// Run a full degridding pass: grid → predicted visibilities.

@@ -186,7 +186,11 @@ impl Config {
                 "cast".to_string(),
                 "narrow_f32".to_string(),
             ],
-            l3_crates: vec!["kernels".to_string(), "gpusim".to_string()],
+            l3_crates: vec![
+                "kernels".to_string(),
+                "gpusim".to_string(),
+                "stream".to_string(),
+            ],
             l4_exempt_crates: vec!["lint".to_string()],
         }
     }

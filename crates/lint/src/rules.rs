@@ -301,6 +301,14 @@ pub const KERNEL_CONTRACTS: &[KernelContract] = &[
         signature_marker: "JobOutcome",
         required_any: &["add_health_outcomes", "add_breaker_trips"],
     },
+    // the streaming scheduler: every chunk it ingests (and every
+    // window-constrained admission) must surface in the stream
+    // counters, or the soak suite's backpressure assertions go blind
+    KernelContract {
+        name_prefix: "run_stream",
+        signature_marker: "Chunk",
+        required_any: &["add_chunks_ingested", "add_backpressure_waits"],
+    },
 ];
 
 fn matches_prefix(name: &str, prefix: &str) -> bool {

@@ -153,6 +153,29 @@ fn l3_health_clean_fixture_passes() {
     assert_eq!(diags, vec![]);
 }
 
+#[test]
+fn l3_fires_on_counterless_stream_entry_point() {
+    // The streaming scheduler is an L3 entry point like any kernel:
+    // chunks it admits must surface in the idg-obs stream counters.
+    let diags = lint(
+        "crates/stream/src/fixture.rs",
+        include_str!("fixtures/l3_stream_violating.rs"),
+    );
+    assert_eq!(spans(&diags, Rule::L3), vec![(4, 5)]);
+    assert_eq!(diags.len(), 1);
+    assert!(diags[0].message.contains("run_stream_fixture"));
+    assert!(diags[0].message.contains("add_chunks_ingested"));
+}
+
+#[test]
+fn l3_stream_clean_fixture_passes() {
+    let diags = lint(
+        "crates/stream/src/fixture.rs",
+        include_str!("fixtures/l3_stream_clean.rs"),
+    );
+    assert_eq!(diags, vec![]);
+}
+
 // ---------------------------------------------------------------------------
 // L4 — typed fallibility
 // ---------------------------------------------------------------------------

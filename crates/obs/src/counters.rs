@@ -105,6 +105,14 @@ pub struct MetricsSnapshot {
     pub degradation_steps: u64,
     /// Jobs re-dispatched from a tripped device to a healthy peer.
     pub redispatched_jobs: u64,
+    /// Chunks admitted by the streaming front-end's scheduler.
+    pub chunks_ingested: u64,
+    /// Window-constrained admissions in the streaming scheduler (the
+    /// producer had to wait for an in-flight pass to complete).
+    pub backpressure_waits: u64,
+    /// Peak admitted-but-uncompleted streamed passes (max-merged, not
+    /// summed, across scheduler runs in the session).
+    pub passes_inflight_max: u64,
 }
 
 impl MetricsSnapshot {
@@ -162,7 +170,10 @@ impl MetricsSnapshot {
              \x20 \"health_outcomes\": {},\n\
              \x20 \"breaker_trips\": {},\n\
              \x20 \"degradation_steps\": {},\n\
-             \x20 \"redispatched_jobs\": {}\n}}\n",
+             \x20 \"redispatched_jobs\": {},\n\
+             \x20 \"chunks_ingested\": {},\n\
+             \x20 \"backpressure_waits\": {},\n\
+             \x20 \"passes_inflight_max\": {}\n}}\n",
             self.subgrids_fft,
             self.subgrids_ifft,
             self.subgrids_added,
@@ -177,6 +188,9 @@ impl MetricsSnapshot {
             self.breaker_trips,
             self.degradation_steps,
             self.redispatched_jobs,
+            self.chunks_ingested,
+            self.backpressure_waits,
+            self.passes_inflight_max,
         );
         out
     }
@@ -231,6 +245,9 @@ mod tests {
         m.cache_misses = 2;
         m.breaker_trips = 5;
         m.degradation_steps = 7;
+        m.chunks_ingested = 9;
+        m.backpressure_waits = 4;
+        m.passes_inflight_max = 2;
         let j1 = m.to_json();
         let j2 = m.to_json();
         assert_eq!(j1, j2);
@@ -241,6 +258,9 @@ mod tests {
         assert!(j1.contains("\"cache_misses\": 2"));
         assert!(j1.contains("\"breaker_trips\": 5"));
         assert!(j1.contains("\"degradation_steps\": 7"));
+        assert!(j1.contains("\"chunks_ingested\": 9"));
+        assert!(j1.contains("\"backpressure_waits\": 4"));
+        assert!(j1.contains("\"passes_inflight_max\": 2"));
     }
 
     #[test]

@@ -247,6 +247,22 @@ pub fn add_redispatched_jobs(n: u64) {
     with_collector(|c| c.metrics.redispatched_jobs += n);
 }
 
+/// Record `n` chunks admitted by the streaming scheduler.
+pub fn add_chunks_ingested(n: u64) {
+    with_collector(|c| c.metrics.chunks_ingested += n);
+}
+
+/// Record `n` window-constrained admissions (streaming backpressure).
+pub fn add_backpressure_waits(n: u64) {
+    with_collector(|c| c.metrics.backpressure_waits += n);
+}
+
+/// Record a scheduler run's peak in-flight pass count (max-merged:
+/// the snapshot keeps the largest peak seen in the session).
+pub fn record_passes_inflight(n: u64) {
+    with_collector(|c| c.metrics.passes_inflight_max = c.metrics.passes_inflight_max.max(n));
+}
+
 /// Record a span with *modeled* time (seconds on the device model's
 /// clock, converted to integer microseconds — fully deterministic).
 /// Both *endpoints* are rounded (rather than start and duration

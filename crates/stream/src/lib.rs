@@ -1,0 +1,409 @@
+//! # idg-stream — chunked ingestion and concurrent pass scheduling
+//!
+//! The paper's proxy consumes a whole observation in one shot; a
+//! serving system cannot. This crate is the streaming front-end that
+//! sits between an arriving visibility stream and the batch pipeline:
+//!
+//! - [`ChunkPolicy`] / [`ChunkedDataset`] partition the observation's
+//!   time axis into bounded chunks. Chunk boundaries snap to
+//!   `aterm_interval` multiples, because the planner's greedy
+//!   accumulation never crosses an A-term boundary — so a chunk-local
+//!   plan started on one reproduces exactly the work items the
+//!   one-shot plan emits there (see [`idg_plan::Plan::create_windowed`]).
+//! - [`StreamScheduler::run_stream`] drives the chunks through a
+//!   bounded submission queue with backpressure: the producer admits
+//!   at most `max_inflight` un-completed chunks, worker threads
+//!   execute them concurrently, and every chunk's result lands in its
+//!   own slot exactly once, whatever order completions arrive in.
+//!
+//! The scheduler is deliberately generic over the per-chunk pass
+//! (`Fn(&Chunk) -> Result<T, IdgError>`): the proxy plugs in CPU
+//! kernels, the single-device GPU executor, or the fleet without this
+//! crate depending on any of them. Bit-identity of the streamed grid
+//! is then the *caller's* obligation — commit every chunk's subgrids
+//! in the one-shot plan order after the stream drains (see
+//! `Proxy::grid_streamed` in `idg`), never by summing per-chunk grids
+//! (f32 addition is order-sensitive and `0.0 + (-0.0)` even flips a
+//! sign bit).
+//!
+//! Both backpressure metrics are deterministic by construction, so
+//! same-seed soak runs snapshot byte-identically:
+//! `backpressure_waits` counts *window-constrained admissions* (chunk
+//! `k` with `k ≥ max_inflight` must wait for completion `k −
+//! max_inflight`, whether or not the wait blocks), which is
+//! `max(0, nr_chunks − max_inflight)`; `passes_inflight_max` is
+//! pinned at `min(max_inflight, nr_chunks)` because workers only
+//! start once the admission window is pre-filled.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use idg_plan::{Plan, UvExtents};
+use idg_types::{IdgError, Observation, Uvw};
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// How to bound one ingestion chunk along the time axis.
+///
+/// Both limits apply together: a chunk covers at most
+/// `max_timesteps` time steps *and* at most `max_visibilities`
+/// visibilities (each time step carries `nr_baselines × nr_channels`
+/// of them). The resulting stride additionally snaps **up** to a
+/// whole number of A-term intervals so chunk-local plans stay
+/// bit-compatible with the one-shot plan; a policy tighter than one
+/// interval therefore still yields `aterm_interval`-sized chunks.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ChunkPolicy {
+    /// Maximum time steps per chunk (before A-term snapping).
+    pub max_timesteps: usize,
+    /// Maximum visibilities per chunk (before A-term snapping).
+    pub max_visibilities: usize,
+}
+
+impl ChunkPolicy {
+    /// A policy bounded by time steps only.
+    pub fn by_timesteps(max_timesteps: usize) -> Self {
+        Self {
+            max_timesteps,
+            max_visibilities: usize::MAX,
+        }
+    }
+
+    /// A policy bounded by visibility count only.
+    pub fn by_visibilities(max_visibilities: usize) -> Self {
+        Self {
+            max_timesteps: usize::MAX,
+            max_visibilities,
+        }
+    }
+
+    /// Reject zero-sized chunk bounds (either limit at zero would
+    /// admit no data at all and stall the stream forever).
+    pub fn validate(&self) -> Result<(), IdgError> {
+        if self.max_timesteps == 0 {
+            return Err(IdgError::InvalidParameter(
+                "chunk policy: max_timesteps must be positive".into(),
+            ));
+        }
+        if self.max_visibilities == 0 {
+            return Err(IdgError::InvalidParameter(
+                "chunk policy: max_visibilities must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One bounded slice of the observation's time axis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// Position in ingestion order (0-based).
+    pub index: usize,
+    /// Global time-step range `[start, end)` this chunk covers.
+    pub time_range: Range<usize>,
+}
+
+impl Chunk {
+    /// Number of time steps covered.
+    pub fn nr_timesteps(&self) -> usize {
+        self.time_range.end - self.time_range.start
+    }
+}
+
+/// The observation's time axis split into policy-bounded,
+/// A-term-aligned chunks: a lossless, order-preserving,
+/// non-overlapping cover of `0..nr_timesteps`.
+#[derive(Clone, Debug)]
+pub struct ChunkedDataset {
+    chunks: Vec<Chunk>,
+}
+
+impl ChunkedDataset {
+    /// Split `obs` under `policy`. The stride is the largest multiple
+    /// of `aterm_interval` within the policy bounds (at least one
+    /// interval); the final chunk keeps whatever remainder is left.
+    pub fn split(obs: &Observation, policy: &ChunkPolicy) -> Result<ChunkedDataset, IdgError> {
+        policy.validate()?;
+        let chunks = chunk_observation(obs, policy)?;
+        Ok(ChunkedDataset { chunks })
+    }
+
+    /// The chunks, in ingestion (time) order.
+    pub fn chunks(&self) -> &[Chunk] {
+        &self.chunks
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether the observation produced no chunks (zero time steps).
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+}
+
+/// Compute the policy-bounded, A-term-aligned chunk cover of the
+/// observation's time axis (the work behind [`ChunkedDataset::split`]).
+pub fn chunk_observation(obs: &Observation, policy: &ChunkPolicy) -> Result<Vec<Chunk>, IdgError> {
+    policy.validate()?;
+    let nr_time = obs.nr_timesteps;
+    let vis_per_timestep = obs.nr_baselines() * obs.nr_channels();
+    let by_vis = policy
+        .max_visibilities
+        .checked_div(vis_per_timestep)
+        .unwrap_or(usize::MAX);
+    let bound = policy.max_timesteps.min(by_vis).max(1);
+    // snap the stride UP to whole A-term intervals: chunk-local plans
+    // must start on the boundaries the one-shot planner breaks on
+    let aterm = obs.aterm_interval.max(1);
+    let stride = if bound < aterm {
+        aterm
+    } else {
+        (bound / aterm) * aterm
+    };
+    let mut chunks = Vec::new();
+    let mut t = 0usize;
+    while t < nr_time {
+        let end = (t + stride).min(nr_time);
+        chunks.push(Chunk {
+            index: chunks.len(),
+            time_range: t..end,
+        });
+        t = end;
+    }
+    Ok(chunks)
+}
+
+/// Plan one chunk against the shared whole-observation uv extents —
+/// the chunk-local planning entry point the streaming workers call.
+/// Thin delegation to [`Plan::create_windowed`]; `uvw` is the full
+/// buffer and the returned items carry global time offsets.
+pub fn plan_chunk(
+    obs: &Observation,
+    uvw: &[Uvw],
+    extents: &UvExtents,
+    chunk: &Chunk,
+) -> Result<Plan, IdgError> {
+    Plan::create_windowed(obs, uvw, extents, chunk.time_range.clone())
+}
+
+/// Summary of one streamed pass, carried in
+/// `ExecutionReport::stream`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Chunks the splitter produced (and the scheduler ingested).
+    pub nr_chunks: usize,
+    /// Worker threads the scheduler ran.
+    pub nr_workers: usize,
+    /// Admission-window bound (backpressure threshold).
+    pub max_inflight: usize,
+    /// Peak admitted-but-uncompleted chunks observed
+    /// (`min(max_inflight, nr_chunks)` by construction).
+    pub inflight_max: usize,
+    /// Window-constrained admissions (`max(0, nr_chunks −
+    /// max_inflight)` by construction).
+    pub backpressure_waits: u64,
+    /// Chunks whose pass returned `Ok`.
+    pub completed_chunks: usize,
+    /// Chunks whose pass returned `Err`.
+    pub failed_chunks: usize,
+}
+
+/// Everything one [`StreamScheduler::run_stream`] call produced:
+/// per-chunk results in chunk order, plus the scheduling stats.
+#[derive(Debug)]
+pub struct StreamRun<T> {
+    /// `results[i]` is chunk `i`'s pass outcome — exactly one per
+    /// chunk, whatever order the workers finished in.
+    pub results: Vec<Result<T, IdgError>>,
+    /// Scheduling summary.
+    pub stats: StreamStats,
+}
+
+/// Bounded concurrent pass scheduler: a producer admits chunks into a
+/// queue capped at `max_inflight`, `workers` threads drain it.
+#[derive(Copy, Clone, Debug)]
+pub struct StreamScheduler {
+    workers: usize,
+    max_inflight: usize,
+}
+
+/// Producer/worker shared state behind the scheduler's mutex.
+struct SchedState {
+    queue: VecDeque<usize>,
+    admitted: usize,
+    completed: usize,
+    inflight_max: usize,
+    waits: u64,
+    /// Workers hold off until the admission window is pre-filled, so
+    /// the observed `inflight_max` is deterministic.
+    started: bool,
+    producer_done: bool,
+}
+
+/// Lock with poison recovery: a panicking worker must not deadlock
+/// the rest of the scheduler (the panic itself still propagates
+/// through the thread scope).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl StreamScheduler {
+    /// A scheduler with `workers` threads and an admission window of
+    /// `max_inflight` chunks. Both must be positive.
+    pub fn new(workers: usize, max_inflight: usize) -> Result<StreamScheduler, IdgError> {
+        if workers == 0 {
+            return Err(IdgError::InvalidParameter(
+                "stream scheduler: workers must be positive".into(),
+            ));
+        }
+        if max_inflight == 0 {
+            return Err(IdgError::InvalidParameter(
+                "stream scheduler: max_inflight must be positive".into(),
+            ));
+        }
+        Ok(StreamScheduler {
+            workers,
+            max_inflight,
+        })
+    }
+
+    /// Worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Admission-window bound.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Drive every chunk through `exec` across the worker pool, under
+    /// the bounded admission window.
+    ///
+    /// The calling thread is the producer: it admits chunk `k` only
+    /// once fewer than `max_inflight` admitted chunks remain
+    /// uncompleted, counting each window-constrained admission in
+    /// `backpressure_waits`. Results are delivered exactly once per
+    /// chunk, in per-chunk slots — completion order never reorders
+    /// them. A chunk whose pass fails does not abort the stream; its
+    /// error is returned in its slot.
+    pub fn run_stream<T, F>(&self, chunks: &[Chunk], exec: F) -> Result<StreamRun<T>, IdgError>
+    where
+        T: Send,
+        F: Fn(&Chunk) -> Result<T, IdgError> + Sync,
+    {
+        let n = chunks.len();
+        let cap = self.max_inflight;
+        let prefill = cap.min(n);
+        idg_obs::add_chunks_ingested(n as u64);
+
+        let state = Mutex::new(SchedState {
+            queue: VecDeque::new(),
+            admitted: 0,
+            completed: 0,
+            inflight_max: 0,
+            waits: 0,
+            started: n == 0,
+            producer_done: false,
+        });
+        let cond_work = Condvar::new();
+        let cond_space = Condvar::new();
+        let slots: Vec<Mutex<Option<Result<T, IdgError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| loop {
+                    let job = {
+                        let mut st = lock(&state);
+                        loop {
+                            if st.started {
+                                if let Some(j) = st.queue.pop_front() {
+                                    break Some(j);
+                                }
+                                if st.producer_done {
+                                    break None;
+                                }
+                            }
+                            st = cond_work
+                                .wait(st)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        }
+                    };
+                    let Some(job) = job else { return };
+                    let out = {
+                        let _span = idg_obs::wall_span("chunk", "stage", u32::try_from(job).ok());
+                        exec(&chunks[job])
+                    };
+                    *lock(&slots[job]) = Some(out);
+                    let mut st = lock(&state);
+                    st.completed += 1;
+                    cond_space.notify_all();
+                });
+            }
+
+            // producer: bounded-window admission on the calling thread
+            for k in 0..n {
+                let mut st = lock(&state);
+                if k >= cap {
+                    st.waits += 1;
+                    while st.completed + cap < k + 1 {
+                        st = cond_space
+                            .wait(st)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                }
+                st.queue.push_back(k);
+                st.admitted = k + 1;
+                let inflight = st.admitted - st.completed;
+                st.inflight_max = st.inflight_max.max(inflight);
+                if st.admitted == prefill {
+                    st.started = true;
+                }
+                if st.started {
+                    cond_work.notify_all();
+                }
+            }
+            let mut st = lock(&state);
+            st.producer_done = true;
+            cond_work.notify_all();
+        });
+
+        let (inflight_max, waits) = {
+            let st = lock(&state);
+            (st.inflight_max, st.waits)
+        };
+        idg_obs::record_passes_inflight(inflight_max as u64);
+        idg_obs::add_backpressure_waits(waits);
+
+        let mut results = Vec::with_capacity(n);
+        for slot in slots {
+            let out = slot
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    Err(IdgError::Internal(
+                        "stream scheduler lost a chunk result".into(),
+                    ))
+                });
+            results.push(out);
+        }
+        let completed_chunks = results.iter().filter(|r| r.is_ok()).count();
+        Ok(StreamRun {
+            stats: StreamStats {
+                nr_chunks: n,
+                nr_workers: self.workers,
+                max_inflight: cap,
+                inflight_max,
+                backpressure_waits: waits,
+                completed_chunks,
+                failed_chunks: n - completed_chunks,
+            },
+            results,
+        })
+    }
+}
