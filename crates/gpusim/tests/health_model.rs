@@ -1,0 +1,105 @@
+//! Model-checked breaker liveness for [`DeviceHealth`] behind the
+//! `idg-sync` facade (DESIGN.md §13): under every interleaving of
+//! concurrent outcome recorders up to the bound, the breaker trips
+//! exactly once at the threshold, refuses work while open, and — the
+//! liveness half — always re-admits after the cooldown and re-closes
+//! on clean probes. `DeviceHealth` itself is caller-synchronized by
+//! design; this suite pins the fleet's actual usage shape, a facade
+//! mutex shared by per-device worker threads.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg idg_model_check"`; an empty
+//! test binary otherwise.
+
+#![cfg(idg_model_check)]
+
+use idg_gpusim::health::{BreakerConfig, BreakerState, DeviceHealth, JobOutcome};
+use idg_mc::{thread, Config, Explorer};
+use idg_sync::Mutex;
+
+fn explorer() -> Explorer {
+    Explorer::new(Config::default()).expect("valid config")
+}
+
+fn tracker() -> DeviceHealth {
+    DeviceHealth::new(BreakerConfig {
+        window: 4,
+        trip_unhealthy: 2,
+        cooldown_seconds: 1.0,
+        half_open_probes: 1,
+    })
+    .expect("valid breaker config")
+}
+
+#[test]
+fn breaker_trips_exactly_once_under_concurrent_failures() {
+    let report = explorer().explore(|| {
+        let health = Mutex::new(tracker());
+        thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| health.lock().record_outcome(JobOutcome::Failed, 0.0));
+            }
+        });
+        let h = health.lock();
+        assert_eq!(h.outcomes(), 2, "every recorder's outcome lands");
+        assert_eq!(h.unhealthy_in_window(), 2);
+        assert_eq!(
+            h.state(),
+            BreakerState::Open,
+            "threshold reached in every interleaving"
+        );
+        assert_eq!(h.trips(), 1, "the trip fires exactly once");
+    });
+    assert!(report.proved(), "report: {report:?}");
+}
+
+#[test]
+fn tripped_breaker_recovers_after_cooldown() {
+    // Liveness: whatever order the failures landed in, the breaker
+    // must refuse during cooldown, half-open after it, and re-close on
+    // a clean probe — the fleet's guarantee that a benched device is
+    // never benched forever.
+    let report = explorer().explore(|| {
+        let health = Mutex::new(tracker());
+        thread::scope(|s| {
+            s.spawn(|| health.lock().record_outcome(JobOutcome::Failed, 0.0));
+            s.spawn(|| {
+                health
+                    .lock()
+                    .record_outcome(JobOutcome::Recovered { nr_retries: 1 }, 0.0);
+            });
+        });
+        let mut h = health.lock();
+        assert_eq!(h.state(), BreakerState::Open);
+        assert!(!h.admit(0.5), "cooldown must hold the device out");
+        assert!(h.admit(1.5), "after cooldown the breaker half-opens");
+        assert_eq!(h.state(), BreakerState::HalfOpen);
+        h.record_outcome(JobOutcome::Clean, 1.5);
+        assert_eq!(
+            h.state(),
+            BreakerState::Closed,
+            "a clean probe re-closes the breaker"
+        );
+        assert!(h.admit(1.6));
+    });
+    assert!(report.proved(), "report: {report:?}");
+}
+
+#[test]
+fn mixed_clean_and_failed_recorders_converge() {
+    // One clean + one failed outcome stays under the trip threshold in
+    // every interleaving; the breaker must remain closed and admitting.
+    let report = explorer().explore(|| {
+        let health = Mutex::new(tracker());
+        thread::scope(|s| {
+            s.spawn(|| health.lock().record_outcome(JobOutcome::Clean, 0.0));
+            s.spawn(|| health.lock().record_outcome(JobOutcome::Failed, 0.0));
+        });
+        let mut h = health.lock();
+        assert_eq!(h.outcomes(), 2);
+        assert_eq!(h.unhealthy_in_window(), 1);
+        assert_eq!(h.state(), BreakerState::Closed);
+        assert_eq!(h.trips(), 0);
+        assert!(h.admit(0.1));
+    });
+    assert!(report.proved(), "report: {report:?}");
+}

@@ -17,10 +17,12 @@
 
 use crate::geometry::KernelGeometry;
 use idg_fft::shift::fftshift_source;
+use idg_sync::RwLock;
 use idg_types::{Cf32, Complex, Float};
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Per-axis phase-correction table: `corr[j] = e^{iπ(j−Ñ/2)(Ñ−1)/Ñ}` —
 /// the half-pixel ramp that compensates the `x + 0.5` pixel-center
@@ -178,10 +180,36 @@ impl PhasorTables {
 /// self-validation pins the exact number of lookups a pass performs.
 #[derive(Debug, Default)]
 pub struct KernelCache {
-    geometry: Mutex<HashMap<GeometryKey, Arc<GeometryPlanes>>>,
-    phasors: Mutex<HashMap<PhasorKey, Arc<PhasorTables>>>,
+    geometry: RwLock<HashMap<GeometryKey, Arc<GeometryPlanes>>>,
+    phasors: RwLock<HashMap<PhasorKey, Arc<PhasorTables>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// Read-mostly lookup: warm passes take only the shared read lock, so
+/// concurrent workers never serialize on a hit; the write lock is
+/// taken on miss alone, with the key re-checked under it (another
+/// worker may have built the table between the two acquisitions — the
+/// loser of that race counts as a hit and shares the winner's `Arc`,
+/// so a key is only ever built once).
+fn lookup<K: Eq + Hash + Copy, V>(
+    map: &RwLock<HashMap<K, Arc<V>>>,
+    key: K,
+    build: impl FnOnce() -> V,
+) -> (Arc<V>, bool) {
+    {
+        let read = map.read();
+        if let Some(v) = read.get(&key) {
+            return (Arc::clone(v), true);
+        }
+    }
+    let mut write = map.write();
+    if let Some(v) = write.get(&key) {
+        return (Arc::clone(v), true);
+    }
+    let v = Arc::new(build());
+    write.insert(key, Arc::clone(&v));
+    (v, false)
 }
 
 impl KernelCache {
@@ -190,36 +218,27 @@ impl KernelCache {
         Self::default()
     }
 
-    /// Shared geometry planes for `key`, built on first use.
-    pub fn geometry(&self, key: GeometryKey) -> Arc<GeometryPlanes> {
-        // a poisoned lock only means another thread panicked while
-        // holding it; the map itself is still valid (inserts of Arcs
-        // are all-or-nothing), so recover rather than propagate
-        let mut map = self.geometry.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(planes) = map.get(&key) {
+    fn count(&self, hit: bool) {
+        if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
             idg_obs::add_cache_hits(1);
-            return Arc::clone(planes);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            idg_obs::add_cache_misses(1);
         }
-        let planes = Arc::new(GeometryPlanes::compute(&key));
-        map.insert(key, Arc::clone(&planes));
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        idg_obs::add_cache_misses(1);
+    }
+
+    /// Shared geometry planes for `key`, built on first use.
+    pub fn geometry(&self, key: GeometryKey) -> Arc<GeometryPlanes> {
+        let (planes, hit) = lookup(&self.geometry, key, || GeometryPlanes::compute(&key));
+        self.count(hit);
         planes
     }
 
     /// Shared adder/splitter phasor tables for `key`, built on first use.
     pub fn phasors(&self, key: PhasorKey) -> Arc<PhasorTables> {
-        let mut map = self.phasors.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(tables) = map.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            idg_obs::add_cache_hits(1);
-            return Arc::clone(tables);
-        }
-        let tables = Arc::new(PhasorTables::compute(&key));
-        map.insert(key, Arc::clone(&tables));
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        idg_obs::add_cache_misses(1);
+        let (tables, hit) = lookup(&self.phasors, key, || PhasorTables::compute(&key));
+        self.count(hit);
         tables
     }
 

@@ -1,0 +1,75 @@
+//! Model-checked coherence of the read-mostly [`KernelCache`]
+//! (DESIGN.md §13): under every interleaving up to the bound,
+//! concurrent lookups of the same key share one table (a key is built
+//! exactly once, whoever loses the read→write re-check race) and the
+//! hit/miss tallies stay exact.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg idg_model_check"`; an empty
+//! test binary otherwise.
+
+#![cfg(idg_model_check)]
+
+use idg_kernels::cache::{GeometryKey, KernelCache, PhasorKey};
+use idg_mc::{thread, Config, Explorer};
+use std::sync::Arc;
+
+fn explorer() -> Explorer {
+    Explorer::new(Config::default()).expect("valid config")
+}
+
+#[test]
+fn concurrent_same_key_lookups_build_once_and_share() {
+    // Tiny tables keep per-schedule work negligible; the exploration
+    // cost is all in the interleavings.
+    let report = explorer().explore(|| {
+        let cache = KernelCache::new();
+        let key = PhasorKey::new(2);
+        let (a, b) = thread::scope(|s| {
+            let ha = s.spawn(|| cache.phasors(key));
+            let hb = s.spawn(|| cache.phasors(key));
+            (
+                ha.join().expect("lookup does not panic"),
+                hb.join().expect("lookup does not panic"),
+            )
+        });
+        assert!(Arc::ptr_eq(&a, &b), "both threads must share one table");
+        assert_eq!(cache.misses(), 1, "the table is built exactly once");
+        assert_eq!(cache.hits(), 1, "the race loser counts as a hit");
+    });
+    assert!(report.proved(), "report: {report:?}");
+}
+
+#[test]
+fn distinct_keys_miss_independently() {
+    let report = explorer().explore(|| {
+        let cache = KernelCache::new();
+        thread::scope(|s| {
+            s.spawn(|| cache.geometry(GeometryKey::new(2, 0.1)));
+            s.spawn(|| cache.geometry(GeometryKey::new(2, 0.2)));
+        });
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+    });
+    assert!(report.proved(), "report: {report:?}");
+}
+
+#[test]
+fn warm_reads_overlap_without_losing_counts() {
+    // One cold build, then two concurrent warm readers: the read lock
+    // is shared, and the tallies must still come out exact.
+    let report = explorer().explore(|| {
+        let cache = KernelCache::new();
+        let key = PhasorKey::new(2);
+        let cold = cache.phasors(key);
+        thread::scope(|s| {
+            let ha = s.spawn(|| cache.phasors(key));
+            let hb = s.spawn(|| cache.phasors(key));
+            let a = ha.join().expect("warm lookup");
+            let b = hb.join().expect("warm lookup");
+            assert!(Arc::ptr_eq(&a, &cold) && Arc::ptr_eq(&b, &cold));
+        });
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+    });
+    assert!(report.proved(), "report: {report:?}");
+}

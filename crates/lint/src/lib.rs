@@ -25,14 +25,29 @@
 //!   `Result<_, IdgError>` — no foreign error types, no
 //!   `Option`/`bool`-as-error on fallibly-named functions.
 //! * **L5 — `#![forbid(unsafe_code)]`** in every library crate root.
+//! * **L6 — lock discipline**: `Condvar::wait` only directly inside a
+//!   `while`/`loop` body where its predicate is re-checked; no raw
+//!   poison-panicking `.lock().unwrap()`-style acquisitions; the
+//!   declared lock-order hierarchy (`tools/lock-order.toml`) respected;
+//!   and no kernel entry point launched while a lock guard binding is
+//!   live.
+//! * **L7 — sync facade**: concurrency primitives (`Mutex`, `Condvar`,
+//!   `RwLock`, `thread::scope`) come from the `idg-sync` facade, never
+//!   `std::sync`/`std::thread` directly — the facade is what lets the
+//!   model checker (`idg-mc`) take over every primitive under
+//!   `--cfg idg_model_check`. The facade crates themselves (`sync`,
+//!   `mc`) are the one sanctioned home of the std primitives and are
+//!   exempt.
 //!
 //! Run as `cargo run -p idg-lint` (CI mode; non-zero on any drift in
 //! either direction) or `cargo run -p idg-lint -- --update-allowlist`
-//! after shrinking the residue.
+//! after shrinking the residue. L6/L7 launched with a zero-entry
+//! allowlist budget: no residual sites existed, so none may appear.
 
 #![forbid(unsafe_code)]
 
 pub mod allowlist;
+pub mod lockorder;
 pub mod model;
 pub mod rules;
 pub mod walk;
@@ -55,6 +70,11 @@ pub enum Rule {
     L4,
     /// `#![forbid(unsafe_code)]` in crate roots.
     L5,
+    /// Lock discipline (wait-in-loop, facade acquisition, lock order,
+    /// guard liveness across kernel launches).
+    L6,
+    /// Sync facade: concurrency primitives from `idg-sync`, not std.
+    L7,
 }
 
 impl Rule {
@@ -66,6 +86,8 @@ impl Rule {
             "L3" => Some(Rule::L3),
             "L4" => Some(Rule::L4),
             "L5" => Some(Rule::L5),
+            "L6" => Some(Rule::L6),
+            "L7" => Some(Rule::L7),
             _ => None,
         }
     }
@@ -79,6 +101,8 @@ impl std::fmt::Display for Rule {
             Rule::L3 => "L3",
             Rule::L4 => "L4",
             Rule::L5 => "L5",
+            Rule::L6 => "L6",
+            Rule::L7 => "L7",
         })
     }
 }
@@ -136,6 +160,13 @@ pub enum LintError {
         /// Parse error description.
         message: String,
     },
+    /// The committed lock-order hierarchy is malformed.
+    LockOrder {
+        /// 1-based line in `tools/lock-order.toml`.
+        line: usize,
+        /// Parse error description.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for LintError {
@@ -150,6 +181,9 @@ impl std::fmt::Display for LintError {
             } => write!(f, "{path}:{line}:{column}: parse error: {message}"),
             LintError::Allowlist { line, message } => {
                 write!(f, "tools/lint-allowlist.toml:{line}: {message}")
+            }
+            LintError::LockOrder { line, message } => {
+                write!(f, "tools/lock-order.toml:{line}: {message}")
             }
         }
     }
@@ -172,10 +206,18 @@ pub struct Config {
     pub l3_crates: Vec<String>,
     /// Crates exempt from L4 (dev tooling with its own error type).
     pub l4_exempt_crates: Vec<String>,
+    /// Crates exempt from L6/L7: the sync facade and the model checker
+    /// are the sanctioned home of the raw std primitives.
+    pub sync_exempt_crates: Vec<String>,
+    /// The declared lock-order hierarchy for L6 sub-rule (c),
+    /// outermost-first (loaded from `tools/lock-order.toml`).
+    pub lock_classes: Vec<lockorder::LockClass>,
 }
 
 impl Config {
-    /// The committed workspace policy.
+    /// The committed workspace policy. The lock-order hierarchy is
+    /// file-borne config, not code: [`run_check`]/[`run_update`] load
+    /// it from [`LOCK_ORDER_PATH`] on top of this.
     pub fn workspace() -> Self {
         Config {
             boundary_index_files: vec!["crates/telescope/src/io.rs".to_string()],
@@ -191,7 +233,11 @@ impl Config {
                 "gpusim".to_string(),
                 "stream".to_string(),
             ],
-            l4_exempt_crates: vec!["lint".to_string()],
+            // lint has its own error type; mc mirrors std::thread's
+            // API, where join's error *is* the panic payload.
+            l4_exempt_crates: vec!["lint".to_string(), "mc".to_string()],
+            sync_exempt_crates: vec!["sync".to_string(), "mc".to_string()],
+            lock_classes: Vec::new(),
         }
     }
 }
@@ -297,6 +343,30 @@ pub fn check_against_allowlist(diags: &[Diagnostic], allow: &Allowlist) -> Repor
 /// Path of the committed allowlist below the workspace root.
 pub const ALLOWLIST_PATH: &str = "tools/lint-allowlist.toml";
 
+/// Path of the committed lock-order hierarchy below the workspace root.
+pub const LOCK_ORDER_PATH: &str = "tools/lock-order.toml";
+
+/// Load the committed lock-order hierarchy (absent file = no declared
+/// hierarchy, so L6 sub-rule (c) has nothing to enforce).
+pub fn load_lock_order(root: &Path) -> Result<Vec<lockorder::LockClass>, LintError> {
+    let path = root.join(LOCK_ORDER_PATH);
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| LintError::Io {
+        path: LOCK_ORDER_PATH.to_string(),
+        message: e.to_string(),
+    })?;
+    lockorder::parse_lock_order(&text)
+}
+
+/// The committed policy plus the file-borne lock-order hierarchy.
+pub fn workspace_config(root: &Path) -> Result<Config, LintError> {
+    let mut cfg = Config::workspace();
+    cfg.lock_classes = load_lock_order(root)?;
+    Ok(cfg)
+}
+
 /// Load the committed allowlist (absent file = empty budgets).
 pub fn load_allowlist(root: &Path) -> Result<Allowlist, LintError> {
     let path = root.join(ALLOWLIST_PATH);
@@ -312,14 +382,14 @@ pub fn load_allowlist(root: &Path) -> Result<Allowlist, LintError> {
 
 /// The full CI-mode run: lint, compare, report.
 pub fn run_check(root: &Path) -> Result<Report, LintError> {
-    let diags = lint_workspace(root, &Config::workspace())?;
+    let diags = lint_workspace(root, &workspace_config(root)?)?;
     let allow = load_allowlist(root)?;
     Ok(check_against_allowlist(&diags, &allow))
 }
 
 /// Regenerate the allowlist from the current workspace state.
 pub fn run_update(root: &Path) -> Result<Report, LintError> {
-    let diags = lint_workspace(root, &Config::workspace())?;
+    let diags = lint_workspace(root, &workspace_config(root)?)?;
     let allow = Allowlist::from_counts(&count_by_key(&diags));
     let path = root.join(ALLOWLIST_PATH);
     std::fs::write(&path, allow.to_toml()).map_err(|e| LintError::Io {

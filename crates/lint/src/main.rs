@@ -23,7 +23,7 @@ fn main() -> ExitCode {
             "--list" => list = true,
             "--help" | "-h" => {
                 println!(
-                    "idg-lint — workspace static analysis (rules L1–L5, DESIGN.md §9)\n\n\
+                    "idg-lint — workspace static analysis (rules L1–L7, DESIGN.md §9, §13)\n\n\
                      USAGE: cargo run -p idg-lint [-- --update-allowlist | --list]"
                 );
                 return ExitCode::SUCCESS;
@@ -48,7 +48,14 @@ fn main() -> ExitCode {
     };
 
     if list {
-        return match idg_lint::lint_workspace(&root, &idg_lint::Config::workspace()) {
+        let cfg = match idg_lint::workspace_config(&root) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("idg-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        return match idg_lint::lint_workspace(&root, &cfg) {
             Ok(diags) => {
                 for d in &diags {
                     println!("{d}");

@@ -25,6 +25,12 @@ pub struct Cx {
     pub in_test: bool,
     /// Names of the enclosing functions, innermost last.
     pub fn_stack: Vec<String>,
+    /// The innermost enclosing brace group is the body of a
+    /// `while`/`loop` — the only position where a `Condvar::wait` gets
+    /// its predicate re-checked (L6 sub-rule (a)). An `if` body, a
+    /// plain block, or a function body resets this: a wait there is
+    /// if-guarded or bare even when an outer loop exists.
+    pub wait_ok: bool,
 }
 
 impl Cx {
@@ -32,6 +38,7 @@ impl Cx {
         Cx {
             in_test: false,
             fn_stack: Vec::new(),
+            wait_ok: false,
         }
     }
 
@@ -42,15 +49,22 @@ impl Cx {
 }
 
 /// Does an attribute token run (the tokens *inside* the `[...]` of an
-/// attribute) mark the annotated item as test-only?
+/// attribute) mark the annotated item as lint-exempt?
 ///
 /// Recognized: `test`, `should_panic`, `cfg(test)`, and `cfg(...)` whose
 /// argument list mentions `test` anywhere (covers `cfg(any(test, ...))`).
+/// `cfg(idg_model_check)` is exempt on the same footing: it gates
+/// model-check-only scaffolding (seeded concurrency mutants, schedule
+/// harness hooks) that is verification code, not library code — the
+/// mutants exist precisely to violate the concurrency rules so the
+/// dynamic checker can demonstrate the failure.
 fn attr_is_test(attr_tokens: &[TokenTree]) -> bool {
     match attr_tokens.first() {
         Some(TokenTree::Ident(i)) if i.text == "test" || i.text == "should_panic" => true,
         Some(TokenTree::Ident(i)) if i.text == "cfg" => attr_tokens.iter().any(|t| match t {
-            TokenTree::Group(g) => contains_ident(&g.tokens, "test"),
+            TokenTree::Group(g) => {
+                contains_ident(&g.tokens, "test") || contains_ident(&g.tokens, "idg_model_check")
+            }
             _ => false,
         }),
         _ => false,
@@ -88,6 +102,9 @@ where
     let mut pending_test = false;
     // Name of a `fn` whose body group is still ahead at this level.
     let mut pending_fn: Option<String> = None;
+    // A `while`/`loop` keyword whose body brace is still ahead: that
+    // brace is a loop body, the one place `Condvar::wait` may live.
+    let mut pending_loop = false;
     let mut i = 0usize;
     while i < tokens.len() {
         match &tokens[i] {
@@ -119,12 +136,19 @@ where
                 if let Some(TokenTree::Ident(name)) = tokens.get(i + 1) {
                     pending_fn = Some(name.text.clone());
                 }
+                pending_loop = false;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.text == "loop" || id.text == "while" => {
+                visit(tokens, i, &cx_here);
+                pending_loop = true;
                 i += 1;
             }
             TokenTree::Punct(p) if p.ch == ';' => {
                 visit(tokens, i, &cx_here);
                 pending_test = false;
                 pending_fn = None;
+                pending_loop = false;
                 i += 1;
             }
             TokenTree::Group(g) => {
@@ -135,13 +159,18 @@ where
                     if let Some(name) = pending_fn.take() {
                         sub.fn_stack.push(name);
                     }
+                    // The brace is a loop body iff a `while`/`loop`
+                    // introduced it; any other brace (fn body, `if`,
+                    // `match`, plain block) resets wait-position.
+                    sub.wait_ok = pending_loop;
+                    pending_loop = false;
                     // A brace group closes the pending item.
                     walk_level(&g.tokens, &sub, visit);
                     pending_test = false;
                 } else {
                     // Args/index/tuple groups between an attribute (or a
-                    // fn keyword) and the body inherit the pending flags
-                    // but do not consume them.
+                    // fn keyword, or a loop condition) and the body
+                    // inherit the pending flags but do not consume them.
                     let keep_fn = pending_fn.clone();
                     walk_level(&g.tokens, &sub, visit);
                     pending_fn = keep_fn;

@@ -1,4 +1,4 @@
-//! The five workspace invariants (L1–L5).
+//! The seven workspace invariants (L1–L7).
 //!
 //! Each rule is a pure function from a parsed file (plus the scope
 //! [`Config`](crate::Config)) to diagnostics. All rules are
@@ -7,6 +7,7 @@
 //! `#![cfg(test)]` — the exemption the old grep ratchet approximated by
 //! truncating files at the first `#[cfg(test)]` line.
 
+use crate::lockorder::LockClass;
 use crate::model::{collect_fns, contains_ident, for_each_token, Cx, FnItem};
 use crate::{Config, Diagnostic, Rule};
 use syn::{Delimiter, LitKind, TokenTree};
@@ -31,6 +32,15 @@ pub fn lint_file(path: &str, file: &syn::File, cfg: &Config) -> Vec<Diagnostic> 
     }
     if is_crate_root(path) {
         l5_forbid_unsafe(path, file, &mut diags);
+    }
+    // L6/L7 everywhere except the facade crates: `idg-sync` and
+    // `idg-mc` are the one sanctioned home of the std primitives.
+    if !cfg.sync_exempt_crates.iter().any(|c| c == krate) {
+        l6_wait_in_loop(path, file, &mut diags);
+        l6_raw_acquisition(path, file, &mut diags);
+        l6_lock_order(path, &fns, cfg, &mut diags);
+        l6_guard_liveness(path, &fns, &mut diags);
+        l7_sync_facade(path, file, &mut diags);
     }
     diags
 }
@@ -526,5 +536,438 @@ fn l5_forbid_unsafe(path: &str, file: &syn::File, diags: &mut Vec<Diagnostic>) {
             column: 1,
             message: "library crate root lacks `#![forbid(unsafe_code)]`".to_string(),
         });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L6 — lock discipline
+// ---------------------------------------------------------------------------
+
+/// Guard-producing acquisition methods on the facade primitives.
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Kernel entry-point name prefixes (the launch subset of the L3
+/// marker set, [`KERNEL_CONTRACTS`]) that must never run while a lock
+/// guard binding is live: the kernels fan out across rayon workers and
+/// a guard held across the launch serializes — or deadlocks — the
+/// fleet.
+const LAUNCH_PREFIXES: &[&str] = &[
+    "gridder",
+    "degridder",
+    "fft_subgrids",
+    "add_subgrids",
+    "split_subgrids",
+];
+
+/// Is `toks[i]` an identifier in method-call position (`.ident(...)`)?
+fn is_method_call(toks: &[TokenTree], i: usize) -> bool {
+    matches!(toks.get(i.wrapping_sub(1)), Some(TokenTree::Punct(p)) if p.ch == '.')
+        && matches!(
+            toks.get(i + 1),
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
+        )
+}
+
+/// Sub-rule (a): `Condvar::wait` only *directly* inside a `while`/`loop`
+/// body, where the loop re-checks the predicate around it. An
+/// if-guarded or bare wait admits lost wakeups — the seeded stream
+/// mutant demonstrates the failing schedule under the model checker —
+/// and an extra block between the wait and its loop hides the re-check,
+/// so it is flagged the same way.
+fn l6_wait_in_loop(path: &str, file: &syn::File, diags: &mut Vec<Diagnostic>) {
+    for_each_token(&file.tokens, &mut |toks: &[TokenTree], i, cx: &Cx| {
+        if cx.in_test {
+            return;
+        }
+        let TokenTree::Ident(id) = &toks[i] else {
+            return;
+        };
+        if id.text == "wait" && is_method_call(toks, i) && !cx.wait_ok {
+            diags.push(diag(
+                path,
+                &toks[i],
+                Rule::L6,
+                "Condvar::wait outside a while/loop predicate re-check — an if-guarded or \
+                 bare wait loses wakeups (DESIGN.md §13)"
+                    .to_string(),
+            ));
+        }
+    });
+}
+
+/// Sub-rule (b): no raw poison-panicking acquisitions. The facade's
+/// `lock()`/`read()`/`write()`/`wait()` return guards directly and
+/// recover from poisoning; a `.unwrap()`/`.expect()` chained onto an
+/// acquisition is the std::sync idiom that turns one panicked thread
+/// into a cascade.
+fn l6_raw_acquisition(path: &str, file: &syn::File, diags: &mut Vec<Diagnostic>) {
+    for_each_token(&file.tokens, &mut |toks: &[TokenTree], i, cx: &Cx| {
+        if cx.in_test {
+            return;
+        }
+        let TokenTree::Ident(id) = &toks[i] else {
+            return;
+        };
+        let acquires = ACQUIRE_METHODS.contains(&id.text.as_str()) || id.text == "wait";
+        if !acquires || !is_method_call(toks, i) {
+            return;
+        }
+        let chained_dot = matches!(toks.get(i + 2), Some(TokenTree::Punct(p)) if p.ch == '.');
+        let unwraps = matches!(
+            toks.get(i + 3),
+            Some(TokenTree::Ident(u)) if u.text == "unwrap" || u.text == "expect"
+        );
+        let called = matches!(
+            toks.get(i + 4),
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
+        );
+        if chained_dot && unwraps && called {
+            diags.push(diag(
+                path,
+                &toks[i],
+                Rule::L6,
+                format!(
+                    "raw `.{}().unwrap()`-style acquisition — poison recovery belongs to \
+                     the idg-sync facade; acquire through it (DESIGN.md §13)",
+                    id.text
+                ),
+            ));
+        }
+    });
+}
+
+/// Sub-rule (c): the declared lock-order hierarchy. Within one function
+/// body, once a lock of some class is acquired, no lock of an *earlier*
+/// (outer) class may be acquired after it — lexical order in the body
+/// stands in for hold order, which matches how the workspace's
+/// straight-line acquisition sites are written.
+fn l6_lock_order(path: &str, fns: &[FnItem], cfg: &Config, diags: &mut Vec<Diagnostic>) {
+    if cfg.lock_classes.is_empty() {
+        return;
+    }
+    for f in fns {
+        if f.in_test {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        let mut acqs = Vec::new();
+        collect_acquisitions(&body.tokens, &cfg.lock_classes, &mut acqs);
+        // Deepest class acquired so far; an acquisition that goes back
+        // *up* the hierarchy is out of order.
+        let mut deepest: Option<(usize, String)> = None;
+        for (rank, line, column, ident) in acqs {
+            if let Some((held_rank, held_ident)) = &deepest {
+                if rank < *held_rank {
+                    diags.push(Diagnostic {
+                        rule: Rule::L6,
+                        path: path.to_string(),
+                        line,
+                        column: column + 1,
+                        message: format!(
+                            "lock-order violation in `{}`: `{}` (class `{}`) acquired after \
+                             `{}` (class `{}`) — tools/lock-order.toml declares the opposite \
+                             order",
+                            f.name,
+                            ident,
+                            cfg.lock_classes[rank].name,
+                            held_ident,
+                            cfg.lock_classes[*held_rank].name
+                        ),
+                    });
+                }
+            }
+            if deepest.as_ref().is_none_or(|(r, _)| rank > *r) {
+                deepest = Some((rank, ident));
+            }
+        }
+    }
+}
+
+/// Lexically ordered `(rank, line, column, ident)` acquisition sites of
+/// declared lock classes in a body: `IDENT.lock()` (or
+/// `.read()`/`.write()`) and helper calls `ident()` listed in a class.
+/// Nested `fn` bodies are skipped — they are scanned as their own items.
+fn collect_acquisitions(
+    toks: &[TokenTree],
+    classes: &[LockClass],
+    out: &mut Vec<(usize, usize, usize, String)>,
+) {
+    let mut skip_fn_body = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) if id.text == "fn" => {
+                skip_fn_body = true;
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.ch == ';' => {
+                skip_fn_body = false;
+                i += 1;
+            }
+            TokenTree::Group(g) => {
+                if g.delimiter == Delimiter::Brace && skip_fn_body {
+                    skip_fn_body = false;
+                } else {
+                    collect_acquisitions(&g.tokens, classes, out);
+                }
+                i += 1;
+            }
+            TokenTree::Ident(id) => {
+                if let Some(rank) = classes
+                    .iter()
+                    .position(|c| c.idents.iter().any(|n| n == &id.text))
+                {
+                    let declared = matches!(toks.get(i.wrapping_sub(1)), Some(TokenTree::Ident(p)) if p.text == "fn");
+                    let helper_call = matches!(
+                        toks.get(i + 1),
+                        Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
+                    );
+                    let method_acquire = matches!(
+                        toks.get(i + 1),
+                        Some(TokenTree::Punct(p)) if p.ch == '.'
+                    ) && matches!(
+                        toks.get(i + 2),
+                        Some(TokenTree::Ident(m)) if ACQUIRE_METHODS.contains(&m.text.as_str())
+                    ) && matches!(
+                        toks.get(i + 3),
+                        Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
+                    );
+                    if !declared && (helper_call || method_acquire) {
+                        let span = toks[i].span();
+                        out.push((
+                            rank,
+                            span.start().line,
+                            span.start().column,
+                            id.text.clone(),
+                        ));
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Sub-rule (d): guard liveness across kernel launches. A `let` binding
+/// whose initializer acquires a facade guard keeps it live to the end
+/// of its scope (or an explicit `drop(name)`); launching a kernel entry
+/// point with any guard live is flagged. `idg_obs::`-qualified counter
+/// calls share the `add_subgrids` prefix but are bookkeeping, not
+/// launches, and are excluded.
+fn l6_guard_liveness(path: &str, fns: &[FnItem], diags: &mut Vec<Diagnostic>) {
+    for f in fns {
+        if f.in_test {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        scan_guard_scope(&body.tokens, &[], path, diags);
+    }
+}
+
+fn scan_guard_scope(
+    toks: &[TokenTree],
+    live_in: &[String],
+    path: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut live: Vec<String> = live_in.to_vec();
+    // A guard binding becomes live at its statement's `;`, not inside
+    // the initializer expression itself.
+    let mut pending: Option<String> = None;
+    let mut skip_fn_body = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) if id.text == "fn" => {
+                skip_fn_body = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.text == "let" => {
+                let mut j = i + 1;
+                if matches!(toks.get(j), Some(TokenTree::Ident(m)) if m.text == "mut") {
+                    j += 1;
+                }
+                if let Some(TokenTree::Ident(name)) = toks.get(j) {
+                    let mut k = j + 1;
+                    while k < toks.len() {
+                        match &toks[k] {
+                            TokenTree::Punct(p) if p.ch == ';' => break,
+                            TokenTree::Ident(m)
+                                if ACQUIRE_METHODS.contains(&m.text.as_str())
+                                    && is_method_call(toks, k) =>
+                            {
+                                pending = Some(name.text.clone());
+                                break;
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.text == "drop" => {
+                if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                    if g.delimiter == Delimiter::Parenthesis {
+                        if let [TokenTree::Ident(name)] = g.tokens.as_slice() {
+                            live.retain(|n| n != &name.text);
+                        }
+                    }
+                }
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.ch == ';' => {
+                if let Some(name) = pending.take() {
+                    live.push(name);
+                }
+                skip_fn_body = false;
+                i += 1;
+            }
+            TokenTree::Group(g) => {
+                if g.delimiter == Delimiter::Brace && skip_fn_body {
+                    skip_fn_body = false;
+                } else {
+                    scan_guard_scope(&g.tokens, &live, path, diags);
+                }
+                i += 1;
+            }
+            TokenTree::Ident(id) => {
+                let launches = LAUNCH_PREFIXES.iter().any(|p| matches_prefix(&id.text, p));
+                let called = matches!(
+                    toks.get(i + 1),
+                    Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Parenthesis
+                );
+                let declared = matches!(toks.get(i.wrapping_sub(1)), Some(TokenTree::Ident(p)) if p.text == "fn");
+                let obs_counter = matches!(
+                    toks.get(i.wrapping_sub(1)),
+                    Some(TokenTree::Punct(p)) if p.ch == ':'
+                ) && matches!(
+                    toks.get(i.wrapping_sub(3)),
+                    Some(TokenTree::Ident(q)) if q.text == "idg_obs"
+                );
+                if launches && called && !declared && !obs_counter {
+                    if let Some(guard) = live.first() {
+                        diags.push(diag(
+                            path,
+                            &toks[i],
+                            Rule::L6,
+                            format!(
+                                "kernel entry `{}` launched while lock guard `{}` is live — \
+                                 release the guard before the launch (DESIGN.md §13)",
+                                id.text, guard
+                            ),
+                        ));
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L7 — sync facade
+// ---------------------------------------------------------------------------
+
+/// `std::sync` items that must come from the `idg-sync` facade instead.
+/// Atomics, `Arc`, `OnceLock`, and `mpsc` stay fair game: the model
+/// checker interposes on blocking primitives only.
+const L7_BANNED_SYNC: &[&str] = &[
+    "Mutex",
+    "Condvar",
+    "RwLock",
+    "MutexGuard",
+    "RwLockReadGuard",
+    "RwLockWriteGuard",
+];
+
+/// Is `toks[i..i+2]` a `::` path separator?
+fn path_sep(toks: &[TokenTree], i: usize) -> bool {
+    matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.ch == ':' && p.joint)
+        && matches!(toks.get(i + 1), Some(TokenTree::Punct(p)) if p.ch == ':')
+}
+
+/// L7: every `std::sync::{Mutex,Condvar,RwLock,…}` and
+/// `std::thread::scope` mention — import or inline qualified path —
+/// must go through `idg-sync`, whose `--cfg idg_model_check` build
+/// routes the primitive through the `idg-mc` cooperative scheduler.
+fn l7_sync_facade(path: &str, file: &syn::File, diags: &mut Vec<Diagnostic>) {
+    for_each_token(&file.tokens, &mut |toks: &[TokenTree], i, cx: &Cx| {
+        if cx.in_test {
+            return;
+        }
+        let TokenTree::Ident(id) = &toks[i] else {
+            return;
+        };
+        if id.text != "std" || !path_sep(toks, i + 1) {
+            return;
+        }
+        let Some(TokenTree::Ident(module)) = toks.get(i + 3) else {
+            return;
+        };
+        let banned: &[&str] = match module.text.as_str() {
+            "sync" => L7_BANNED_SYNC,
+            "thread" => &["scope"],
+            _ => return,
+        };
+        if !path_sep(toks, i + 4) {
+            return;
+        }
+        match toks.get(i + 6) {
+            Some(TokenTree::Ident(item)) if banned.contains(&item.text.as_str()) => {
+                diags.push(diag(
+                    path,
+                    &toks[i + 6],
+                    Rule::L7,
+                    format!(
+                        "`{}` taken from std::{} — import it from the idg-sync facade so \
+                         the model checker can interpose (DESIGN.md §13)",
+                        item.text, module.text
+                    ),
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => {
+                flag_banned_in_tree(&g.tokens, banned, &module.text, path, diags);
+            }
+            _ => {}
+        }
+    });
+}
+
+/// Flag every banned identifier in a `use`-tree group, span-precisely.
+/// `Banned as Alias` flags the source name once; an alias that happens
+/// to spell a banned name is not a std import and is skipped.
+fn flag_banned_in_tree(
+    toks: &[TokenTree],
+    banned: &[&str],
+    module: &str,
+    path: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (j, t) in toks.iter().enumerate() {
+        match t {
+            TokenTree::Ident(item) if banned.contains(&item.text.as_str()) => {
+                let is_alias = matches!(
+                    toks.get(j.wrapping_sub(1)),
+                    Some(TokenTree::Ident(a)) if a.text == "as"
+                );
+                if !is_alias {
+                    diags.push(diag(
+                        path,
+                        t,
+                        Rule::L7,
+                        format!(
+                            "`{}` taken from std::{} — import it from the idg-sync facade \
+                             so the model checker can interpose (DESIGN.md §13)",
+                            item.text, module
+                        ),
+                    ));
+                }
+            }
+            TokenTree::Group(g) => flag_banned_in_tree(&g.tokens, banned, module, path, diags),
+            _ => {}
+        }
     }
 }

@@ -1,7 +1,8 @@
-//! Fixture coverage for the five rules: one violating and one clean
-//! file per rule, asserted down to the exact `line:column` spans, plus
-//! the scoping behavior (boundary files, numeric-core crates, L3/L4
-//! crate lists, crate roots) and the live-workspace meta-check that
+//! Fixture coverage for the seven rules: one violating and one clean
+//! file per rule (and per L6 sub-rule), asserted down to the exact
+//! `line:column` spans, plus the scoping behavior (boundary files,
+//! numeric-core crates, L3/L4 crate lists, crate roots, the L6/L7
+//! facade-crate exemption) and the live-workspace meta-check that
 //! mirrors the CI gate.
 
 use idg_lint::{lint_source, Config, Diagnostic, Rule};
@@ -243,6 +244,201 @@ fn l5_clean_fixture_passes() {
         include_str!("fixtures/l5_clean.rs"),
     );
     assert_eq!(diags, vec![]);
+}
+
+// ---------------------------------------------------------------------------
+// L6 — lock discipline
+// ---------------------------------------------------------------------------
+
+fn workspace_root() -> std::path::PathBuf {
+    idg_lint::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint")
+}
+
+/// The committed policy plus the committed lock-order hierarchy — what
+/// `run_check` lints the live workspace with.
+fn full_cfg() -> Config {
+    idg_lint::workspace_config(&workspace_root()).expect("lock order parses")
+}
+
+#[test]
+fn l6_fires_on_bare_if_guarded_and_block_hidden_waits() {
+    let diags = lint(
+        "crates/stream/src/fixture.rs",
+        include_str!("fixtures/l6_wait_violating.rs"),
+    );
+    assert_eq!(spans(&diags, Rule::L6), vec![(8, 12), (15, 16), (24, 20)]);
+    assert_eq!(diags.len(), 3, "only L6(a) fires here: {diags:?}");
+    assert!(diags[0].message.contains("predicate re-check"));
+}
+
+#[test]
+fn l6_wait_clean_fixture_passes() {
+    let diags = lint(
+        "crates/stream/src/fixture.rs",
+        include_str!("fixtures/l6_wait_clean.rs"),
+    );
+    assert_eq!(diags, vec![], "waits directly in loop bodies are legal");
+}
+
+#[test]
+fn l6_fires_on_raw_poison_panicking_acquisitions() {
+    let diags = lint(
+        "crates/stream/src/fixture.rs",
+        include_str!("fixtures/l6_raw_violating.rs"),
+    );
+    assert_eq!(spans(&diags, Rule::L6), vec![(6, 16), (7, 17), (8, 17)]);
+    // The chained unwrap/expect calls also trip L1 — both rules police
+    // the same sites from different angles.
+    assert_eq!(spans(&diags, Rule::L1), vec![(6, 23), (7, 24), (8, 25)]);
+    assert_eq!(diags.len(), 6);
+    assert!(diags
+        .iter()
+        .any(|d| d.rule == Rule::L6 && d.message.contains("idg-sync facade")));
+}
+
+#[test]
+fn l6_raw_clean_fixture_passes() {
+    let diags = lint(
+        "crates/stream/src/fixture.rs",
+        include_str!("fixtures/l6_raw_clean.rs"),
+    );
+    assert_eq!(diags, vec![]);
+}
+
+#[test]
+fn l6_fires_on_out_of_order_acquisitions() {
+    let diags = lint_source(
+        "crates/obs/src/fixture.rs",
+        include_str!("fixtures/l6_order_violating.rs"),
+        &full_cfg(),
+    )
+    .expect("fixture parses");
+    assert_eq!(spans(&diags, Rule::L6), vec![(7, 13), (13, 13)]);
+    assert_eq!(diags.len(), 2);
+    assert!(diags[0].message.contains("lock-order violation"));
+    assert!(diags[0].message.contains("session-gate"));
+    assert!(diags[0].message.contains("collector"));
+}
+
+#[test]
+fn l6_order_clean_fixture_passes() {
+    let diags = lint_source(
+        "crates/obs/src/fixture.rs",
+        include_str!("fixtures/l6_order_clean.rs"),
+        &full_cfg(),
+    )
+    .expect("fixture parses");
+    assert_eq!(diags, vec![]);
+}
+
+#[test]
+fn l6_order_needs_a_declared_hierarchy() {
+    // Without lock classes (fixture-default config) sub-rule (c) has
+    // nothing to enforce — the policy is file-borne, not hard-coded.
+    let diags = lint(
+        "crates/obs/src/fixture.rs",
+        include_str!("fixtures/l6_order_violating.rs"),
+    );
+    assert_eq!(diags, vec![]);
+}
+
+#[test]
+fn l6_fires_on_kernel_launch_under_live_guard() {
+    let diags = lint(
+        "crates/kernels/src/fixture.rs",
+        include_str!("fixtures/l6_guard_violating.rs"),
+    );
+    assert_eq!(spans(&diags, Rule::L6), vec![(8, 5), (15, 9)]);
+    assert_eq!(diags.len(), 2);
+    assert!(diags[0].message.contains("gridder_cpu"));
+    assert!(diags[0].message.contains("`st` is live"));
+    assert!(diags[1].message.contains("fft_subgrids"));
+}
+
+#[test]
+fn l6_guard_clean_fixture_passes() {
+    let diags = lint(
+        "crates/kernels/src/fixture.rs",
+        include_str!("fixtures/l6_guard_clean.rs"),
+    );
+    assert_eq!(
+        diags,
+        vec![],
+        "drop/scope-released guards and obs counter calls are legal"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// L7 — sync facade
+// ---------------------------------------------------------------------------
+
+#[test]
+fn l7_fires_on_std_sync_imports_and_qualified_paths() {
+    let diags = lint(
+        "crates/stream/src/fixture.rs",
+        include_str!("fixtures/l7_violating.rs"),
+    );
+    assert_eq!(
+        spans(&diags, Rule::L7),
+        vec![(4, 16), (5, 16), (6, 22), (7, 18), (10, 24), (11, 18)]
+    );
+    assert_eq!(diags.len(), 6, "Arc stays legal: {diags:?}");
+    assert!(diags[0].message.contains("Condvar"));
+    assert!(diags[0].message.contains("idg-sync facade"));
+    assert!(diags[3].message.contains("scope"));
+    assert!(diags[3].message.contains("std::thread"));
+}
+
+#[test]
+fn l7_clean_fixture_passes() {
+    let diags = lint(
+        "crates/stream/src/fixture.rs",
+        include_str!("fixtures/l7_clean.rs"),
+    );
+    assert_eq!(
+        diags,
+        vec![],
+        "facade imports plus std atomics/Arc/mpsc are legal"
+    );
+}
+
+#[test]
+fn l6_l7_exempt_the_facade_crates() {
+    // `idg-sync` and `idg-mc` are the sanctioned home of the std
+    // primitives; the concurrency rules must not fire there.
+    for path in ["crates/sync/src/fixture.rs", "crates/mc/src/fixture.rs"] {
+        let diags = lint(path, include_str!("fixtures/l7_violating.rs"));
+        assert_eq!(spans(&diags, Rule::L7), vec![], "{path}");
+        let diags = lint(path, include_str!("fixtures/l6_wait_violating.rs"));
+        assert_eq!(spans(&diags, Rule::L6), vec![], "{path}");
+    }
+}
+
+#[test]
+fn model_check_gated_code_is_lint_exempt() {
+    // `#[cfg(idg_model_check)]` gates verification scaffolding — the
+    // seeded mutants violate L6 on purpose so the model checker can
+    // demonstrate the failure, and must not trip the static rule.
+    let src = "#[cfg(idg_model_check)]\nimpl S {\n    pub fn mutant(&self) {\n        \
+               let mut g = self.m.lock();\n        g = self.cv.wait(g);\n    }\n}\n";
+    let diags = lint("crates/stream/src/fixture.rs", src);
+    assert_eq!(diags, vec![]);
+}
+
+/// L6/L7 launch with a zero-entry allowlist budget: the committed
+/// allowlist must not grant either rule a single residual site.
+#[test]
+fn l6_l7_have_zero_allowlist_budget() {
+    let allow = idg_lint::load_allowlist(&workspace_root()).expect("allowlist parses");
+    assert!(
+        allow
+            .budgets
+            .keys()
+            .all(|(_, rule)| !matches!(rule, Rule::L6 | Rule::L7)),
+        "L6/L7 must keep an empty allowlist budget: {:?}",
+        allow.budgets
+    );
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,18 @@
+//! L6 sub-rule (d) fixture: kernel entry points launched while a lock
+//! guard binding is live — directly, and from a nested block that
+//! inherits the outer guard.
+use idg_sync::Mutex;
+
+pub fn launch_under_guard(state: &Mutex<u32>, data: &mut K) {
+    let st = state.lock();
+    gridder_cpu(data);
+    let _ = *st;
+}
+
+pub fn launch_under_guard_nested(state: &Mutex<u32>, data: &mut K) {
+    let st = state.lock();
+    {
+        fft_subgrids(data);
+    }
+    let _ = *st;
+}

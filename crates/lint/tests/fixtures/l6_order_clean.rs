@@ -1,0 +1,13 @@
+//! L6 sub-rule (c) clean fixture: the declared order — session gate
+//! strictly before the collector — and single-class acquisitions.
+
+pub fn declared_order() {
+    let g = SESSION_GATE.lock();
+    let c = lock_collector();
+    let _ = (g, c);
+}
+
+pub fn collector_alone() {
+    let c = lock_collector();
+    let _ = c;
+}

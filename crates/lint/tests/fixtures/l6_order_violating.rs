@@ -1,0 +1,15 @@
+//! L6 sub-rule (c) fixture: acquisitions against the declared
+//! hierarchy — the collector (inner class) taken before the session
+//! gate (outer class), in both the direct and the helper-call form.
+
+pub fn wrong_order_direct() {
+    let c = COLLECTOR.lock();
+    let g = SESSION_GATE.lock();
+    let _ = (c, g);
+}
+
+pub fn wrong_order_helper() {
+    let c = lock_collector();
+    let g = SESSION_GATE.lock();
+    let _ = (c, g);
+}

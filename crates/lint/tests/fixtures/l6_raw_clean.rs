@@ -1,0 +1,10 @@
+//! L6 sub-rule (b) clean fixture: facade acquisitions return guards
+//! directly — no poison unwrapping anywhere.
+use idg_sync::{Mutex, RwLock};
+
+pub fn facade_acquisitions(m: &Mutex<u32>, rw: &RwLock<u32>) -> u32 {
+    let a = *m.lock();
+    let b = *rw.read();
+    let c = *rw.write();
+    a + b + c
+}

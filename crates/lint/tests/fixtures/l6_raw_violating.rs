@@ -1,0 +1,10 @@
+//! L6 sub-rule (b) fixture: poison-panicking raw acquisitions. The
+//! receivers are type-erased on purpose — the rule keys on the call
+//! shape, not on the receiver's declared type.
+
+pub fn raw_acquisitions(m: &M, rw: &R) -> u32 {
+    let a = *m.lock().unwrap();
+    let b = *rw.read().expect("poisoned");
+    let c = *rw.write().unwrap();
+    a + b + c
+}

@@ -1,0 +1,20 @@
+//! L6 sub-rule (a) clean fixture: every wait sits directly inside a
+//! `while`/`loop` body that re-checks its predicate.
+use idg_sync::{Condvar, Mutex};
+
+pub fn wait_in_while(m: &Mutex<bool>, cv: &Condvar) {
+    let mut g = m.lock();
+    while !*g {
+        g = cv.wait(g);
+    }
+}
+
+pub fn wait_in_loop(m: &Mutex<usize>, cv: &Condvar) -> usize {
+    let mut g = m.lock();
+    loop {
+        if *g > 0 {
+            break *g;
+        }
+        g = cv.wait(g);
+    }
+}

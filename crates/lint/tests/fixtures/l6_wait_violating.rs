@@ -1,0 +1,31 @@
+//! L6 sub-rule (a) fixture: condvar waits outside a predicate
+//! re-check loop — one bare, one if-guarded, one hidden in a plain
+//! block inside an outer loop (the seeded stream-mutant shape).
+use idg_sync::{Condvar, Mutex};
+
+pub fn bare_wait(m: &Mutex<bool>, cv: &Condvar) {
+    let mut g = m.lock();
+    g = cv.wait(g);
+    let _ = *g;
+}
+
+pub fn if_guarded_wait(m: &Mutex<bool>, cv: &Condvar) {
+    let mut g = m.lock();
+    if !*g {
+        g = cv.wait(g);
+    }
+    let _ = *g;
+}
+
+pub fn block_hidden_wait(m: &Mutex<bool>, cv: &Condvar) {
+    loop {
+        let done = {
+            let mut g = m.lock();
+            g = cv.wait(g);
+            *g
+        };
+        if done {
+            break;
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! L7 clean fixture: primitives from the facade; atomics, `Arc`, and
+//! `mpsc` straight from std are fine — the model checker interposes on
+//! blocking primitives only.
+use idg_sync::{thread, Condvar, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+pub fn uses_facade(n: u64) -> u64 {
+    let m = Arc::new(Mutex::new(n));
+    let a = AtomicU64::new(n);
+    let (_tx, _rx) = mpsc::channel::<u64>();
+    thread::scope(|_s| {
+        let _ = (&m, Condvar::new(), RwLock::new(n));
+    });
+    a.load(Ordering::SeqCst)
+}

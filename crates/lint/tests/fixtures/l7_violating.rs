@@ -1,0 +1,14 @@
+//! L7 fixture: concurrency primitives taken from std instead of the
+//! facade — grouped imports, a plain import, an aliased import, a
+//! std::thread::scope import, and inline qualified paths.
+use std::sync::Condvar;
+use std::sync::RwLock as Lock;
+use std::sync::{Arc, Mutex};
+use std::thread::scope;
+
+pub fn qualified(n: u32) -> u32 {
+    let m = std::sync::Mutex::new(n);
+    std::thread::scope(|_s| {});
+    let _ = (&m, Arc::new(0u8));
+    n
+}

@@ -23,6 +23,8 @@
 //! written as a straight-line loop over slices so that LLVM auto-vectorizes
 //! it (verified: the hot loop compiles to packed FMA sequences).
 
+use idg_types::Float;
+
 /// Accuracy/performance setting of the sincos evaluation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Accuracy {
@@ -55,29 +57,28 @@ const QUADRANT_MAGIC_F32: f32 = 12_582_912.0;
 /// saturating float→int conversion lowers to a *scalar* `cvttsd2si` +
 /// compare/cmov chain per lane, which serializes the otherwise fully
 /// vectorized batch loops (~3× on the whole sincos). Value-identical to
-/// `(k as i64 & 3) as i32` for every |k| < 2⁵¹ — far beyond the
-/// documented |x| < 10⁹ argument range (see
-/// `magic_quadrant_matches_integer_cast`).
+/// `k as i64 & 3` for every |k| < 2⁵¹ — far beyond the documented
+/// |x| < 10⁹ argument range (see `magic_quadrant_matches_integer_cast`).
 #[inline(always)]
-fn quadrant_of(k: f64) -> i32 {
-    ((k + QUADRANT_MAGIC).to_bits() & 3) as i32
+fn quadrant_of(k: f64) -> u64 {
+    (k + QUADRANT_MAGIC).to_bits() & 3
 }
 
 /// f32 variant of [`quadrant_of`] for the fast path (|k| < 2²²).
 #[inline(always)]
-fn quadrant_of_f32(k: f32) -> i32 {
-    ((k + QUADRANT_MAGIC_F32).to_bits() & 3) as i32
+fn quadrant_of_f32(k: f32) -> u64 {
+    u64::from((k + QUADRANT_MAGIC_F32).to_bits() & 3)
 }
 
 /// Reduce `x` to `(quadrant, r)` with `r ∈ [−π/4, π/4]` and
 /// `x = quadrant·π/2 + r`, using a two-part π/2 (Cody-Waite in f64).
 #[inline(always)]
-fn reduce(x: f32) -> (i32, f32) {
-    let xd = x as f64;
+fn reduce(x: f32) -> (u64, f32) {
+    let xd = x.to_f64();
     let k = (xd * FRAC_2_PI).round();
     let r = k.mul_add(-PIO2_HI, xd);
     let r = k.mul_add(-PIO2_LO, r);
-    (quadrant_of(k), r as f32)
+    (quadrant_of(k), f32::from_f64(r))
 }
 
 /// Cheap all-f32 Cody-Waite reduction used by the fast path. Splits π/2
@@ -85,7 +86,7 @@ fn reduce(x: f32) -> (i32, f32) {
 /// |x| ≈ 10⁵, with residual error growing linearly in the quadrant index
 /// (the same trade the CUDA fast-math path makes).
 #[inline(always)]
-fn reduce_fast(x: f32) -> (i32, f32) {
+fn reduce_fast(x: f32) -> (u64, f32) {
     const DP1: f32 = 1.570_312_5; // high bits of pi/2
     const DP2: f32 = 4.837_513e-4; // middle bits
     const DP3: f32 = 7.549_79e-8; // low bits
@@ -128,15 +129,15 @@ fn poly_cos(r: f32) -> f32 {
 /// line and LLVM can vectorize the batch loops (a `match` here forces
 /// scalar code and costs ~4× in throughput).
 #[inline(always)]
-fn combine(quadrant: i32, s: f32, c: f32) -> (f32, f32) {
+fn combine(quadrant: u64, s: f32, c: f32) -> (f32, f32) {
     let swap = quadrant & 1 != 0;
     let sin_base = if swap { c } else { s };
     let cos_base = if swap { s } else { c };
     // sin negated in quadrants 2,3; cos negated in quadrants 1,2
     let sin_neg = quadrant & 2 != 0;
     let cos_neg = (quadrant + 1) & 2 != 0;
-    let sin_val = f32::from_bits(sin_base.to_bits() ^ ((sin_neg as u32) << 31));
-    let cos_val = f32::from_bits(cos_base.to_bits() ^ ((cos_neg as u32) << 31));
+    let sin_val = f32::from_bits(sin_base.to_bits() ^ (u32::from(sin_neg) << 31));
+    let cos_val = f32::from_bits(cos_base.to_bits() ^ (u32::from(cos_neg) << 31));
     (sin_val, cos_val)
 }
 
@@ -325,14 +326,14 @@ mod tests {
         // bit-for-bit for every quadrant count the reductions can produce.
         for i in -200_000i64..200_000 {
             let k = i as f64;
-            assert_eq!(quadrant_of(k), (k as i64 & 3) as i32, "f64 k={k}");
+            assert_eq!(quadrant_of(k), (k as i64 & 3) as u64, "f64 k={k}");
         }
         for big in [1e9f64, 1e12, 2.0f64.powi(50), -(2.0f64.powi(50))] {
-            assert_eq!(quadrant_of(big), (big as i64 & 3) as i32);
+            assert_eq!(quadrant_of(big), (big as i64 & 3) as u64);
         }
         for i in -70_000i64..70_000 {
             let k = i as f32;
-            assert_eq!(quadrant_of_f32(k), (k as i64 & 3) as i32, "f32 k={k}");
+            assert_eq!(quadrant_of_f32(k), (k as i64 & 3) as u64, "f32 k={k}");
         }
     }
 

@@ -1,0 +1,524 @@
+//! The cooperative execution runtime: one active token, handed from
+//! model thread to model thread at decision points, with the choice at
+//! every point either replayed from the driving trace or defaulted —
+//! and recorded, so the explorer can backtrack.
+//!
+//! Invariant: between two decision points exactly one model thread
+//! executes. All cross-thread effects in facade-ported code go through
+//! the primitives in [`crate::sync`]/[`crate::thread`], each of which
+//! is a decision point, so interleaving the quanta between points is
+//! exhaustive at the operation level.
+
+use crate::{format_schedule, Config};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Model-thread index (registration order; the body is thread 0).
+pub(crate) type TId = usize;
+
+/// Recover a poisoned std lock: a panicking model thread must not wedge
+/// the runtime — the panic itself is recorded as the execution failure.
+fn relock<T>(m: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Sentinel panic payload used to unwind model threads once an
+/// execution has failed; recognized (and swallowed) by the thread
+/// wrappers so it never masks the recorded failure.
+pub(crate) struct McAbort;
+
+/// How an execution failed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// No runnable thread, none parked on a condvar: a lock cycle.
+    Deadlock,
+    /// No runnable thread and at least one condvar waiter: a wakeup
+    /// that can never arrive (e.g. `if` instead of `while` around a
+    /// wait, or notify before wait).
+    LostWakeup,
+    /// A model thread panicked (an assertion in the checked property).
+    Panic,
+    /// The execution exceeded [`Config::max_steps`] decision points —
+    /// a livelock suspect.
+    StepLimit,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::LostWakeup => "lost wakeup",
+            FailureKind::Panic => "panic",
+            FailureKind::StepLimit => "step limit",
+        })
+    }
+}
+
+/// One schedule failure, replayable via [`crate::Explorer::replay`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Failure {
+    /// Classification.
+    pub kind: FailureKind,
+    /// Deterministic description (thread states use per-execution
+    /// ordinals, so a replay reproduces this string byte-for-byte).
+    pub message: String,
+    /// The choice trace that led here, serialized with
+    /// [`format_schedule`].
+    pub schedule: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} [schedule {}]",
+            self.kind, self.message, self.schedule
+        )
+    }
+}
+
+/// Scheduling state of one model thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TState {
+    /// May be chosen at a decision point.
+    Runnable,
+    /// Blocked acquiring a lock.
+    Lock {
+        /// Lock id being acquired.
+        lock: u64,
+        /// Write (or mutex) acquisition vs shared read.
+        write: bool,
+    },
+    /// Parked on a condvar.
+    Cv {
+        /// Condvar id.
+        cv: u64,
+        /// Arrival order, for FIFO `notify_one`.
+        seq: u64,
+    },
+    /// Waiting for scoped children to finish.
+    Join(Vec<TId>),
+    /// Done.
+    Finished,
+}
+
+/// Who holds a lock: one writer xor any number of readers.
+#[derive(Debug, Default)]
+struct LockState {
+    writer: Option<TId>,
+    readers: BTreeSet<TId>,
+}
+
+/// Mutable runtime state, behind the runtime's own (std) mutex.
+struct Inner {
+    threads: Vec<TState>,
+    locks: HashMap<u64, LockState>,
+    /// Per-execution ordinal of each primitive id, in first-touch
+    /// order, so failure messages are replay-stable.
+    ordinals: HashMap<u64, usize>,
+    active: TId,
+    trace: Vec<u32>,
+    alts: Vec<u32>,
+    cursor: usize,
+    preemptions: usize,
+    steps: usize,
+    spurious_used: usize,
+    next_cv_seq: u64,
+    failure: Option<Failure>,
+}
+
+impl Inner {
+    fn ordinal(&mut self, id: u64) -> usize {
+        let next = self.ordinals.len();
+        *self.ordinals.entry(id).or_insert(next)
+    }
+
+    fn describe_threads(&mut self) -> String {
+        let mut parts = Vec::new();
+        for (t, st) in self.threads.clone().iter().enumerate() {
+            let what = match st {
+                TState::Runnable => continue,
+                TState::Lock { lock, write } => format!(
+                    "blocked acquiring lock #{}{}",
+                    self.ordinal(*lock),
+                    if *write { "" } else { " (read)" }
+                ),
+                TState::Cv { cv, .. } => {
+                    format!("parked on condvar #{}", self.ordinal(*cv))
+                }
+                TState::Join(kids) => format!("joining {} scoped thread(s)", kids.len()),
+                TState::Finished => continue,
+            };
+            parts.push(format!("t{t} {what}"));
+        }
+        parts.join("; ")
+    }
+}
+
+/// Everything one execution produced.
+pub(crate) struct RunResult {
+    pub(crate) trace: Vec<u32>,
+    pub(crate) alts: Vec<u32>,
+    pub(crate) failure: Option<Failure>,
+}
+
+/// One execution of the model: the cooperative scheduler plus the
+/// choice trace driving it.
+pub(crate) struct Execution {
+    inner: StdMutex<Inner>,
+    turn: StdCondvar,
+    cfg: Config,
+}
+
+impl Execution {
+    /// Run `body` once under the given choice trace; choices beyond the
+    /// trace default to the first candidate.
+    pub(crate) fn run_once<F>(cfg: &Config, trace: Vec<u32>, body: &F) -> RunResult
+    where
+        F: Fn() + Sync,
+    {
+        let exec = Arc::new(Execution {
+            inner: StdMutex::new(Inner {
+                threads: vec![TState::Runnable],
+                locks: HashMap::new(),
+                ordinals: HashMap::new(),
+                active: 0,
+                trace,
+                alts: Vec::new(),
+                cursor: 0,
+                preemptions: 0,
+                steps: 0,
+                spurious_used: 0,
+                next_cv_seq: 0,
+                failure: None,
+            }),
+            turn: StdCondvar::new(),
+            cfg: cfg.clone(),
+        });
+        std::thread::scope(|s| {
+            let e = Arc::clone(&exec);
+            let handle = s.spawn(move || {
+                crate::thread::run_model_thread(e, 0, body);
+            });
+            // The wrapper swallows all panics (recording them as the
+            // execution failure), so join errors cannot carry a payload
+            // we care about.
+            let _ = handle.join();
+        });
+        let mut inner = relock(&exec.inner);
+        // Replay traces may be longer than the execution consumed
+        // (e.g. a failure cut it short); report only what was used.
+        let consumed = inner.cursor;
+        inner.trace.truncate(consumed);
+        RunResult {
+            trace: inner.trace.clone(),
+            alts: inner.alts.clone(),
+            failure: inner.failure.clone(),
+        }
+    }
+
+    /// Record the first failure and wake every parked thread so the
+    /// execution unwinds.
+    fn fail(&self, inner: &mut Inner, kind: FailureKind, message: String) {
+        if inner.failure.is_none() {
+            let schedule = format_schedule(&inner.trace[..inner.cursor]);
+            inner.failure = Some(Failure {
+                kind,
+                message,
+                schedule,
+            });
+        }
+        self.turn.notify_all();
+    }
+
+    /// Record a model-thread panic (assertion failure in the property
+    /// under check) as the execution failure.
+    pub(crate) fn record_panic(&self, me: TId, payload: &(dyn std::any::Any + Send)) {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let mut inner = relock(&self.inner);
+        self.fail(&mut inner, FailureKind::Panic, format!("t{me}: {msg}"));
+    }
+
+    /// Register a new model thread (spawned runnable; it blocks in its
+    /// wrapper until first scheduled).
+    pub(crate) fn register_thread(&self) -> TId {
+        let mut inner = relock(&self.inner);
+        inner.threads.push(TState::Runnable);
+        inner.threads.len() - 1
+    }
+
+    /// Decision point: choose the next thread to hold the token, then
+    /// block until `me` is scheduled again. Panics with the abort
+    /// sentinel once the execution has failed.
+    fn pause(&self, me: TId) {
+        let mut inner = relock(&self.inner);
+        self.switch(&mut inner, me);
+        self.wait_for_turn(inner, me);
+    }
+
+    /// Block until `me` holds the token and is runnable (consumes the
+    /// guard; unwinds on failure).
+    fn wait_for_turn(&self, mut inner: StdMutexGuard<'_, Inner>, me: TId) {
+        loop {
+            if inner.failure.is_some() {
+                drop(inner);
+                std::panic::panic_any(McAbort);
+            }
+            if inner.active == me && inner.threads[me] == TState::Runnable {
+                return;
+            }
+            inner = self
+                .turn
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// The scheduling core: compute the candidate set, consume (or
+    /// extend) the trace, hand the token over.
+    fn switch(&self, inner: &mut Inner, me: TId) {
+        if inner.failure.is_some() {
+            return;
+        }
+        inner.steps += 1;
+        if inner.steps > self.cfg.max_steps {
+            let msg = format!(
+                "execution exceeded {} decision points (livelock suspect)",
+                self.cfg.max_steps
+            );
+            self.fail(inner, FailureKind::StepLimit, msg);
+            return;
+        }
+        let me_runnable = inner.threads[me] == TState::Runnable;
+        // Candidate order: the current thread first (continuing costs no
+        // preemption), then other runnable threads by id, then — with
+        // spurious wakeups on — condvar waiters woken without a notify.
+        let mut candidates: Vec<TId> = Vec::new();
+        if me_runnable {
+            candidates.push(me);
+        }
+        for (t, st) in inner.threads.iter().enumerate() {
+            if t != me && *st == TState::Runnable {
+                candidates.push(t);
+            }
+        }
+        if inner.spurious_used < self.cfg.spurious_wakeups {
+            for (t, st) in inner.threads.iter().enumerate() {
+                if matches!(st, TState::Cv { .. }) {
+                    candidates.push(t);
+                }
+            }
+        }
+        if let Some(bound) = self.cfg.preemption_bound {
+            if me_runnable && inner.preemptions >= bound {
+                candidates.truncate(1);
+            }
+        }
+        if candidates.is_empty() {
+            if inner.threads.iter().all(|t| *t == TState::Finished) {
+                // Clean completion: nothing left to schedule.
+                self.turn.notify_all();
+                return;
+            }
+            let lost = inner.threads.iter().any(|t| matches!(t, TState::Cv { .. }));
+            let kind = if lost {
+                FailureKind::LostWakeup
+            } else {
+                FailureKind::Deadlock
+            };
+            let msg = inner.describe_threads();
+            self.fail(inner, kind, msg);
+            return;
+        }
+        let nalts = u32::try_from(candidates.len()).unwrap_or(u32::MAX);
+        let chosen_idx = if inner.cursor < inner.trace.len() {
+            inner.trace[inner.cursor].min(nalts - 1) as usize
+        } else {
+            inner.trace.push(0);
+            0
+        };
+        if inner.cursor == inner.alts.len() {
+            inner.alts.push(nalts);
+        }
+        inner.cursor += 1;
+        let chosen = candidates[chosen_idx];
+        if me_runnable && chosen != me {
+            inner.preemptions += 1;
+        }
+        if matches!(inner.threads[chosen], TState::Cv { .. }) {
+            // A spurious wakeup: the waiter resumes with no notify,
+            // consuming one unit of the per-execution budget.
+            inner.threads[chosen] = TState::Runnable;
+            inner.spurious_used += 1;
+        }
+        inner.active = chosen;
+        self.turn.notify_all();
+    }
+
+    /// First scheduling of a freshly spawned thread: wait for the token
+    /// without emitting a decision point. Returns `false` when the
+    /// execution already failed (the body must not run).
+    pub(crate) fn await_first_turn(&self, me: TId) -> bool {
+        let mut inner = relock(&self.inner);
+        loop {
+            if inner.failure.is_some() {
+                return false;
+            }
+            if inner.active == me && inner.threads[me] == TState::Runnable {
+                return true;
+            }
+            inner = self
+                .turn
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Acquire `lock` (write = mutex or rwlock-write, read otherwise).
+    /// The decision point sits before the attempt, so competitors can
+    /// interleave; the attempt itself is atomic.
+    pub(crate) fn acquire(&self, me: TId, lock: u64, write: bool) {
+        self.pause(me);
+        loop {
+            let mut inner = relock(&self.inner);
+            inner.ordinal(lock);
+            let st = inner.locks.entry(lock).or_default();
+            let free = if write {
+                st.writer.is_none() && st.readers.is_empty()
+            } else {
+                st.writer.is_none()
+            };
+            if free {
+                let st = inner.locks.entry(lock).or_default();
+                if write {
+                    st.writer = Some(me);
+                } else {
+                    st.readers.insert(me);
+                }
+                return;
+            }
+            inner.threads[me] = TState::Lock { lock, write };
+            self.switch(&mut inner, me);
+            self.wait_for_turn(inner, me);
+        }
+    }
+
+    /// Release `lock`. Pure bookkeeping — the next decision point
+    /// (every competitor has one before its own acquire) covers the
+    /// interleavings, and keeping this drop-safe means guard `Drop`
+    /// impls can never unwind.
+    pub(crate) fn release(&self, me: TId, lock: u64, write: bool) {
+        let mut inner = relock(&self.inner);
+        if let Some(st) = inner.locks.get_mut(&lock) {
+            if write {
+                if st.writer == Some(me) {
+                    st.writer = None;
+                }
+            } else {
+                st.readers.remove(&me);
+            }
+        }
+        self.wake_lock_waiters(&mut inner, lock);
+    }
+
+    fn wake_lock_waiters(&self, inner: &mut Inner, lock: u64) {
+        for st in &mut inner.threads {
+            if matches!(st, TState::Lock { lock: l, .. } if *l == lock) {
+                *st = TState::Runnable;
+            }
+        }
+        self.turn.notify_all();
+    }
+
+    /// Park on `cv`. The caller must already have released the
+    /// associated mutex *within the current quantum* (no decision point
+    /// in between), which preserves the atomic release-and-wait
+    /// semantics of a real condvar. Returns when notified — or woken
+    /// spuriously, when the config allows it.
+    pub(crate) fn cv_wait(&self, me: TId, cv: u64) {
+        let mut inner = relock(&self.inner);
+        inner.ordinal(cv);
+        let seq = inner.next_cv_seq;
+        inner.next_cv_seq += 1;
+        inner.threads[me] = TState::Cv { cv, seq };
+        self.switch(&mut inner, me);
+        self.wait_for_turn(inner, me);
+    }
+
+    /// Wake every waiter parked on `cv` (bookkeeping only — woken
+    /// threads run when next chosen at a decision point).
+    pub(crate) fn cv_notify_all(&self, cv: u64) {
+        let mut inner = relock(&self.inner);
+        inner.ordinal(cv);
+        for st in &mut inner.threads {
+            if matches!(st, TState::Cv { cv: c, .. } if *c == cv) {
+                *st = TState::Runnable;
+            }
+        }
+        self.turn.notify_all();
+    }
+
+    /// Wake the longest-parked waiter on `cv` (FIFO by arrival).
+    pub(crate) fn cv_notify_one(&self, cv: u64) {
+        let mut inner = relock(&self.inner);
+        inner.ordinal(cv);
+        let mut oldest: Option<(u64, usize)> = None;
+        for (t, st) in inner.threads.iter().enumerate() {
+            if let TState::Cv { cv: c, seq } = st {
+                if *c == cv && oldest.is_none_or(|(s, _)| *seq < s) {
+                    oldest = Some((*seq, t));
+                }
+            }
+        }
+        if let Some((_, t)) = oldest {
+            inner.threads[t] = TState::Runnable;
+        }
+        self.turn.notify_all();
+    }
+
+    /// Block until every child in `kids` has finished (scope join).
+    pub(crate) fn join_children(&self, me: TId, kids: &[TId]) {
+        loop {
+            let mut inner = relock(&self.inner);
+            if kids.iter().all(|&k| inner.threads[k] == TState::Finished) {
+                return;
+            }
+            inner.threads[me] = TState::Join(kids.to_vec());
+            self.switch(&mut inner, me);
+            self.wait_for_turn(inner, me);
+        }
+    }
+
+    /// Mark `me` finished, wake satisfied joiners, hand the token on.
+    pub(crate) fn thread_exit(&self, me: TId) {
+        let mut inner = relock(&self.inner);
+        inner.threads[me] = TState::Finished;
+        let joiners: Vec<TId> = inner
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(t, st)| match st {
+                TState::Join(kids)
+                    if kids.iter().all(|&k| inner.threads[k] == TState::Finished) =>
+                {
+                    Some(t)
+                }
+                _ => None,
+            })
+            .collect();
+        for t in joiners {
+            inner.threads[t] = TState::Runnable;
+        }
+        if inner.failure.is_some() {
+            self.turn.notify_all();
+            return;
+        }
+        self.switch(&mut inner, me);
+        // `me` is finished: hand the token over and return without
+        // waiting for another turn.
+    }
+}

@@ -1,0 +1,302 @@
+//! Model-aware synchronization primitives.
+//!
+//! Each primitive wraps its `std::sync` counterpart and, when the
+//! calling thread is a model thread inside an active exploration
+//! (see [`crate::Explorer::explore`]), additionally routes every
+//! acquisition, wait, and notification through the cooperative
+//! scheduler so they become decision points. Outside an exploration
+//! the wrappers degrade to plain poison-recovering `std::sync`
+//! behavior, so the same compiled code runs ordinary tests unchanged.
+//!
+//! All guards recover from poisoning instead of propagating it: a
+//! panicking thread must not wedge its peers, and the panic itself is
+//! still reported (by the model checker as a [`crate::Failure`], or by
+//! the OS thread/scope in normal runs).
+
+use crate::exec::{Execution, TId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, PoisonError};
+
+/// Process-wide id well: every primitive gets a distinct identity on
+/// first use (lazily, so `const fn new` stays possible for statics).
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+fn primitive_id(slot: &OnceLock<u64>) -> u64 {
+    *slot.get_or_init(fresh_id)
+}
+
+/// Model-release bookkeeping carried inside a guard: dropping it
+/// releases the model-level lock (pure bookkeeping — never a decision
+/// point, so guard drops can never unwind).
+pub(crate) struct CoopRelease {
+    exec: Arc<Execution>,
+    me: TId,
+    lock: u64,
+    write: bool,
+}
+
+impl Drop for CoopRelease {
+    fn drop(&mut self) {
+        self.exec.release(self.me, self.lock, self.write);
+    }
+}
+
+/// Acquire the model-level lock (a decision point), returning the
+/// release token; `None` when the caller is not a model thread.
+fn coop_acquire(slot: &OnceLock<u64>, write: bool) -> Option<CoopRelease> {
+    let (exec, me) = crate::current()?;
+    let lock = primitive_id(slot);
+    exec.acquire(me, lock, write);
+    Some(CoopRelease {
+        exec,
+        me,
+        lock,
+        write,
+    })
+}
+
+/// A mutual-exclusion lock with the facade contract: poison-recovering
+/// [`lock`](Mutex::lock), `const` construction, and model-checked
+/// acquisition inside explorations.
+pub struct Mutex<T: ?Sized> {
+    id: OnceLock<u64>,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex (usable in `static` items).
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            id: OnceLock::new(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the value (poison absorbed).
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, recovering from poisoning. Inside an
+    /// exploration this is a decision point.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let coop = coop_acquire(&self.id, true);
+        let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            g,
+            lock: self,
+            coop,
+        }
+    }
+
+    /// Mutable access without locking (the borrow proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII guard for [`Mutex::lock`]. Dropping releases the std lock
+/// first, then the model-level lock (field order is load-bearing).
+pub struct MutexGuard<'a, T: ?Sized> {
+    g: std::sync::MutexGuard<'a, T>,
+    lock: &'a Mutex<T>,
+    coop: Option<CoopRelease>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.g
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.g
+    }
+}
+
+/// A condition variable paired with the facade [`Mutex`]. Waits inside
+/// an exploration park the model thread (atomically with the lock
+/// release, as with a real condvar) and may be woken spuriously when
+/// [`crate::Config::spurious_wakeups`] is on — which is exactly why
+/// the lint insists every wait sits under a `while` re-check.
+pub struct Condvar {
+    id: OnceLock<u64>,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condvar (usable in `static` items).
+    pub const fn new() -> Condvar {
+        Condvar {
+            id: OnceLock::new(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Release the guard's lock, park until notified (or spuriously
+    /// woken), then re-acquire. Poison-recovering.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let MutexGuard { g, lock, coop } = guard;
+        match coop {
+            Some(release) => {
+                // Same-quantum release + park: no decision point between
+                // dropping the lock and registering as a waiter, which
+                // preserves the condvar's atomic release-and-wait.
+                drop(g);
+                let exec = Arc::clone(&release.exec);
+                let me = release.me;
+                drop(release);
+                exec.cv_wait(me, primitive_id(&self.id));
+                lock.lock()
+            }
+            None => {
+                let g = self.inner.wait(g).unwrap_or_else(PoisonError::into_inner);
+                MutexGuard {
+                    g,
+                    lock,
+                    coop: None,
+                }
+            }
+        }
+    }
+
+    /// Wake one waiter (the longest-parked, inside an exploration).
+    pub fn notify_one(&self) {
+        match crate::current() {
+            Some((exec, _)) => exec.cv_notify_one(primitive_id(&self.id)),
+            None => self.inner.notify_one(),
+        }
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        match crate::current() {
+            Some((exec, _)) => exec.cv_notify_all(primitive_id(&self.id)),
+            None => self.inner.notify_all(),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+/// A reader-writer lock with the facade contract: poison-recovering,
+/// `const`-constructible, model-checked inside explorations (shared
+/// reads really do overlap in the model).
+pub struct RwLock<T: ?Sized> {
+    id: OnceLock<u64>,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// A new unlocked lock (usable in `static` items).
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            id: OnceLock::new(),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the value (poison absorbed).
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access, recovering from poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let coop = coop_acquire(&self.id, false);
+        let g = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        RwLockReadGuard { g, _coop: coop }
+    }
+
+    /// Acquire exclusive write access, recovering from poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let coop = coop_acquire(&self.id, true);
+        let g = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        RwLockWriteGuard { g, _coop: coop }
+    }
+
+    /// Mutable access without locking (the borrow proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII guard for [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    g: std::sync::RwLockReadGuard<'a, T>,
+    _coop: Option<CoopRelease>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.g
+    }
+}
+
+/// RAII guard for [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    g: std::sync::RwLockWriteGuard<'a, T>,
+    _coop: Option<CoopRelease>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.g
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.g
+    }
+}

@@ -1,0 +1,177 @@
+//! Model-aware scoped threads.
+//!
+//! [`scope`] mirrors `std::thread::scope`. Inside an exploration each
+//! spawned closure runs as a *model thread*: a real OS thread that
+//! registers with the [`crate::Explorer`]'s execution, waits for the
+//! active token before running, and reports its exit so joins become
+//! decision points. Outside an exploration the wrapper is a thin
+//! delegation to `std`.
+
+use crate::exec::{Execution, McAbort, TId};
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+thread_local! {
+    /// The calling OS thread's model identity, when it is a model
+    /// thread of an active exploration.
+    static CURRENT: RefCell<Option<(Arc<Execution>, TId)>> = const { RefCell::new(None) };
+}
+
+/// The current thread's execution context (`None` outside a model).
+pub(crate) fn current_ctx() -> Option<(Arc<Execution>, TId)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Drive `body` as model thread `me` of `exec`: install the context,
+/// wait for the first turn, run, record panics (swallowing the abort
+/// sentinel), and report the exit. Used for the root thread (t0).
+pub(crate) fn run_model_thread<F>(exec: Arc<Execution>, me: TId, body: &F)
+where
+    F: Fn() + Sync,
+{
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), me)));
+    if exec.await_first_turn(me) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+            if !payload.is::<McAbort>() {
+                exec.record_panic(me, payload.as_ref());
+            }
+        }
+    }
+    exec.thread_exit(me);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Child-thread wrapper: like [`run_model_thread`] but carries the
+/// closure's result out (`None` when the execution aborted under it).
+fn run_child_thread<F, T>(exec: Arc<Execution>, me: TId, f: F) -> Option<T>
+where
+    F: FnOnce() -> T,
+{
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), me)));
+    let out = if exec.await_first_turn(me) {
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(v) => Some(v),
+            Err(payload) => {
+                if !payload.is::<McAbort>() {
+                    exec.record_panic(me, payload.as_ref());
+                }
+                None
+            }
+        }
+    } else {
+        None
+    };
+    exec.thread_exit(me);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    out
+}
+
+/// A scope handle mirroring `std::thread::Scope`, with model-thread
+/// registration inside explorations.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    ctx: Option<(Arc<Execution>, TId)>,
+    kids: StdMutex<Vec<TId>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. Inside an exploration the child becomes
+    /// a schedulable model thread; it runs only when the explorer
+    /// hands it the token.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        // Copy the reference out: its lifetime is the full `'scope`,
+        // regardless of how short the `&self` borrow is.
+        let scope = self.inner;
+        match &self.ctx {
+            Some((exec, _)) => {
+                let exec = Arc::clone(exec);
+                let kid = exec.register_thread();
+                self.kids
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(kid);
+                let exec2 = Arc::clone(&exec);
+                let inner = scope.spawn(move || run_child_thread(exec2, kid, f));
+                ScopedJoinHandle {
+                    inner,
+                    ctx: Some((exec, kid)),
+                }
+            }
+            None => ScopedJoinHandle {
+                inner: scope.spawn(move || Some(f())),
+                ctx: None,
+            },
+        }
+    }
+}
+
+/// Join handle for [`Scope::spawn`], mirroring
+/// `std::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+    ctx: Option<(Arc<Execution>, TId)>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the child to finish and take its result. Inside an
+    /// exploration the wait is a decision point (and unwinds if the
+    /// execution has failed).
+    ///
+    /// # Errors
+    /// The child's panic payload, as with `std` (model-thread panics
+    /// are reported through the explorer instead).
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some((exec, kid)) = &self.ctx {
+            if let Some((_, me)) = current_ctx() {
+                exec.join_children(me, std::slice::from_ref(kid));
+            }
+        }
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            // The child aborted mid-execution: a failure is recorded,
+            // so unwind this thread too.
+            Ok(None) => std::panic::panic_any(McAbort),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether the child has finished running.
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}
+
+/// Mirror of `std::thread::scope`: run `f` with a scope handle whose
+/// spawned threads may borrow from the enclosing frame; all children
+/// are joined (cooperatively first, inside an exploration) before this
+/// returns.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| {
+        let sc = Scope {
+            inner: s,
+            ctx: current_ctx(),
+            kids: StdMutex::new(Vec::new()),
+        };
+        let r = f(&sc);
+        if let Some((exec, me)) = &sc.ctx {
+            // Cooperative join before the std scope's blocking join:
+            // the token keeps circulating until every child has run to
+            // completion, so the std join below cannot stall the model.
+            let kids = sc
+                .kids
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone();
+            exec.join_children(*me, &kids);
+        }
+        r
+    })
+}

@@ -43,8 +43,8 @@ pub use chrome::{chrome_trace_json, normalized_events, validate_json};
 pub use counters::{KernelCounters, KernelStage, MetricsSnapshot};
 pub use span::{Clock, Span};
 
+use idg_sync::{Mutex, MutexGuard};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Everything one active session accumulates.
@@ -83,7 +83,7 @@ pub fn is_active() -> bool {
 }
 
 fn lock_collector() -> MutexGuard<'static, Option<Collector>> {
-    COLLECTOR.lock().unwrap_or_else(|e| e.into_inner())
+    COLLECTOR.lock()
 }
 
 /// An active observability session.
@@ -101,7 +101,9 @@ impl Session {
     ///
     /// Blocks until any other active session finishes.
     pub fn begin(pass: &str) -> Session {
-        let gate = SESSION_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        // Lock order (tools/lock-order.toml): session gate strictly
+        // before collector.
+        let gate = SESSION_GATE.lock();
         *lock_collector() = Some(Collector {
             pass: pass.to_string(),
             start: Instant::now(),

@@ -39,10 +39,10 @@
 #![deny(missing_docs)]
 
 use idg_plan::{Plan, UvExtents};
+use idg_sync::{thread, Condvar, Mutex};
 use idg_types::{IdgError, Observation, Uvw};
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// How to bound one ingestion chunk along the time axis.
 ///
@@ -244,13 +244,6 @@ struct SchedState {
     producer_done: bool,
 }
 
-/// Lock with poison recovery: a panicking worker must not deadlock
-/// the rest of the scheduler (the panic itself still propagates
-/// through the thread scope).
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 impl StreamScheduler {
     /// A scheduler with `workers` threads and an admission window of
     /// `max_inflight` chunks. Both must be positive.
@@ -315,11 +308,11 @@ impl StreamScheduler {
         let slots: Vec<Mutex<Option<Result<T, IdgError>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
 
-        std::thread::scope(|scope| {
+        thread::scope(|scope| {
             for _ in 0..self.workers {
                 scope.spawn(|| loop {
                     let job = {
-                        let mut st = lock(&state);
+                        let mut st = state.lock();
                         loop {
                             if st.started {
                                 if let Some(j) = st.queue.pop_front() {
@@ -329,9 +322,7 @@ impl StreamScheduler {
                                     break None;
                                 }
                             }
-                            st = cond_work
-                                .wait(st)
-                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            st = cond_work.wait(st);
                         }
                     };
                     let Some(job) = job else { return };
@@ -339,8 +330,8 @@ impl StreamScheduler {
                         let _span = idg_obs::wall_span("chunk", "stage", u32::try_from(job).ok());
                         exec(&chunks[job])
                     };
-                    *lock(&slots[job]) = Some(out);
-                    let mut st = lock(&state);
+                    *slots[job].lock() = Some(out);
+                    let mut st = state.lock();
                     st.completed += 1;
                     cond_space.notify_all();
                 });
@@ -348,13 +339,11 @@ impl StreamScheduler {
 
             // producer: bounded-window admission on the calling thread
             for k in 0..n {
-                let mut st = lock(&state);
+                let mut st = state.lock();
                 if k >= cap {
                     st.waits += 1;
                     while st.completed + cap < k + 1 {
-                        st = cond_space
-                            .wait(st)
-                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        st = cond_space.wait(st);
                     }
                 }
                 st.queue.push_back(k);
@@ -368,13 +357,13 @@ impl StreamScheduler {
                     cond_work.notify_all();
                 }
             }
-            let mut st = lock(&state);
+            let mut st = state.lock();
             st.producer_done = true;
             cond_work.notify_all();
         });
 
         let (inflight_max, waits) = {
-            let st = lock(&state);
+            let st = state.lock();
             (st.inflight_max, st.waits)
         };
         idg_obs::record_passes_inflight(inflight_max as u64);
@@ -382,14 +371,128 @@ impl StreamScheduler {
 
         let mut results = Vec::with_capacity(n);
         for slot in slots {
-            let out = slot
-                .into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .unwrap_or_else(|| {
-                    Err(IdgError::Internal(
-                        "stream scheduler lost a chunk result".into(),
-                    ))
+            let out = slot.into_inner().unwrap_or_else(|| {
+                Err(IdgError::Internal(
+                    "stream scheduler lost a chunk result".into(),
+                ))
+            });
+            results.push(out);
+        }
+        let completed_chunks = results.iter().filter(|r| r.is_ok()).count();
+        Ok(StreamRun {
+            stats: StreamStats {
+                nr_chunks: n,
+                nr_workers: self.workers,
+                max_inflight: cap,
+                inflight_max,
+                backpressure_waits: waits,
+                completed_chunks,
+                failed_chunks: n - completed_chunks,
+            },
+            results,
+        })
+    }
+}
+
+/// Seeded concurrency mutant, compiled only for model-check builds and
+/// never part of the public API: [`StreamScheduler::run_stream`] with
+/// the worker's predicate re-check loop around `Condvar::wait`
+/// collapsed to a single unguarded wait — the exact shape lint L6
+/// sub-rule (a) bans. A worker that reaches the wait after the
+/// producer's notifications have already fired parks forever while the
+/// producer parks on backpressure behind it; the model-check
+/// regression suite proves the explorer reports this schedule as a
+/// lost wakeup, demonstrating the static rule and the dynamic checker
+/// guard the same invariant.
+#[cfg(idg_model_check)]
+impl StreamScheduler {
+    #[doc(hidden)]
+    pub fn run_stream_unguarded_wait_mutant<T, F>(
+        &self,
+        chunks: &[Chunk],
+        exec: F,
+    ) -> Result<StreamRun<T>, IdgError>
+    where
+        T: Send,
+        F: Fn(&Chunk) -> Result<T, IdgError> + Sync,
+    {
+        let n = chunks.len();
+        let cap = self.max_inflight;
+        let prefill = cap.min(n);
+
+        let state = Mutex::new(SchedState {
+            queue: VecDeque::new(),
+            admitted: 0,
+            completed: 0,
+            inflight_max: 0,
+            waits: 0,
+            started: n == 0,
+            producer_done: false,
+        });
+        let cond_work = Condvar::new();
+        let cond_space = Condvar::new();
+        let slots: Vec<Mutex<Option<Result<T, IdgError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+
+        thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| loop {
+                    let job = {
+                        let mut st = state.lock();
+                        // MUTANT: the re-check loop is gone — wait
+                        // first, check once. A notification sent
+                        // before this wait began is lost for good.
+                        st = cond_work.wait(st);
+                        if st.started {
+                            st.queue.pop_front()
+                        } else {
+                            None
+                        }
+                    };
+                    let Some(job) = job else { return };
+                    let out = exec(&chunks[job]);
+                    *slots[job].lock() = Some(out);
+                    let mut st = state.lock();
+                    st.completed += 1;
+                    cond_space.notify_all();
                 });
+            }
+
+            for k in 0..n {
+                let mut st = state.lock();
+                if k >= cap {
+                    st.waits += 1;
+                    while st.completed + cap < k + 1 {
+                        st = cond_space.wait(st);
+                    }
+                }
+                st.queue.push_back(k);
+                st.admitted = k + 1;
+                let inflight = st.admitted - st.completed;
+                st.inflight_max = st.inflight_max.max(inflight);
+                if st.admitted == prefill {
+                    st.started = true;
+                }
+                if st.started {
+                    cond_work.notify_all();
+                }
+            }
+            let mut st = state.lock();
+            st.producer_done = true;
+            cond_work.notify_all();
+        });
+
+        let (inflight_max, waits) = {
+            let st = state.lock();
+            (st.inflight_max, st.waits)
+        };
+        let mut results = Vec::with_capacity(n);
+        for slot in slots {
+            let out = slot.into_inner().unwrap_or_else(|| {
+                Err(IdgError::Internal(
+                    "stream scheduler lost a chunk result".into(),
+                ))
+            });
             results.push(out);
         }
         let completed_chunks = results.iter().filter(|r| r.is_ok()).count();

@@ -1,0 +1,51 @@
+//! # idg-sync — the workspace concurrency facade
+//!
+//! Every library crate in the workspace takes its concurrency
+//! primitives (`Mutex`, `Condvar`, `RwLock`, `thread::scope`) from
+//! here instead of `std::sync` / `std::thread` — enforced by lint L7
+//! (DESIGN.md §13). Two builds share one API:
+//!
+//! - **Normal builds**: zero-cost newtypes over `std::sync` whose only
+//!   behavioral change is *poison recovery* — `lock()` returns the
+//!   guard directly, absorbing [`std::sync::PoisonError`], which also
+//!   deduplicates the ad-hoc `lock().unwrap_or_else(..)` helpers the
+//!   scheduler and kernel cache used to carry (lint L6 now bans those
+//!   at the call site).
+//! - **`--cfg idg_model_check` builds**: straight re-exports of the
+//!   [`idg-mc`](idg_mc) cooperative primitives, so the same library
+//!   code becomes deterministically schedulable and every interleaving
+//!   up to a bound can be explored in tests. Outside an active
+//!   exploration those degrade to the plain behavior, so ordinary
+//!   tests still pass under the cfg.
+//!
+//! The poison-recovery contract is deliberate, not cavalier: every
+//! protected structure in this workspace stays consistent across a
+//! panicking critical section (counters may undercount; queues may
+//! hold an orphaned index), and the panic itself still propagates
+//! through the owning thread scope — recovering the lock merely keeps
+//! sibling workers from deadlocking behind a poisoned mutex while the
+//! panic unwinds.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+#[cfg(idg_model_check)]
+pub use idg_mc::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Scoped threads routed through the model checker.
+#[cfg(idg_model_check)]
+pub mod thread {
+    pub use idg_mc::thread::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(not(idg_model_check))]
+mod plain;
+
+#[cfg(not(idg_model_check))]
+pub use plain::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Scoped threads (plain `std::thread` in normal builds).
+#[cfg(not(idg_model_check))]
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
