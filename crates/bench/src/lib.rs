@@ -319,6 +319,51 @@ pub fn stream_bench_row(scale: usize, report: &ExecutionReport) -> FigRow {
     }
 }
 
+/// Duplex twin of [`stream_run`]: the streamed *degridding* pass on
+/// the modeled Pascal device, splitting a model grid (produced by a
+/// one-shot gridding pass over the same data set) back into predicted
+/// visibilities chunk by chunk. Same chunk policy and window shape;
+/// every timing is modeled, so the row pins exactly.
+pub fn stream_degrid_run(ds: &Dataset) -> ExecutionReport {
+    use idg::{ChunkPolicy, StreamConfig};
+
+    let proxy = Proxy::new(Backend::GpuPascal, ds.obs.clone()).expect("stream bench proxy");
+    let plan = proxy.plan(&ds.uvw).expect("stream bench plan");
+    let (model, _) = proxy
+        .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .expect("stream bench model grid");
+    let config = StreamConfig::new(ChunkPolicy::by_timesteps(ds.obs.aterm_interval), 2, 2);
+    let (_, report) = proxy
+        .degrid_streamed(&config, &model, &ds.uvw, &ds.aterms)
+        .expect("stream bench degrid");
+    report
+}
+
+/// The `stream_degrid` row of a BENCH_*.json export: the duplex
+/// direction's chunk/worker shape and backpressure accounting. Like
+/// the `stream` row, every column is deterministic (modeled makespan,
+/// closed-form scheduler metrics), so none carries the `_wall` mask.
+pub fn stream_degrid_bench_row(scale: usize, report: &ExecutionReport) -> FigRow {
+    let stats = report
+        .stream
+        .as_ref()
+        .expect("stream_degrid_bench_row needs a streamed-path report");
+    FigRow {
+        label: "stream_degrid".to_string(),
+        wall_clock: false,
+        values: vec![
+            ("scale", scale as f64),
+            ("visibilities", report.counts.visibilities as f64),
+            ("nr_chunks", stats.nr_chunks as f64),
+            ("nr_workers", stats.nr_workers as f64),
+            ("max_inflight", stats.max_inflight as f64),
+            ("inflight_max", stats.inflight_max as f64),
+            ("backpressure_waits", stats.backpressure_waits as f64),
+            ("makespan_s", report.total_seconds),
+        ],
+    }
+}
+
 /// Modeled reports for the *full* paper-scale benchmark (11,175
 /// baselines × 8,192 time steps × 16 channels ≈ 1.46 G visibilities),
 /// extrapolated from the measured plan statistics of the scaled data

@@ -18,8 +18,8 @@
 
 use idg_bench::{
     bench_json, bench_pass_row, bench_row_value, benchmark_dataset, fig10_rows, fig12_rows,
-    fig_json, fleet_bench_row, fleet_chaos_run, host_measured_run, stream_bench_row, stream_run,
-    streamed_benchmark_dataset,
+    fig_json, fleet_bench_row, fleet_chaos_run, host_measured_run, stream_bench_row,
+    stream_degrid_bench_row, stream_degrid_run, stream_run, streamed_benchmark_dataset,
 };
 use idg_obs::validate_json;
 use std::path::PathBuf;
@@ -113,21 +113,31 @@ fn bench_guard_json_matches_golden_snapshot() {
 
 #[test]
 fn stream_bench_json_matches_golden_snapshot() {
-    // The `stream` row is entirely modeled and its backpressure
-    // metrics are deterministic by construction, so every column is
-    // pinned exactly (its own snapshot file: the one-shot BENCH_*.json
-    // goldens predate streaming and stay untouched).
+    // The `stream` and `stream_degrid` rows are entirely modeled and
+    // their backpressure metrics are deterministic by construction, so
+    // every column is pinned exactly (their own snapshot file: the
+    // one-shot BENCH_*.json goldens predate streaming and stay
+    // untouched).
     let ds = streamed_benchmark_dataset(GOLDEN_SCALE);
     let report = stream_run(&ds);
-    let rows = vec![stream_bench_row(GOLDEN_SCALE, &report)];
+    let degrid_report = stream_degrid_run(&ds);
+    let rows = vec![
+        stream_bench_row(GOLDEN_SCALE, &report),
+        stream_degrid_bench_row(GOLDEN_SCALE, &degrid_report),
+    ];
     let masked = bench_json("stream", &rows, true);
-    let chunks = bench_row_value(&masked, "stream", GOLDEN_SCALE, "nr_chunks")
-        .expect("stream row carries nr_chunks");
-    assert!(chunks >= 2.0, "streamed bench must exercise chunking");
-    let waits = bench_row_value(&masked, "stream", GOLDEN_SCALE, "backpressure_waits")
-        .expect("stream row carries backpressure_waits");
-    assert!(waits >= 1.0, "admission window must constrain the stream");
-    assert!(bench_row_value(&masked, "stream", GOLDEN_SCALE, "makespan_s").is_some());
+    for label in ["stream", "stream_degrid"] {
+        let chunks = bench_row_value(&masked, label, GOLDEN_SCALE, "nr_chunks")
+            .unwrap_or_else(|| panic!("{label} row carries nr_chunks"));
+        assert!(chunks >= 2.0, "{label} bench must exercise chunking");
+        let waits = bench_row_value(&masked, label, GOLDEN_SCALE, "backpressure_waits")
+            .unwrap_or_else(|| panic!("{label} row carries backpressure_waits"));
+        assert!(
+            waits >= 1.0,
+            "{label}: admission window must constrain the stream"
+        );
+        assert!(bench_row_value(&masked, label, GOLDEN_SCALE, "makespan_s").is_some());
+    }
     check_golden("BENCH_stream.json", &masked);
 }
 

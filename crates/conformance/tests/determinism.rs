@@ -172,6 +172,118 @@ fn same_seed_streamed_runs_have_byte_identical_metrics() {
     }
 }
 
+/// One observed *streamed degrid* fleet pass → metrics JSON only,
+/// under the same lemon-fleet fault schedule as the gridding twin.
+/// Trace interleaving is again a legitimate scheduling race; the
+/// counter registers must still snapshot byte-identically.
+fn observed_streamed_degrid_run(seed: u64) -> String {
+    let case = &standard_cases().expect("standard cases build")[2];
+    let ds = case.dataset();
+    // model grid from a clean one-shot pass; the chaos is degrid-side
+    let clean = Proxy::new(Backend::GpuPascal, case.obs.clone()).unwrap();
+    let plan = clean.plan(&ds.uvw).unwrap();
+    let (model, _) = clean
+        .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .unwrap();
+
+    let mut proxy = Proxy::new(Backend::GpuPascal, case.obs.clone()).unwrap();
+    proxy.work_group_size = 1;
+    let proxy = proxy.with_fleet_config(FleetConfig {
+        nr_devices: 3,
+        member_faults: vec![(
+            1,
+            FaultConfig {
+                seed,
+                transfer_corruption_rate: 0.45,
+                kernel_fault_rate: 0.35,
+                stall_rate: 0.25,
+                ..FaultConfig::default()
+            },
+        )],
+        breaker: None,
+    });
+    let config = idg::StreamConfig::new(
+        idg::stream::ChunkPolicy::by_timesteps(case.obs.aterm_interval),
+        2,
+        2,
+    );
+    let (_, report, _) = proxy
+        .degrid_streamed_observed(&config, &model, &ds.uvw, &ds.aterms)
+        .unwrap();
+    let metrics = report.metrics.expect("observed run must attach metrics");
+    metrics.to_json()
+}
+
+#[test]
+fn same_seed_streamed_degrid_runs_have_byte_identical_metrics() {
+    for seed in [4242, 17] {
+        let metrics_a = observed_streamed_degrid_run(seed);
+        let metrics_b = observed_streamed_degrid_run(seed);
+        assert_eq!(
+            metrics_a, metrics_b,
+            "seed {seed}: streamed degrid metrics snapshots must be byte-identical"
+        );
+        assert!(
+            metrics_a.contains("\"chunks_ingested\""),
+            "streaming counters must serialize"
+        );
+        assert!(metrics_a.contains("\"backpressure_waits\""));
+    }
+}
+
+#[test]
+fn streamed_degrid_entry_points_reject_degenerate_parameters_typed() {
+    // zero chunk bounds, zero workers and a zero admission window must
+    // all surface as typed `InvalidParameter` errors — not panics, not
+    // silently-empty streams — on both degrid entry points
+    use idg::stream::ChunkPolicy;
+    use idg::types::IdgError;
+    use idg::StreamConfig;
+
+    let case = &standard_cases().expect("standard cases build")[2];
+    let ds = case.dataset();
+    let proxy = Proxy::new(Backend::CpuOptimized, case.obs.clone()).unwrap();
+    let plan = proxy.plan(&ds.uvw).unwrap();
+    let (model, _) = proxy
+        .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .unwrap();
+
+    let bad_configs = [
+        (
+            "zero-timestep chunks",
+            StreamConfig::new(ChunkPolicy::by_timesteps(0), 2, 2),
+        ),
+        (
+            "zero-visibility chunks",
+            StreamConfig::new(ChunkPolicy::by_visibilities(0), 2, 2),
+        ),
+        (
+            "zero workers",
+            StreamConfig::new(ChunkPolicy::by_timesteps(8), 0, 2),
+        ),
+        (
+            "zero window",
+            StreamConfig::new(ChunkPolicy::by_timesteps(8), 2, 0),
+        ),
+    ];
+    for (what, config) in bad_configs {
+        let err = proxy
+            .degrid_streamed(&config, &model, &ds.uvw, &ds.aterms)
+            .expect_err(what);
+        assert!(
+            matches!(err, IdgError::InvalidParameter(_)),
+            "{what}: degrid_streamed must reject with InvalidParameter, got {err:?}"
+        );
+        let err = proxy
+            .degrid_streamed_observed(&config, &model, &ds.uvw, &ds.aterms)
+            .expect_err(what);
+        assert!(
+            matches!(err, IdgError::InvalidParameter(_)),
+            "{what}: degrid_streamed_observed must reject with InvalidParameter, got {err:?}"
+        );
+    }
+}
+
 #[test]
 fn different_seeds_produce_observably_different_schedules() {
     // sanity for the test above: if the injector ignored the seed, the

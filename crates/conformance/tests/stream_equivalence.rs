@@ -1,6 +1,8 @@
 //! Streamed-vs-one-shot equivalence: `Proxy::grid_streamed` must
-//! produce a **bit-identical** grid to `Proxy::grid` on every back-end,
-//! every standard case, every chunk policy and every worker count.
+//! produce a **bit-identical** grid to `Proxy::grid`, and
+//! `Proxy::degrid_streamed` bit-identical predicted visibilities to
+//! `Proxy::degrid`, on every back-end, every standard case, every
+//! chunk policy and every worker count.
 //!
 //! This is a stronger contract than the stage-budget conformance the
 //! rest of the suite checks: streaming is pure re-scheduling of the
@@ -12,7 +14,7 @@
 //! fault-injected fleet, where transient recovery must be exact.
 
 use idg::stream::ChunkPolicy;
-use idg::types::Grid;
+use idg::types::{Grid, Visibility};
 use idg::{Backend, Proxy, StreamConfig};
 use idg_conformance::standard_cases;
 
@@ -28,6 +30,22 @@ fn assert_bit_identical(reference: &Grid<f32>, streamed: &Grid<f32>, what: &str)
             a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
             "{what}: grid pixel {i} differs: one-shot {a:?} vs streamed {b:?}"
         );
+    }
+}
+
+fn assert_vis_bit_identical(
+    reference: &[Visibility<f32>],
+    streamed: &[Visibility<f32>],
+    what: &str,
+) {
+    assert_eq!(reference.len(), streamed.len(), "{what}: visibility count");
+    for (i, (a, b)) in reference.iter().zip(streamed).enumerate() {
+        for (p, (x, y)) in a.pols.iter().zip(b.pols.iter()).enumerate() {
+            assert!(
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                "{what}: visibility {i} pol {p} differs: one-shot {x:?} vs streamed {y:?}"
+            );
+        }
     }
 }
 
@@ -75,6 +93,45 @@ fn streamed_grids_are_bit_identical_across_backends_cases_policies_and_workers()
                     );
                     assert_bit_identical(&reference, &streamed, &what);
                     let stats = report.stream.expect("streamed pass carries stream stats");
+                    assert_eq!(stats.failed_chunks, 0, "{what}");
+                    assert_eq!(stats.completed_chunks, stats.nr_chunks, "{what}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn streamed_degrid_visibilities_are_bit_identical_across_backends_cases_policies_and_workers() {
+    for case in standard_cases().expect("standard cases build") {
+        let ds = case.dataset();
+        for backend in Backend::all() {
+            let proxy = Proxy::new(backend, case.obs.clone()).unwrap();
+            let plan = proxy.plan(&ds.uvw).unwrap();
+            // grid a model first so the degrid input carries energy on
+            // exactly the uv cells the plan covers
+            let (model, _) = proxy
+                .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+                .unwrap();
+            let (reference, _) = proxy.degrid(&plan, &model, &ds.uvw, &ds.aterms).unwrap();
+            let worker_counts: &[usize] = if backend == Backend::CpuReference {
+                &[2]
+            } else {
+                &[1, 3]
+            };
+            for (policy_name, policy) in policies(case.obs.aterm_interval, case.obs.nr_timesteps) {
+                for &workers in worker_counts {
+                    let config = StreamConfig::new(policy, workers, workers.max(2));
+                    let (streamed, report) = proxy
+                        .degrid_streamed(&config, &model, &ds.uvw, &ds.aterms)
+                        .unwrap();
+                    let what = format!(
+                        "degrid {} / {:?} / {policy_name} / {workers} workers",
+                        case.name, backend
+                    );
+                    assert_vis_bit_identical(&reference, &streamed, &what);
+                    let stats = report.stream.expect("streamed pass carries stream stats");
+                    assert_eq!(stats.direction, idg::StreamDirection::Degridding, "{what}");
                     assert_eq!(stats.failed_chunks, 0, "{what}");
                     assert_eq!(stats.completed_chunks, stats.nr_chunks, "{what}");
                 }
@@ -155,5 +212,57 @@ fn streamed_fleet_with_transient_faults_recovers_bit_identically() {
         "the lemon member's schedule must actually inject faults"
     );
     let stats = report.stream.expect("stream stats");
+    assert_eq!(stats.failed_chunks, 0);
+}
+
+#[test]
+fn streamed_fleet_degrid_with_transient_faults_recovers_bit_identically() {
+    // duplex twin of the lemon-fleet gridding case: the same flaky
+    // member now injects faults into the splitter-side pipeline, and
+    // the streamed fleet's predicted visibilities must still match the
+    // fault-free one-shot degrid byte for byte
+    use idg::gpusim::FaultConfig;
+    use idg::FleetConfig;
+
+    let case = &standard_cases().expect("standard cases build")[2]; // ragged-tails
+    let ds = case.dataset();
+    let clean = Proxy::new(Backend::GpuPascal, case.obs.clone()).unwrap();
+    let plan = clean.plan(&ds.uvw).unwrap();
+    let (model, _) = clean
+        .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+        .unwrap();
+    let (reference, _) = clean.degrid(&plan, &model, &ds.uvw, &ds.aterms).unwrap();
+
+    let mut proxy = Proxy::new(Backend::GpuPascal, case.obs.clone()).unwrap();
+    proxy.work_group_size = 1;
+    let proxy = proxy.with_fleet_config(FleetConfig {
+        nr_devices: 3,
+        member_faults: vec![(
+            1,
+            FaultConfig {
+                seed: 4242,
+                transfer_corruption_rate: 0.45,
+                kernel_fault_rate: 0.35,
+                stall_rate: 0.25,
+                ..FaultConfig::default()
+            },
+        )],
+        breaker: None,
+    });
+    let config = StreamConfig::new(ChunkPolicy::by_timesteps(case.obs.aterm_interval), 2, 2);
+    let (streamed, report) = proxy
+        .degrid_streamed(&config, &model, &ds.uvw, &ds.aterms)
+        .unwrap();
+    assert_vis_bit_identical(&reference, &streamed, "lemon fleet streamed degrid");
+    assert!(
+        report.fallback_jobs.is_empty(),
+        "transient faults must be absorbed by retries, not the CPU fallback"
+    );
+    assert!(
+        report.nr_retries > 0,
+        "the lemon member's schedule must actually inject faults"
+    );
+    let stats = report.stream.expect("stream stats");
+    assert_eq!(stats.direction, idg::StreamDirection::Degridding);
     assert_eq!(stats.failed_chunks, 0);
 }

@@ -124,10 +124,69 @@ fn soak_once(nr_timesteps: usize, deadline: Duration) {
     handle.join().expect("soak thread panicked");
 }
 
+/// Duplex twin of [`soak_once`]: the same many-small-chunk stream
+/// pushed through the splitter-side pipeline. The streamed predicted
+/// visibilities must stay bit-identical to the clean one-shot degrid
+/// under sustained lemon-member faults.
+fn soak_degrid_once(nr_timesteps: usize, deadline: Duration) {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let ds = soak_dataset(nr_timesteps);
+        let clean = Proxy::new(Backend::GpuPascal, ds.obs.clone()).unwrap();
+        let plan = clean.plan(&ds.uvw).unwrap();
+        let (model, _) = clean
+            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        let (reference, _) = clean.degrid(&plan, &model, &ds.uvw, &ds.aterms).unwrap();
+
+        let proxy = lemon_fleet_proxy(ds.obs.clone());
+        let config = StreamConfig::new(ChunkPolicy::by_timesteps(2), 2, 2);
+        let (streamed, report) = proxy
+            .degrid_streamed(&config, &model, &ds.uvw, &ds.aterms)
+            .unwrap();
+
+        assert_eq!(reference.len(), streamed.len());
+        for (i, (a, b)) in reference.iter().zip(&streamed).enumerate() {
+            for (p, (x, y)) in a.pols.iter().zip(b.pols.iter()).enumerate() {
+                assert!(
+                    x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                    "soak visibility {i} pol {p} differs: one-shot {x:?} vs streamed {y:?}"
+                );
+            }
+        }
+        assert!(
+            report.fallback_jobs.is_empty(),
+            "soak faults are all transient; none may reach the CPU fallback"
+        );
+        let stats = report.stream.expect("streamed pass carries stream stats");
+        assert_eq!(stats.direction, idg::StreamDirection::Degridding);
+        assert_eq!(stats.nr_chunks, nr_timesteps / 2);
+        assert_eq!(stats.completed_chunks, stats.nr_chunks);
+        assert_eq!(stats.failed_chunks, 0);
+        assert_eq!(stats.inflight_max, 2, "admission window must cap inflight");
+        assert_eq!(
+            stats.backpressure_waits,
+            (stats.nr_chunks - 2) as u64,
+            "every admission beyond the window must register a wait"
+        );
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(deadline)
+        .expect("degrid stream soak deadlocked: scheduler failed to drain within the deadline");
+    handle.join().expect("soak thread panicked");
+}
+
 #[test]
 fn stream_soak_many_small_chunks_over_a_lemon_fleet() {
     // 32 chunks through a 2-slot window on 2 workers
     soak_once(64, Duration::from_secs(120));
+}
+
+#[test]
+fn stream_soak_degrid_many_small_chunks_over_a_lemon_fleet() {
+    // the duplex direction: 32 chunks of predicted visibilities
+    // through the same 2-slot window on 2 workers
+    soak_degrid_once(64, Duration::from_secs(120));
 }
 
 #[test]

@@ -22,18 +22,34 @@
 //!    so every f32 accumulation happens in the one-shot order. Summing
 //!    per-chunk grids instead would reorder additions (f32 addition is
 //!    not associative, and `0.0 + (-0.0)` even flips a sign bit).
+//!
+//! [`Proxy::degrid_streamed`] is the duplex twin: a deferred
+//! **splitter** stage (`split_deferred` on the executors) extracts
+//! each chunk's subgrids from the model grid, the chunk-local degrid
+//! passes flow through the same scheduler, and each chunk's predicted
+//! visibilities are committed into the caller's buffer exactly once —
+//! guarded by a [`CommitLedger`] — in one-shot plan order. Because the
+//! degridder *overwrites* disjoint per-item visibility slots (no
+//! accumulation anywhere on the read side), the plain in-order copies
+//! reproduce [`Proxy::degrid`] bit for bit on every back-end, policy,
+//! worker count and fault schedule; see DESIGN.md §12 for the
+//! commit-order argument.
 
 use super::{check_finite_uvw, check_finite_vis, Backend, Proxy};
 use crate::report::{ExecutionReport, FleetStats};
 use idg_fft::Direction;
-use idg_gpusim::{DeferredSubgrids, JobFailure};
+use idg_gpusim::{DeferredSubgrids, DeferredVis, JobFailure};
 use idg_kernels::{
-    add_subgrids, fft_subgrids, gridder_cpu, gridder_reference, FftNorm, KernelData, SubgridArray,
+    add_subgrids, degridder_cpu, degridder_reference, fft_subgrids, gridder_cpu, gridder_reference,
+    split_subgrids, FftNorm, KernelData, SubgridArray,
 };
 use idg_math::Accuracy;
-use idg_perf::{gridder_counts, OpCounts};
+use idg_perf::{degridder_counts, gridder_counts, OpCounts};
 use idg_plan::{Plan, UvExtents, WorkItem};
-use idg_stream::{plan_chunk, Chunk, ChunkPolicy, ChunkedDataset, StreamRun, StreamScheduler};
+use idg_stream::{
+    plan_chunk, Chunk, ChunkPolicy, ChunkedDataset, CommitLedger, StreamDirection, StreamRun,
+    StreamScheduler,
+};
 use idg_telescope::ATerms;
 use idg_types::{Grid, IdgError, Uvw, Visibility};
 use std::time::Instant;
@@ -126,6 +142,45 @@ struct CommitSlot {
     item: WorkItem,
     src: usize,
     plane: usize,
+}
+
+/// Everything one chunk's degrid pass produced, pending the final
+/// exactly-once visibility commit.
+struct DegridChunkOutput {
+    /// The chunk-local plan's work items (global time offsets).
+    items: Vec<WorkItem>,
+    /// Completed `items` ranges in job order (one whole-chunk range on
+    /// the CPU paths); CPU-fallback ranges are appended after.
+    ranges: Vec<std::ops::Range<usize>>,
+    /// Chunk-local predicted visibilities (full observation extent,
+    /// zeros outside the covered slots — slots are globally indexed).
+    vis: Vec<Visibility<f32>>,
+    /// Jobs re-executed on the CPU reference kernels, with chunk-local
+    /// indices (remapped to stream-global ones during aggregation).
+    fallback_jobs: Vec<JobFailure>,
+    counts: OpCounts,
+    kernel_seconds: f64,
+    fft_seconds: f64,
+    /// Splitter time: measured wall (CPU) or modeled device time (GPU).
+    splitter_seconds: f64,
+    transfer_seconds: f64,
+    /// Modeled end-to-end chunk time (GPU) or measured wall (CPU).
+    makespan: f64,
+    device_energy_j: f64,
+    host_energy_j: f64,
+    nr_retries: usize,
+    backoff_seconds: f64,
+    redispatched_jobs: usize,
+    degradation_steps: usize,
+    breaker_trips: u64,
+}
+
+/// One committed work item of a streamed degrid pass: the item whose
+/// visibility rows are copied, and which chunk's local buffer holds
+/// them.
+struct DegridCommitSlot {
+    item: WorkItem,
+    src: usize,
 }
 
 impl Proxy {
@@ -316,6 +371,227 @@ impl Proxy {
         Ok((grid, report, trace))
     }
 
+    /// Predict visibilities from a model grid through the streaming
+    /// front-end — the duplex twin of [`Proxy::grid_streamed`]: a
+    /// deferred splitter stage extracts each chunk's subgrids, the
+    /// chunk-local degrid passes run across the same bounded-window
+    /// scheduler, and every chunk's predicted visibilities are
+    /// committed into the output buffer exactly once, in one-shot plan
+    /// order.
+    ///
+    /// The returned visibilities are bit-identical to
+    /// [`Proxy::degrid`] over the same inputs, for every chunk policy,
+    /// worker count, completion order and fault schedule: the chunk
+    /// plans partition the one-shot plan's items verbatim, the
+    /// degridder overwrites disjoint per-item slots (no accumulation
+    /// on the read side), and the commit copies each item's rows from
+    /// its chunk's buffer — guarded by a [`CommitLedger`] so each
+    /// chunk commits exactly once.
+    pub fn degrid_streamed(
+        &self,
+        config: &StreamConfig,
+        grid: &Grid<f32>,
+        uvw: &[Uvw],
+        aterms: &ATerms,
+    ) -> Result<(Vec<Visibility<f32>>, ExecutionReport), IdgError> {
+        let zeros = vec![Visibility::<f32>::zero(); self.obs.nr_visibilities()];
+        let data = KernelData {
+            obs: &self.obs,
+            uvw,
+            visibilities: &zeros,
+            aterms,
+            taper: &self.taper,
+        };
+        data.validate()?;
+        check_finite_uvw(uvw)?;
+        if grid
+            .as_slice()
+            .iter()
+            .any(|c| !c.re.is_finite() || !c.im.is_finite())
+        {
+            return Err(IdgError::InvalidParameter(
+                "model grid contains non-finite (NaN/Inf) samples".into(),
+            ));
+        }
+        if grid.size() != self.obs.grid_size {
+            return Err(IdgError::ShapeMismatch {
+                what: "grid",
+                expected: self.obs.grid_size,
+                actual: grid.size(),
+            });
+        }
+        config.validate()?;
+        let scheduler = StreamScheduler::new(config.workers, config.max_inflight)?;
+        let chunks = ChunkedDataset::split(&self.obs, &config.policy)?;
+        let extents = UvExtents::compute(&self.obs, uvw)?;
+
+        let t_start = Instant::now();
+        let StreamRun { results, mut stats } = scheduler.run_stream(chunks.chunks(), |chunk| {
+            self.run_degrid_chunk(&data, &extents, grid, chunk)
+        })?;
+        stats.direction = StreamDirection::Degridding;
+        let mut outputs = Vec::with_capacity(results.len());
+        for result in results {
+            outputs.push(result?);
+        }
+
+        // aggregate: gather every covered work item behind a commit
+        // slot, remap fallback indices, sum the timing; the ledger
+        // pins the exactly-once-per-chunk commit discipline
+        let mut chunk_vis: Vec<Vec<Visibility<f32>>> = Vec::with_capacity(outputs.len());
+        let mut slots: Vec<DegridCommitSlot> = Vec::new();
+        let mut fallback_jobs: Vec<JobFailure> = Vec::new();
+        let mut counts = OpCounts::default();
+        let (mut kernel_seconds, mut fft_seconds, mut transfer_seconds) = (0.0, 0.0, 0.0);
+        let mut splitter_seconds = 0.0;
+        let (mut device_energy, mut host_energy, mut backoff_seconds) = (0.0, 0.0, 0.0);
+        let mut nr_retries = 0usize;
+        let (mut redispatched, mut degradation, mut trips) = (0usize, 0usize, 0u64);
+        let mut makespans = Vec::with_capacity(outputs.len());
+        let mut item_base = 0usize;
+        let mut job_base = 0usize;
+        let mut ledger = CommitLedger::new(outputs.len());
+        for (src, out) in outputs.into_iter().enumerate() {
+            ledger.commit(src)?;
+            for range in &out.ranges {
+                for idx in range.clone() {
+                    slots.push(DegridCommitSlot {
+                        item: out.items[idx],
+                        src,
+                    });
+                }
+            }
+            for mut failure in out.fallback_jobs {
+                failure.job += job_base;
+                failure.first_item += item_base;
+                fallback_jobs.push(failure);
+            }
+            counts.add(&out.counts);
+            kernel_seconds += out.kernel_seconds;
+            fft_seconds += out.fft_seconds;
+            splitter_seconds += out.splitter_seconds;
+            transfer_seconds += out.transfer_seconds;
+            device_energy += out.device_energy_j;
+            host_energy += out.host_energy_j;
+            nr_retries += out.nr_retries;
+            backoff_seconds += out.backoff_seconds;
+            redispatched += out.redispatched_jobs;
+            degradation += out.degradation_steps;
+            trips += out.breaker_trips;
+            makespans.push(out.makespan);
+            item_base += out.items.len();
+            job_base += out.items.len().div_ceil(self.work_group_size);
+            chunk_vis.push(out.vis);
+        }
+        ledger.finish()?;
+        if slots.len() != item_base {
+            return Err(IdgError::Internal(format!(
+                "streamed degrid commit covers {} of {} work items",
+                slots.len(),
+                item_base
+            )));
+        }
+
+        // the exactly-once in-order commit: sorting by (baseline,
+        // channel group, time) recovers the one-shot plan's item
+        // order; each item's rows are plain copies of disjoint slots
+        slots.sort_by_key(|s| {
+            (
+                s.item.baseline_index,
+                s.item.channel_offset,
+                s.item.time_offset,
+            )
+        });
+        let nr_time = self.obs.nr_timesteps;
+        let nr_chan = self.obs.nr_channels();
+        let mut vis = vec![Visibility::<f32>::zero(); self.obs.nr_visibilities()];
+        let mut committed_vis = 0u64;
+        let t_commit = Instant::now();
+        {
+            let _span = idg_obs::wall_span("vis_commit", "stage", None);
+            for slot in &slots {
+                let item = &slot.item;
+                let src = &chunk_vis[slot.src];
+                for dt in 0..item.nr_timesteps {
+                    let row = (item.baseline_index * nr_time + item.time_offset + dt) * nr_chan;
+                    let cols =
+                        row + item.channel_offset..row + item.channel_offset + item.nr_channels;
+                    vis[cols.clone()].copy_from_slice(&src[cols]);
+                }
+                committed_vis += (item.nr_timesteps * item.nr_channels) as u64;
+            }
+        }
+        let commit_seconds = t_commit.elapsed().as_secs_f64();
+
+        let modeled = matches!(self.backend, Backend::GpuPascal | Backend::GpuFiji);
+        // each committed visibility is one 4-pol read + write (32 B)
+        let commit_model = (committed_vis * 2 * 32) as f64 / HOST_ADDER_BW;
+        let adder_seconds = splitter_seconds
+            + if modeled {
+                commit_model
+            } else {
+                commit_seconds
+            };
+        let total_seconds = if modeled {
+            stream_makespan(&makespans, config.workers.min(config.max_inflight)) + commit_model
+        } else {
+            t_start.elapsed().as_secs_f64()
+        };
+        let fleet = if modeled {
+            self.fleet.as_ref().map(|c| FleetStats {
+                nr_devices: c.nr_devices,
+                redispatched_jobs: redispatched,
+                degradation_steps: degradation,
+                breaker_trips: trips,
+                per_device: Vec::new(),
+            })
+        } else {
+            None
+        };
+
+        Ok((
+            vis,
+            ExecutionReport {
+                backend: self.backend.label().into(),
+                pass: "degridding",
+                modeled,
+                kernel_seconds,
+                fft_seconds,
+                adder_seconds,
+                transfer_seconds,
+                total_seconds,
+                counts,
+                device_energy_j: modeled.then_some(device_energy),
+                host_energy_j: modeled.then_some(host_energy),
+                nr_retries,
+                backoff_seconds,
+                fallback_jobs,
+                fleet,
+                metrics: None,
+                stream: Some(stats),
+            },
+        ))
+    }
+
+    /// Run [`Proxy::degrid_streamed`] under an observability session
+    /// (the streamed counterpart of [`Proxy::degrid_observed`], with
+    /// the self-validation contract adapted to chunked execution).
+    pub fn degrid_streamed_observed(
+        &self,
+        config: &StreamConfig,
+        grid: &Grid<f32>,
+        uvw: &[Uvw],
+        aterms: &ATerms,
+    ) -> Result<(Vec<Visibility<f32>>, ExecutionReport, idg_obs::Trace), IdgError> {
+        let session = idg_obs::Session::begin("degridding");
+        let result = self.degrid_streamed(config, grid, uvw, aterms);
+        let trace = session.finish();
+        let (vis, mut report) = result?;
+        report.metrics = Some(trace.metrics.clone());
+        self.validate_streamed(config, uvw, &report)?;
+        Ok((vis, report, trace))
+    }
+
     /// One chunk's pass: plan against the shared uv extents, then run
     /// the back-end's gridder + subgrid FFT, leaving the commit to the
     /// caller. Runs on a scheduler worker thread.
@@ -452,6 +728,168 @@ impl Proxy {
         Ok((pending, failed_jobs.to_vec()))
     }
 
+    /// One chunk's degrid pass: plan against the shared uv extents,
+    /// split the chunk's subgrids out of the model grid, and predict
+    /// its visibilities into a chunk-local buffer, leaving the commit
+    /// to the caller. Runs on a scheduler worker thread.
+    fn run_degrid_chunk(
+        &self,
+        data: &KernelData<'_>,
+        extents: &UvExtents,
+        grid: &Grid<f32>,
+        chunk: &Chunk,
+    ) -> Result<DegridChunkOutput, IdgError> {
+        let plan = plan_chunk(&self.obs, data.uvw, extents, chunk)?;
+        let n = self.obs.subgrid_size;
+        let tag = u32::try_from(chunk.index).ok();
+        match self.backend {
+            Backend::CpuReference | Backend::CpuOptimized => {
+                let t0 = Instant::now();
+                let mut subgrids = SubgridArray::new(plan.nr_subgrids(), n);
+                {
+                    let _span = idg_obs::wall_span("splitter", "stage", tag);
+                    split_subgrids(grid, &plan.items, &mut subgrids, &self.cache)?;
+                }
+                let t1 = Instant::now();
+                {
+                    let _span = idg_obs::wall_span("subgrid_ifft", "stage", tag);
+                    fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
+                }
+                let t2 = Instant::now();
+                let mut vis = vec![Visibility::<f32>::zero(); self.obs.nr_visibilities()];
+                {
+                    let _span = idg_obs::wall_span("degridder", "stage", tag);
+                    match self.backend {
+                        Backend::CpuReference => {
+                            degridder_reference(data, &plan.items, &subgrids, &mut vis)?;
+                        }
+                        _ => degridder_cpu(
+                            data,
+                            &plan.items,
+                            &subgrids,
+                            &mut vis,
+                            Accuracy::Medium,
+                            &self.cache,
+                        )?,
+                    }
+                }
+                let t3 = Instant::now();
+                let counts = degridder_counts(&plan.items, n);
+                // one covering range: the whole chunk is one CPU "job"
+                let ranges: Vec<std::ops::Range<usize>> =
+                    std::iter::once(0..plan.items.len()).collect();
+                Ok(DegridChunkOutput {
+                    items: plan.items,
+                    ranges,
+                    vis,
+                    fallback_jobs: Vec::new(),
+                    counts,
+                    kernel_seconds: (t3 - t2).as_secs_f64(),
+                    fft_seconds: (t2 - t1).as_secs_f64(),
+                    splitter_seconds: (t1 - t0).as_secs_f64(),
+                    transfer_seconds: 0.0,
+                    makespan: (t3 - t0).as_secs_f64(),
+                    device_energy_j: 0.0,
+                    host_energy_j: 0.0,
+                    nr_retries: 0,
+                    backoff_seconds: 0.0,
+                    redispatched_jobs: 0,
+                    degradation_steps: 0,
+                    breaker_trips: 0,
+                })
+            }
+            Backend::GpuPascal | Backend::GpuFiji => {
+                if let Some(fconfig) = self.fleet.clone() {
+                    let (deferred, report) = self
+                        .fleet_executor(&fconfig)?
+                        .split_deferred(data, &plan, grid)?;
+                    let (deferred, fallback_jobs) = self.fallback_pending_degrid(
+                        data,
+                        &plan,
+                        grid,
+                        deferred,
+                        &report.failed_jobs,
+                    )?;
+                    return Ok(DegridChunkOutput {
+                        items: plan.items,
+                        ranges: deferred.ranges,
+                        vis: deferred.vis,
+                        fallback_jobs,
+                        counts: report.counts,
+                        kernel_seconds: report.kernel_seconds,
+                        fft_seconds: report.fft_seconds,
+                        splitter_seconds: report.adder_seconds,
+                        transfer_seconds: report.htod_seconds + report.dtoh_seconds,
+                        makespan: report.makespan,
+                        device_energy_j: report.device_energy_j,
+                        host_energy_j: report.host_energy_j,
+                        nr_retries: report.nr_retries,
+                        backoff_seconds: report.backoff_seconds,
+                        redispatched_jobs: report.redispatched_jobs,
+                        degradation_steps: report.degradation_steps,
+                        breaker_trips: report.breaker_trips,
+                    });
+                }
+                let (deferred, report) = self.executor()?.split_deferred(data, &plan, grid)?;
+                let (deferred, fallback_jobs) =
+                    self.fallback_pending_degrid(data, &plan, grid, deferred, &report.failed_jobs)?;
+                Ok(DegridChunkOutput {
+                    items: plan.items,
+                    ranges: deferred.ranges,
+                    vis: deferred.vis,
+                    fallback_jobs,
+                    counts: report.counts,
+                    kernel_seconds: report.kernel_seconds,
+                    fft_seconds: report.fft_seconds,
+                    splitter_seconds: report.adder_seconds,
+                    transfer_seconds: report.htod_seconds + report.dtoh_seconds,
+                    makespan: report.makespan,
+                    device_energy_j: report.device_energy_j,
+                    host_energy_j: report.host_energy_j,
+                    nr_retries: report.nr_retries,
+                    backoff_seconds: report.backoff_seconds,
+                    redispatched_jobs: 0,
+                    degradation_steps: 0,
+                    breaker_trips: 0,
+                })
+            }
+        }
+    }
+
+    /// Graceful degradation for the deferred-split path: re-predict
+    /// the persistently failed jobs' visibilities with the CPU
+    /// reference kernels into the same chunk-local buffer (the
+    /// executor already zeroed their slots) and append their ranges,
+    /// so they join the same exactly-once commit as the
+    /// device-produced slots.
+    fn fallback_pending_degrid(
+        &self,
+        data: &KernelData<'_>,
+        plan: &Plan,
+        grid: &Grid<f32>,
+        mut deferred: DeferredVis,
+        failed_jobs: &[JobFailure],
+    ) -> Result<(DeferredVis, Vec<JobFailure>), IdgError> {
+        if failed_jobs.is_empty() {
+            return Ok((deferred, Vec::new()));
+        }
+        if !self.cpu_fallback {
+            return Err(failed_jobs[0].error.clone());
+        }
+        idg_obs::add_fallback_jobs(failed_jobs.len() as u64);
+        for failure in failed_jobs {
+            let _span = idg_obs::wall_span("cpu_fallback", "job", u32::try_from(failure.job).ok());
+            let range = failure.first_item..failure.first_item + failure.nr_items;
+            let items = &plan.items[range.clone()];
+            let mut subgrids = SubgridArray::new(items.len(), self.obs.subgrid_size);
+            split_subgrids(grid, items, &mut subgrids, &self.cache)?;
+            fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
+            degridder_reference(data, items, &subgrids, &mut deferred.vis)?;
+            deferred.ranges.push(range);
+        }
+        Ok((deferred, failed_jobs.to_vec()))
+    }
+
     /// Cross-validate an observed streamed pass (see
     /// [`Proxy::grid_observed`] for the contract). The chunk-local
     /// plans are re-derived here — planning is cheap next to the
@@ -478,6 +916,7 @@ impl Proxy {
         let Some(metrics) = &report.metrics else {
             return Ok(());
         };
+        let gridding = report.pass == "gridding";
         let chunks = ChunkedDataset::split(&self.obs, &config.policy)?;
         let extents = UvExtents::compute(&self.obs, uvw)?;
         let mut analytic = OpCounts::default();
@@ -485,7 +924,11 @@ impl Proxy {
         let mut nr_jobs = 0u64;
         for chunk in chunks.chunks() {
             let plan = plan_chunk(&self.obs, uvw, &extents, chunk)?;
-            analytic.add(&gridder_counts(&plan.items, self.obs.subgrid_size));
+            analytic.add(&if gridding {
+                gridder_counts(&plan.items, self.obs.subgrid_size)
+            } else {
+                degridder_counts(&plan.items, self.obs.subgrid_size)
+            });
             nr_items += plan.items.len() as u64;
             nr_jobs += plan.work_groups(self.work_group_size).count() as u64;
         }
@@ -501,25 +944,34 @@ impl Proxy {
         for (name, measured, predicted) in checks {
             if measured != predicted {
                 return Err(IdgError::Internal(format!(
-                    "observability self-validation failed: streamed gridding {name} \
-                     measured {measured} != analytic {predicted}"
+                    "observability self-validation failed: streamed {} {name} \
+                     measured {measured} != analytic {predicted}",
+                    report.pass
                 )));
             }
         }
-        // Streamed cache cadence: the reference path looks up once (the
-        // final commit's phasor tables); the optimized CPU path once
-        // per chunk (geometry planes) plus the commit; the GPU paths
-        // once per device job (compute phases) plus the commit.
+        // Streamed cache cadence. Gridding: the reference path looks
+        // up once (the final commit's phasor tables); the optimized
+        // CPU path once per chunk (geometry planes) plus the commit;
+        // the GPU paths once per device job (compute phases) plus the
+        // commit. Degridding: the splitter looks up phasors once per
+        // chunk (reference) or per job (GPU), the degridder adds a
+        // geometry lookup per chunk (optimized CPU) or per job (GPU),
+        // and the final visibility commit is plain copies — no lookup.
         let lookups = metrics.cache_hits + metrics.cache_misses;
-        let expected_lookups = match self.backend {
-            Backend::CpuReference => 1,
-            Backend::CpuOptimized => chunks.len() as u64 + 1,
-            Backend::GpuPascal | Backend::GpuFiji => nr_jobs + 1,
+        let expected_lookups = match (self.backend, gridding) {
+            (Backend::CpuReference, true) => 1,
+            (Backend::CpuOptimized, true) => chunks.len() as u64 + 1,
+            (Backend::GpuPascal | Backend::GpuFiji, true) => nr_jobs + 1,
+            (Backend::CpuReference, false) => chunks.len() as u64,
+            (Backend::CpuOptimized, false) => 2 * chunks.len() as u64,
+            (Backend::GpuPascal | Backend::GpuFiji, false) => 2 * nr_jobs,
         };
         if lookups != expected_lookups {
             return Err(IdgError::Internal(format!(
-                "observability self-validation failed: streamed gridding cache lookups \
-                 measured {lookups} != expected {expected_lookups}"
+                "observability self-validation failed: streamed {} cache lookups \
+                 measured {lookups} != expected {expected_lookups}",
+                report.pass
             )));
         }
         Ok(())
@@ -631,6 +1083,87 @@ mod tests {
                 .spans
                 .iter()
                 .any(|s| s.name == "chunk" || s.name == "adder"));
+        }
+    }
+
+    fn assert_vis_bit_identical(a: &[Visibility<f32>], b: &[Visibility<f32>]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            for (p, q) in x.pols.iter().zip(y.pols.iter()) {
+                assert_eq!(p.re.to_bits(), q.re.to_bits());
+                assert_eq!(p.im.to_bits(), q.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_degrid_is_bit_identical_to_one_shot_on_every_backend() {
+        let ds = dataset();
+        for backend in Backend::all() {
+            let proxy = Proxy::new(backend, ds.obs.clone()).unwrap();
+            let plan = proxy.plan(&ds.uvw).unwrap();
+            let (model, _) = proxy
+                .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+                .unwrap();
+            let (reference, _) = proxy.degrid(&plan, &model, &ds.uvw, &ds.aterms).unwrap();
+            let config = StreamConfig::new(ChunkPolicy::by_timesteps(8), 2, 2);
+            let (streamed, report) = proxy
+                .degrid_streamed(&config, &model, &ds.uvw, &ds.aterms)
+                .unwrap();
+            assert_vis_bit_identical(&reference, &streamed);
+            assert_eq!(report.pass, "degridding");
+            let stats = report.stream.expect("streamed pass reports stream stats");
+            assert_eq!(stats.direction, idg_stream::StreamDirection::Degridding);
+            assert_eq!(stats.nr_chunks, 6, "{backend:?}");
+            assert_eq!(stats.completed_chunks, 6);
+            assert_eq!(stats.failed_chunks, 0);
+            assert_eq!(stats.inflight_max, 2);
+            assert_eq!(stats.backpressure_waits, 4);
+        }
+    }
+
+    #[test]
+    fn observed_streamed_degrid_runs_self_validate_on_every_backend() {
+        let ds = dataset();
+        let config = StreamConfig::new(ChunkPolicy::by_timesteps(16), 2, 3);
+        for backend in Backend::all() {
+            let proxy = Proxy::new(backend, ds.obs.clone()).unwrap();
+            let plan = proxy.plan(&ds.uvw).unwrap();
+            let (model, _) = proxy
+                .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+                .unwrap();
+            let (_, report, trace) = proxy
+                .degrid_streamed_observed(&config, &model, &ds.uvw, &ds.aterms)
+                .unwrap();
+            let metrics = report.metrics.expect("observed run attaches metrics");
+            assert_eq!(metrics.chunks_ingested, 3, "{backend:?}");
+            assert_eq!(metrics.passes_inflight_max, 3);
+            assert!(trace
+                .spans
+                .iter()
+                .any(|s| s.name == "chunk" || s.name == "vis_commit"));
+        }
+    }
+
+    #[test]
+    fn streamed_degrid_rejects_degenerate_parameters_typed() {
+        let ds = dataset();
+        let proxy = Proxy::new(Backend::CpuOptimized, ds.obs.clone()).unwrap();
+        let plan = proxy.plan(&ds.uvw).unwrap();
+        let (model, _) = proxy
+            .grid(&plan, &ds.uvw, &ds.visibilities, &ds.aterms)
+            .unwrap();
+        let bad = [
+            StreamConfig::new(ChunkPolicy::by_timesteps(0), 2, 2),
+            StreamConfig::new(ChunkPolicy::by_visibilities(0), 2, 2),
+            StreamConfig::new(ChunkPolicy::by_timesteps(8), 0, 2),
+            StreamConfig::new(ChunkPolicy::by_timesteps(8), 2, 0),
+        ];
+        for config in bad {
+            assert!(matches!(
+                proxy.degrid_streamed(&config, &model, &ds.uvw, &ds.aterms),
+                Err(IdgError::InvalidParameter(_))
+            ));
         }
     }
 

@@ -180,8 +180,13 @@ impl std::fmt::Display for ExecutionReport {
         if let Some(s) = &self.stream {
             writeln!(
                 f,
-                "  stream {} chunks on {} workers (window {}), peak inflight {}, {} backpressure waits",
-                s.nr_chunks, s.nr_workers, s.max_inflight, s.inflight_max, s.backpressure_waits
+                "  stream {} ({} chunks on {} workers, window {}), peak inflight {}, {} backpressure waits",
+                s.direction.label(),
+                s.nr_chunks,
+                s.nr_workers,
+                s.max_inflight,
+                s.inflight_max,
+                s.backpressure_waits
             )?;
         }
         if let Some(fleet) = &self.fleet {
@@ -329,6 +334,7 @@ mod tests {
         assert!(!report().to_string().contains("stream"));
         let r = ExecutionReport {
             stream: Some(StreamStats {
+                direction: idg_stream::StreamDirection::Degridding,
                 nr_chunks: 4,
                 nr_workers: 2,
                 max_inflight: 2,
@@ -340,6 +346,7 @@ mod tests {
             ..report()
         };
         let text = r.to_string();
+        assert!(text.contains("stream degridding"));
         assert!(text.contains("4 chunks on 2 workers"));
         assert!(text.contains("2 backpressure waits"));
     }

@@ -44,6 +44,20 @@ use std::sync::Arc;
 /// order, ready for the caller's single in-order adder commit.
 pub type DeferredSubgrids = Vec<(Range<usize>, SubgridArray)>;
 
+/// Deferred-commit payload of a streamed degrid chunk pass: the
+/// chunk-local predicted visibilities plus the `plan.items` ranges the
+/// completed jobs covered, in job order. The caller copies each item's
+/// rows into the full observation buffer in one-shot plan order, so
+/// the streamed result stays bit-identical to the one-shot pass.
+#[derive(Clone, Debug)]
+pub struct DeferredVis {
+    /// `plan.items` ranges of the jobs that completed, in job order.
+    pub ranges: Vec<Range<usize>>,
+    /// Chunk-local visibility buffer (full observation extent, zeros
+    /// outside the completed items' slots).
+    pub vis: Vec<Visibility<f32>>,
+}
+
 /// A job that failed persistently: its outputs are absent from the pass
 /// result and the proxy layer may re-execute it on the CPU backend.
 #[derive(Clone, Debug, PartialEq)]
@@ -917,6 +931,168 @@ impl GpuExecutor {
             },
         ))
     }
+
+    /// Streamed-degrid twin of [`GpuExecutor::grid_deferred`]: run the
+    /// splitter → inverse FFT → degridder chain for every job, but
+    /// leave the predicted visibilities in a chunk-local buffer for
+    /// the caller to commit in one-shot plan order. The degridder
+    /// writes disjoint per-item slots and never accumulates, so the
+    /// caller's plain copies preserve bit-identity with
+    /// [`GpuExecutor::degrid`].
+    ///
+    /// Like `grid_deferred`, no device-resident grid is modeled — the
+    /// reservation covers triple-buffered subgrid and I/O staging
+    /// only, and the host-side commit is accounted by the caller.
+    pub fn split_deferred(
+        &self,
+        data: &KernelData<'_>,
+        plan: &Plan,
+        grid: &Grid<f32>,
+    ) -> Result<(DeferredVis, GpuRunReport), IdgError> {
+        let mut device = self.device.clone();
+        let n = plan.subgrid_size();
+        // buffers only: the model grid stays on the host
+        let subgrid_bytes_rsv = (self.work_group_size * 4 * n * n * 8) as u64;
+        let io_bytes = (self.work_group_size * 512 * 44) as u64;
+        let reserved = 3 * (subgrid_bytes_rsv + io_bytes);
+        device.allocate(reserved)?;
+        let injector = self.faults.clone().map(FaultInjector::new);
+
+        let nr_chan = data.obs.nr_channels();
+        let nr_time = data.obs.nr_timesteps;
+        let mut vis_out = vec![Visibility::<f32>::zero(); data.obs.nr_visibilities()];
+        let mut ranges: Vec<Range<usize>> = Vec::new();
+        let mut pipeline = PipelineSim::new(3);
+        let mut counts = OpCounts::default();
+        let mut kernel_seconds = 0.0;
+        let mut fft_seconds = 0.0;
+        let mut adder_seconds = 0.0;
+        let mut htod_seconds = 0.0;
+        let mut dtoh_seconds = 0.0;
+        let mut stats = RetryStats::default();
+        let mut failed_jobs = Vec::new();
+        let observing = idg_obs::is_active();
+        let mut compute_parts: Vec<Vec<(&'static str, f64)>> = Vec::new();
+
+        for (job, group) in plan.work_groups(self.work_group_size).enumerate() {
+            let group_counts = degridder_counts(group, n);
+            let uvw_bytes = group
+                .iter()
+                .map(|i| (i.nr_timesteps * 12) as u64)
+                .sum::<u64>();
+            let out_bytes = group
+                .iter()
+                .map(|i| (i.nr_timesteps * nr_chan * 32) as u64)
+                .sum::<u64>();
+            let t_in = transfer_time(&device, uvw_bytes);
+            let t_split = adder_time(&device, group.len(), n);
+            let t_fft = subgrid_fft_time(&device, group.len(), n);
+            let t_kernel = kernel_time(&device, &group_counts);
+            let t_out = transfer_time(&device, out_bytes);
+            if observing {
+                compute_parts.push(vec![
+                    ("splitter", t_split),
+                    ("subgrid_ifft", t_fft),
+                    ("degridder", t_kernel),
+                ]);
+            }
+
+            let mut subgrids = SubgridArray::new(group.len(), n);
+            let vis_ref = &mut vis_out;
+            let mut backend = |op: JobOp| -> Result<Vec<u8>, IdgError> {
+                match op {
+                    JobOp::StageInput => Ok(staged_uvw_bytes(data, group)),
+                    JobOp::Compute => {
+                        subgrids = SubgridArray::new(group.len(), n);
+                        split_subgrids(grid, group, &mut subgrids, &self.cache)?;
+                        fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
+                        degridder_gpu(data, group, &subgrids, vis_ref, &device, &self.cache)?;
+                        Ok(Vec::new())
+                    }
+                    JobOp::StageOutput => Ok(staged_vis_bytes(vis_ref, nr_time, nr_chan, group)),
+                    // committed later, by the caller, in plan order
+                    JobOp::Commit => Ok(Vec::new()),
+                }
+            };
+            match run_job(
+                &mut pipeline,
+                injector.as_ref(),
+                &self.retry,
+                &mut stats,
+                job,
+                (t_in, t_split + t_fft + t_kernel, t_out),
+                (0, 0.0),
+                &mut backend,
+            ) {
+                JobRun::Done { .. } => {
+                    counts.add(&group_counts);
+                    kernel_seconds += t_kernel;
+                    fft_seconds += t_fft;
+                    adder_seconds += t_split;
+                    htod_seconds += t_in;
+                    dtoh_seconds += t_out;
+                    let first = job * self.work_group_size;
+                    ranges.push(first..first + group.len());
+                }
+                JobRun::Failed { error, attempts } => {
+                    // a faulted attempt may have computed these slots
+                    // before the chain died — failed jobs leave zeros
+                    for item in group {
+                        for dt in 0..item.nr_timesteps {
+                            let row =
+                                (item.baseline_index * nr_time + item.time_offset + dt) * nr_chan;
+                            for c in item.channel_offset..item.channel_offset + item.nr_channels {
+                                vis_out[row + c] = Visibility::zero();
+                            }
+                        }
+                    }
+                    failed_jobs.push(JobFailure {
+                        job,
+                        first_item: job * self.work_group_size,
+                        nr_items: group.len(),
+                        error,
+                        attempts,
+                    });
+                }
+            }
+        }
+        htod_seconds += stats.htod_seconds;
+        kernel_seconds += stats.kernel_seconds;
+        dtoh_seconds += stats.dtoh_seconds;
+        idg_obs::add_retries(stats.nr_retries as u64);
+        emit_modeled_spans(&pipeline.timeline, &compute_parts, 0);
+
+        device.free(reserved);
+        let makespan = pipeline.makespan();
+        let energy = EnergyModel::new(device.arch.clone());
+        let busy = pipeline.compute_busy();
+        let device_energy_j =
+            energy.device_energy(busy, 1.0) + energy.device_energy((makespan - busy).max(0.0), 0.0);
+        let host_energy_j = energy.host_energy(makespan);
+
+        Ok((
+            DeferredVis {
+                ranges,
+                vis: vis_out,
+            },
+            GpuRunReport {
+                pass: "degridding",
+                counts,
+                kernel_seconds,
+                fft_seconds,
+                adder_seconds,
+                htod_seconds,
+                dtoh_seconds,
+                makespan,
+                timeline: pipeline.timeline,
+                device_energy_j,
+                host_energy_j,
+                nr_retries: stats.nr_retries,
+                backoff_seconds: stats.backoff_seconds,
+                failed_jobs,
+            },
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -1308,6 +1484,85 @@ mod tests {
             assert_eq!(kernels, ["gridder", "subgrid_fft", "adder"]);
         }
         assert_eq!(trace.metrics.nr_retries, 0);
+    }
+
+    #[test]
+    fn split_deferred_matches_one_shot_degrid_bit_for_bit() {
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
+        let data = kernel_data(&ds, &taper);
+        let exec = GpuExecutor::new(Device::pascal(), 8);
+
+        // grid first so the model grid carries energy to predict from
+        let (grid, _) = exec.grid(&data, &plan).unwrap();
+        let (gold, _) = exec.degrid(&data, &plan, &grid).unwrap();
+        let (deferred, report) = exec.split_deferred(&data, &plan, &grid).unwrap();
+
+        assert!(report.complete());
+        assert_eq!(report.pass, "degridding");
+        assert!(report.adder_seconds > 0.0, "splitter time is accounted");
+        // completed ranges tile plan.items in job order
+        let covered: usize = deferred.ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, plan.items.len());
+        let mut next = 0;
+        for r in &deferred.ranges {
+            assert_eq!(r.start, next, "ranges are contiguous in job order");
+            next = r.end;
+        }
+        // the deferred buffer is bit-identical to the one-shot pass
+        assert_eq!(deferred.vis.len(), gold.len());
+        for (a, b) in deferred.vis.iter().zip(gold.iter()) {
+            for (x, y) in a.pols.iter().zip(b.pols.iter()) {
+                assert!(x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn split_deferred_zeroes_and_reports_exhausted_jobs() {
+        let ds = dataset();
+        let plan = Plan::create(&ds.obs, &ds.uvw).unwrap();
+        let taper = idg_math::spheroidal_2d(ds.obs.subgrid_size);
+        let data = kernel_data(&ds, &taper);
+        let exec = GpuExecutor::new(Device::pascal(), 8);
+        let (grid, _) = exec.grid(&data, &plan).unwrap();
+
+        // job 1 faults on every attempt and is given up on
+        let faults = FaultConfig::targeted(
+            (0..8)
+                .map(|attempt| TargetedFault {
+                    job: 1,
+                    attempt,
+                    site: FaultSite::Kernel,
+                    kind: FaultKind::KernelFault,
+                })
+                .collect(),
+        );
+        let failing = GpuExecutor::new(Device::pascal(), 8).with_faults(faults);
+        let (deferred, report) = failing.split_deferred(&data, &plan, &grid).unwrap();
+
+        assert_eq!(report.failed_jobs.len(), 1);
+        let failure = &report.failed_jobs[0];
+        assert_eq!(failure.job, 1);
+        // the failed job's slots are zero and its range is absent
+        assert!(!deferred
+            .ranges
+            .iter()
+            .any(|r| r.start == failure.first_item));
+        let nr_time = ds.obs.nr_timesteps;
+        let nr_chan = ds.obs.nr_channels();
+        for item in &plan.items[failure.first_item..failure.first_item + failure.nr_items] {
+            for dt in 0..item.nr_timesteps {
+                let row = (item.baseline_index * nr_time + item.time_offset + dt) * nr_chan;
+                for c in item.channel_offset..item.channel_offset + item.nr_channels {
+                    for p in deferred.vis[row + c].pols {
+                        assert_eq!(p.re, 0.0);
+                        assert_eq!(p.im, 0.0);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

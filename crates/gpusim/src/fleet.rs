@@ -34,7 +34,7 @@
 use crate::device::Device;
 use crate::executor::{
     emit_modeled_spans, run_job, staged_subgrid_bytes, staged_uvw_bytes, staged_vis_bytes,
-    DeferredSubgrids, JobFailure, JobOp, JobRun, RetryStats,
+    DeferredSubgrids, DeferredVis, JobFailure, JobOp, JobRun, RetryStats,
 };
 use crate::fault::{FaultConfig, FaultInjector, RetryPolicy};
 use crate::health::{BreakerConfig, DeviceHealth, JobOutcome};
@@ -763,6 +763,136 @@ impl FleetExecutor {
         }
         self.seal_report(&mut states, &mut report);
         Ok((vis_out, report))
+    }
+
+    /// Streamed-degrid twin of [`FleetExecutor::grid_deferred`]: the
+    /// degrid dispatch loop, but the predicted visibilities stay in a
+    /// chunk-local buffer with the completed jobs' `plan.items` ranges
+    /// recorded in global job order for the caller's in-order commit.
+    ///
+    /// The degridder's values depend only on the plan and inputs, not
+    /// on which device ran the job, so health-gated re-dispatch keeps
+    /// the buffer bit-identical to a fault-free single-device pass.
+    pub fn split_deferred(
+        &self,
+        data: &KernelData<'_>,
+        plan: &Plan,
+        grid: &Grid<f32>,
+    ) -> Result<(DeferredVis, FleetRunReport), IdgError> {
+        let groups: Vec<&[WorkItem]> = plan.work_groups(self.work_group_size).collect();
+        let nr_jobs = groups.len();
+        let mut report = self.report_skeleton("degridding");
+        let mut states = self.setup(plan, nr_jobs, &mut report.degradation_steps)?;
+
+        let n = plan.subgrid_size();
+        let nr_chan = data.obs.nr_channels();
+        let nr_time = data.obs.nr_timesteps;
+        let mut vis_out = vec![Visibility::<f32>::zero(); data.obs.nr_visibilities()];
+        let observing = idg_obs::is_active();
+        let group_lens: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+
+        self.dispatch(
+            &mut states,
+            plan,
+            &group_lens,
+            &mut report,
+            |st, job, stats| {
+                let group = groups[job];
+                let (w_eff, _) = level_shape(self.work_group_size, st.level);
+                let chunks = Self::chunk_ranges(group.len(), w_eff);
+                let group_counts = degridder_counts(group, n);
+                let uvw_bytes = group
+                    .iter()
+                    .map(|i| (i.nr_timesteps * 12) as u64)
+                    .sum::<u64>();
+                let out_bytes = group
+                    .iter()
+                    .map(|i| (i.nr_timesteps * nr_chan * 32) as u64)
+                    .sum::<u64>();
+                let t_in = transfer_time(&st.device, uvw_bytes);
+                let t_split = adder_time(&st.device, group.len(), n);
+                let t_fft = subgrid_fft_time(&st.device, group.len(), n);
+                let t_kernel = kernel_time(&st.device, &group_counts);
+                let t_out = transfer_time(&st.device, out_bytes);
+                if observing {
+                    st.compute_parts[job] = vec![
+                        ("splitter", t_split),
+                        ("subgrid_ifft", t_fft),
+                        ("degridder", t_kernel),
+                    ];
+                }
+
+                let device = &st.device;
+                let cache = &self.cache;
+                let vis_ref = &mut vis_out;
+                let mut backend = |op: JobOp| -> Result<Vec<u8>, IdgError> {
+                    match op {
+                        JobOp::StageInput => Ok(staged_uvw_bytes(data, group)),
+                        JobOp::Compute => {
+                            for r in &chunks {
+                                let chunk = &group[r.clone()];
+                                let mut subgrids = SubgridArray::new(r.len(), n);
+                                split_subgrids(grid, chunk, &mut subgrids, cache)?;
+                                fft_subgrids(&mut subgrids, Direction::Inverse, FftNorm::None);
+                                degridder_gpu(data, chunk, &subgrids, vis_ref, device, cache)?;
+                            }
+                            Ok(Vec::new())
+                        }
+                        JobOp::StageOutput => {
+                            Ok(staged_vis_bytes(vis_ref, nr_time, nr_chan, group))
+                        }
+                        // committed later, by the caller, in plan order
+                        JobOp::Commit => Ok(Vec::new()),
+                    }
+                };
+                let result = run_job(
+                    &mut st.pipeline,
+                    st.injector.as_ref(),
+                    &self.retry,
+                    stats.0,
+                    job,
+                    (t_in, t_split + t_fft + t_kernel, t_out),
+                    stats.1,
+                    &mut backend,
+                );
+                (
+                    result,
+                    group_counts,
+                    [t_kernel, t_fft, t_split, t_in, t_out],
+                )
+            },
+        )?;
+
+        // zero the slots of jobs nobody completed (a faulted attempt
+        // may have written them before its chain died)
+        for failure in &report.failed_jobs {
+            for item in groups[failure.job] {
+                for dt in 0..item.nr_timesteps {
+                    let row = (item.baseline_index * nr_time + item.time_offset + dt) * nr_chan;
+                    for c in item.channel_offset..item.channel_offset + item.nr_channels {
+                        vis_out[row + c] = Visibility::zero();
+                    }
+                }
+            }
+        }
+        // completed jobs' item ranges, in global job order
+        // (`failed_jobs` is sealed in job order by `dispatch`)
+        let mut ranges: Vec<Range<usize>> = Vec::new();
+        for job in 0..nr_jobs {
+            if report.failed_jobs.iter().any(|f| f.job == job) {
+                continue;
+            }
+            let first = job * self.work_group_size;
+            ranges.push(first..first + group_lens[job]);
+        }
+        self.seal_report(&mut states, &mut report);
+        Ok((
+            DeferredVis {
+                ranges,
+                vis: vis_out,
+            },
+            report,
+        ))
     }
 
     /// An all-zero report for one pass.

@@ -190,10 +190,36 @@ pub fn plan_chunk(
     Plan::create_windowed(obs, uvw, extents, chunk.time_range.clone())
 }
 
+/// Which data direction a streamed pass moved through the pipeline.
+///
+/// The scheduler itself is direction-agnostic — it drives opaque
+/// per-chunk passes — so [`StreamScheduler::run_stream`] tags its
+/// stats [`StreamDirection::Gridding`] and the degrid caller retags
+/// them before publishing the report.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StreamDirection {
+    /// Visibilities → grid (`Proxy::grid_streamed`).
+    Gridding,
+    /// Model grid → predicted visibilities (`Proxy::degrid_streamed`).
+    Degridding,
+}
+
+impl StreamDirection {
+    /// Human-readable pass label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StreamDirection::Gridding => "gridding",
+            StreamDirection::Degridding => "degridding",
+        }
+    }
+}
+
 /// Summary of one streamed pass, carried in
 /// `ExecutionReport::stream`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StreamStats {
+    /// Data direction of the streamed pass.
+    pub direction: StreamDirection,
     /// Chunks the splitter produced (and the scheduler ingested).
     pub nr_chunks: usize,
     /// Worker threads the scheduler ran.
@@ -381,6 +407,9 @@ impl StreamScheduler {
         let completed_chunks = results.iter().filter(|r| r.is_ok()).count();
         Ok(StreamRun {
             stats: StreamStats {
+                // the scheduler cannot see the pass direction; degrid
+                // callers retag before publishing (see StreamDirection)
+                direction: StreamDirection::Gridding,
                 nr_chunks: n,
                 nr_workers: self.workers,
                 max_inflight: cap,
@@ -391,6 +420,60 @@ impl StreamScheduler {
             },
             results,
         })
+    }
+}
+
+/// Exactly-once commit bookkeeping for the join phase of a streamed
+/// pass: after the scheduler drains, the caller commits each chunk's
+/// deferred output into the shared result exactly once, in chunk
+/// order. The ledger turns any violation of that discipline — a chunk
+/// committed twice, an unknown chunk index, or a chunk never
+/// committed at all — into a typed [`IdgError::Internal`], which the
+/// model-check suite relies on to catch a seeded double-commit mutant
+/// on every interleaving.
+///
+/// Plain data with no interior synchronization: the production commit
+/// loop runs single-threaded after the stream joins, and the model
+/// tests wrap it in an `idg_sync` mutex where they need to share it.
+#[derive(Clone, Debug)]
+pub struct CommitLedger {
+    committed: Vec<bool>,
+}
+
+impl CommitLedger {
+    /// A ledger expecting exactly one commit for each of `nr_chunks`.
+    pub fn new(nr_chunks: usize) -> CommitLedger {
+        CommitLedger {
+            committed: vec![false; nr_chunks],
+        }
+    }
+
+    /// Record chunk `chunk`'s commit; rejects a second commit of the
+    /// same chunk and indices beyond the ledger.
+    pub fn commit(&mut self, chunk: usize) -> Result<(), IdgError> {
+        let n = self.committed.len();
+        match self.committed.get_mut(chunk) {
+            None => Err(IdgError::Internal(format!(
+                "commit ledger: chunk {chunk} out of range ({n} chunks)"
+            ))),
+            Some(slot) if *slot => Err(IdgError::Internal(format!(
+                "commit ledger: chunk {chunk} committed twice"
+            ))),
+            Some(slot) => {
+                *slot = true;
+                Ok(())
+            }
+        }
+    }
+
+    /// Check that every chunk was committed.
+    pub fn finish(&self) -> Result<(), IdgError> {
+        match self.committed.iter().position(|c| !c) {
+            Some(chunk) => Err(IdgError::Internal(format!(
+                "commit ledger: chunk {chunk} was never committed"
+            ))),
+            None => Ok(()),
+        }
     }
 }
 
@@ -498,6 +581,134 @@ impl StreamScheduler {
         let completed_chunks = results.iter().filter(|r| r.is_ok()).count();
         Ok(StreamRun {
             stats: StreamStats {
+                direction: StreamDirection::Gridding,
+                nr_chunks: n,
+                nr_workers: self.workers,
+                max_inflight: cap,
+                inflight_max,
+                backpressure_waits: waits,
+                completed_chunks,
+                failed_chunks: n - completed_chunks,
+            },
+            results,
+        })
+    }
+
+    /// Seeded delivery mutant for the degrid direction: identical to
+    /// [`StreamScheduler::run_stream`], except the first worker to
+    /// finish chunk 0 re-enqueues it once, so the chunk's pass — and
+    /// therefore the caller's commit — runs twice. A commit loop
+    /// guarded by a [`CommitLedger`] must reject the redelivery on
+    /// every schedule; the model-check regression suite proves the
+    /// explorer reports it (as a panic from the ledger's typed error)
+    /// and replays the failing schedule byte-identically.
+    #[doc(hidden)]
+    pub fn run_stream_double_commit_mutant<T, F>(
+        &self,
+        chunks: &[Chunk],
+        exec: F,
+    ) -> Result<StreamRun<T>, IdgError>
+    where
+        T: Send,
+        F: Fn(&Chunk) -> Result<T, IdgError> + Sync,
+    {
+        let n = chunks.len();
+        let cap = self.max_inflight;
+        let prefill = cap.min(n);
+
+        let state = Mutex::new(SchedState {
+            queue: VecDeque::new(),
+            admitted: 0,
+            completed: 0,
+            inflight_max: 0,
+            waits: 0,
+            started: n == 0,
+            producer_done: false,
+        });
+        let cond_work = Condvar::new();
+        let cond_space = Condvar::new();
+        let redelivered = Mutex::new(false);
+        let slots: Vec<Mutex<Option<Result<T, IdgError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+
+        thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| loop {
+                    let job = {
+                        let mut st = state.lock();
+                        loop {
+                            if st.started {
+                                if let Some(j) = st.queue.pop_front() {
+                                    break Some(j);
+                                }
+                                if st.producer_done {
+                                    break None;
+                                }
+                            }
+                            st = cond_work.wait(st);
+                        }
+                    };
+                    let Some(job) = job else { return };
+                    let out = exec(&chunks[job]);
+                    *slots[job].lock() = Some(out);
+                    let mut st = state.lock();
+                    st.completed += 1;
+                    // MUTANT: chunk 0 is fed back into the queue once
+                    // after its first completion — a duplicate
+                    // delivery the exactly-once commit must reject.
+                    if job == 0 {
+                        let mut seen = redelivered.lock();
+                        if !*seen {
+                            *seen = true;
+                            st.queue.push_back(0);
+                            cond_work.notify_all();
+                        }
+                    }
+                    cond_space.notify_all();
+                });
+            }
+
+            for k in 0..n {
+                let mut st = state.lock();
+                if k >= cap {
+                    st.waits += 1;
+                    while st.completed + cap < k + 1 {
+                        st = cond_space.wait(st);
+                    }
+                }
+                st.queue.push_back(k);
+                st.admitted = k + 1;
+                let inflight = st.admitted - st.completed;
+                st.inflight_max = st.inflight_max.max(inflight);
+                if st.admitted == prefill {
+                    st.started = true;
+                }
+                if st.started {
+                    cond_work.notify_all();
+                }
+            }
+            let mut st = state.lock();
+            st.producer_done = true;
+            cond_work.notify_all();
+        });
+
+        let (inflight_max, waits) = {
+            let st = state.lock();
+            (st.inflight_max, st.waits)
+        };
+        let mut results = Vec::with_capacity(n);
+        for slot in slots {
+            let out = slot.into_inner().unwrap_or_else(|| {
+                Err(IdgError::Internal(
+                    "stream scheduler lost a chunk result".into(),
+                ))
+            });
+            results.push(out);
+        }
+        let completed_chunks = results.iter().filter(|r| r.is_ok()).count();
+        Ok(StreamRun {
+            stats: StreamStats {
+                direction: StreamDirection::Gridding,
                 nr_chunks: n,
                 nr_workers: self.workers,
                 max_inflight: cap,

@@ -13,7 +13,7 @@
 #![cfg(idg_model_check)]
 
 use idg_mc::{Config, Explorer, FailureKind};
-use idg_stream::{Chunk, StreamScheduler};
+use idg_stream::{Chunk, CommitLedger, StreamScheduler};
 use idg_types::IdgError;
 
 fn chunks(n: usize) -> Vec<Chunk> {
@@ -124,6 +124,74 @@ fn unguarded_wait_mutant_is_caught_as_lost_wakeup() {
 
     // The failing schedule replays byte-identically — the debugging
     // contract for any failure the explorer ever reports.
+    let replayed = explorer(Config::default())
+        .replay(&failure.schedule, body)
+        .expect("recorded schedule parses")
+        .failure
+        .expect("replay reproduces the failure");
+    assert_eq!(failure, replayed);
+}
+
+/// The streamed-degrid commit discipline: each visibility chunk is
+/// committed into the shared ledger exactly once, under **every**
+/// interleaving at the preemption bound. The ledger is the same
+/// plain-data `CommitLedger` the proxy's degrid aggregation loop uses
+/// (single-threaded there; shared behind an `idg_sync` mutex here so
+/// the workers themselves commit, which is the harder discipline).
+#[test]
+fn degrid_chunk_commit_is_exactly_once_under_every_interleaving() {
+    let report = explorer(Config::default()).explore(|| {
+        let sched = StreamScheduler::new(2, 2).expect("valid scheduler");
+        let cs = chunks(3);
+        let ledger = idg_sync::Mutex::new(CommitLedger::new(3));
+        let run = sched
+            .run_stream(&cs, |c| {
+                ledger.lock().commit(c.index)?;
+                Ok(c.index)
+            })
+            .expect("stream runs");
+        assert_eq!(run.stats.completed_chunks, 3);
+        assert_eq!(run.stats.failed_chunks, 0);
+        ledger
+            .into_inner()
+            .finish()
+            .expect("every visibility chunk committed exactly once");
+    });
+    assert!(
+        report.proved(),
+        "degrid commit discipline must prove under the bound: {report:?}"
+    );
+}
+
+/// The seeded double-commit mutant redelivers chunk 0 to the worker
+/// pool once; with the ledger enforcing the exactly-once discipline
+/// the second delivery trips `CommitLedger::commit` and the explorer
+/// must classify the failure as a panic — with a byte-identically
+/// replayable schedule, like every failure it reports.
+#[test]
+fn double_commit_mutant_is_caught() {
+    let body = || {
+        let sched = StreamScheduler::new(1, 1).expect("valid scheduler");
+        let cs = chunks(1);
+        let ledger = idg_sync::Mutex::new(CommitLedger::new(1));
+        let _ = sched.run_stream_double_commit_mutant(&cs, |c| {
+            ledger
+                .lock()
+                .commit(c.index)
+                .expect("exactly-once commit discipline");
+            Ok(c.index)
+        });
+    };
+    let report = explorer(Config::default()).explore(body);
+    let failure = report
+        .failure
+        .expect("the redelivered chunk must double-commit on some schedule");
+    assert_eq!(
+        failure.kind,
+        FailureKind::Panic,
+        "failure must be classified as a panic: {failure}"
+    );
+
     let replayed = explorer(Config::default())
         .replay(&failure.schedule, body)
         .expect("recorded schedule parses")
